@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDistRoute(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topo", "nsfnet", "-k", "4", "-seed", "3", "-from", "0", "-to", "13"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"optimal semilightpath 0 -> 13", "messages:", "rounds:", "km bound"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDistNoRoute(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topo", "paper", "-from", "6", "-to", "0"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "no semilightpath") {
+		t.Fatalf("expected graceful no-route:\n%s", out.String())
+	}
+}
+
+func TestDistAllPairs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topo", "ring", "-n", "6", "-k", "3", "-allpairs"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "all-pairs:") || !strings.Contains(s, "k²n² bound") {
+		t.Fatalf("all-pairs output wrong:\n%s", s)
+	}
+	// Ring is strongly connected: all ordered pairs reachable.
+	if !strings.Contains(s, "30/30 ordered pairs reachable") {
+		t.Fatalf("expected full reachability on a ring:\n%s", s)
+	}
+}
+
+func TestDistErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topo", "paper", "-from", "0", "-to", "77"}, &out); err == nil {
+		t.Fatal("bad endpoint must fail")
+	}
+	if err := run([]string{"-topo", "nope"}, &out); err == nil {
+		t.Fatal("bad topology must fail")
+	}
+	if err := run([]string{"-zzz"}, &out); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+}
+
+func TestDistAsync(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topo", "nsfnet", "-k", "4", "-from", "0", "-to", "13", "-async"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "asynchronous model") || !strings.Contains(s, "virtual time") {
+		t.Fatalf("async output wrong:\n%s", s)
+	}
+}
+
+func TestDistPipelinedAllPairs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topo", "ring", "-n", "6", "-k", "3", "-allpairs", "-pipelined"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "one concurrent execution") {
+		t.Fatalf("pipelined marker missing:\n%s", out.String())
+	}
+}
+
+func TestDistAsyncNoRoute(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topo", "paper", "-from", "6", "-to", "0", "-async"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "no semilightpath") {
+		t.Fatalf("expected graceful no-route:\n%s", out.String())
+	}
+}
+
+func TestDistTrace(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topo", "nsfnet", "-k", "4", "-from", "0", "-to", "13", "-trace"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "convergence trace") || !strings.Contains(s, "init") {
+		t.Fatalf("trace output wrong:\n%s", s)
+	}
+}

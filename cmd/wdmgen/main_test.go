@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenToStdout(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-topo", "paper"}, &out, &errw); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), `"nodes": 7`) {
+		t.Fatalf("output not a paper-example network:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "n=7 m=11 k=4") {
+		t.Fatalf("summary missing: %s", errw.String())
+	}
+}
+
+func TestGenToFileAndReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "net.json")
+	var out, errw bytes.Buffer
+	args := []string{"-topo", "sparse", "-n", "30", "-k", "6", "-k0", "2", "-seed", "9", "-o", path}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("stdout should be empty when -o is given")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"nodes": 30`) {
+		t.Fatalf("file content wrong:\n%s", data)
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-topo", "warp"}, &out, &errw); err == nil {
+		t.Fatal("unknown topology must fail")
+	}
+	if err := run([]string{"-conv", "warp"}, &out, &errw); err == nil {
+		t.Fatal("unknown conversion must fail")
+	}
+	if err := run([]string{"-net", "/does/not/exist.json"}, &out, &errw); err == nil {
+		t.Fatal("missing instance file must fail")
+	}
+	if err := run([]string{"-bogus-flag"}, &out, &errw); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlaceOnRing(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-topo", "ring", "-n", "6", "-k", "3", "-avail", "0.4",
+		"-conv", "none", "-seed", "4", "-budget", "2"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "converter placement over n=6") {
+		t.Fatalf("header missing:\n%s", s)
+	}
+	if !strings.Contains(s, "without converters:") {
+		t.Fatalf("baseline missing:\n%s", s)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-budget", "0"}, &out); err == nil {
+		t.Fatal("zero budget must fail")
+	}
+	if err := run([]string{"-topo", "warp"}, &out); err == nil {
+		t.Fatal("bad topology must fail")
+	}
+	if err := run([]string{"-zz"}, &out); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+}

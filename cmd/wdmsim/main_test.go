@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSimSweep(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-topo", "ring", "-n", "8", "-k", "3", "-requests", "300", "-loads", "1,16"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "online circuit switching") || !strings.Contains(s, "P(block)") {
+		t.Fatalf("header missing:\n%s", s)
+	}
+	// Two load rows.
+	if got := strings.Count(s, "\n"); got < 4 {
+		t.Fatalf("expected ≥4 lines, got %d:\n%s", got, s)
+	}
+	if !strings.Contains(s, "1.00") || !strings.Contains(s, "16.00") {
+		t.Fatalf("load rows missing:\n%s", s)
+	}
+}
+
+func TestSimErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-loads", "abc"}, &out); err == nil {
+		t.Fatal("bad loads must fail")
+	}
+	if err := run([]string{"-loads", "-1"}, &out); err == nil {
+		t.Fatal("negative load must fail")
+	}
+	if err := run([]string{"-loads", ""}, &out); err == nil {
+		t.Fatal("empty loads must fail")
+	}
+	if err := run([]string{"-topo", "warp"}, &out); err == nil {
+		t.Fatal("bad topology must fail")
+	}
+	if err := run([]string{"-zzz"}, &out); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+}
+
+func TestParseLoads(t *testing.T) {
+	loads, err := parseLoads(" 1, 2.5 ,10 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != 3 || loads[1] != 2.5 {
+		t.Fatalf("loads = %v", loads)
+	}
+}
+
+func TestSimFirstFitPolicy(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-topo", "ring", "-n", "6", "-k", "2", "-requests", "200", "-loads", "8", "-policy", "first-fit"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "first-fit policy") {
+		t.Fatalf("policy marker missing:\n%s", out.String())
+	}
+	var out2 bytes.Buffer
+	if err := run([]string{"-policy", "warp"}, &out2); err == nil {
+		t.Fatal("unknown policy must fail")
+	}
+}

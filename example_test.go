@@ -1,0 +1,103 @@
+package lightpath_test
+
+import (
+	"fmt"
+
+	"lightpath"
+)
+
+// buildExampleNet assembles the small network the runnable examples
+// share: 0→1 on λ0, 1→2 on λ1, full conversion at cost 0.5.
+func buildExampleNet() *lightpath.Network {
+	nw := lightpath.NewNetwork(3, 2)
+	if _, err := nw.AddLink(0, 1, []lightpath.Channel{{Lambda: 0, Weight: 1}}); err != nil {
+		panic(err)
+	}
+	if _, err := nw.AddLink(1, 2, []lightpath.Channel{{Lambda: 1, Weight: 2}}); err != nil {
+		panic(err)
+	}
+	nw.SetConverter(lightpath.UniformConversion{C: 0.5})
+	return nw
+}
+
+// The one-shot query API: build a network, find the optimal
+// semilightpath, inspect its wavelength plan.
+func ExampleFind() {
+	nw := buildExampleNet()
+	res, err := lightpath.Find(nw, 0, 2, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cost %.1f over %d hops\n", res.Cost, res.Path.Len())
+	for _, c := range res.Conversions(nw) {
+		fmt.Printf("retune λ%d→λ%d at node %d\n", c.From+1, c.To+1, c.Node)
+	}
+	// Output:
+	// cost 3.5 over 2 hops
+	// retune λ1→λ2 at node 1
+}
+
+// A compiled Router answers many queries over one network; it is
+// immutable and safe for concurrent use.
+func ExampleRouter() {
+	nw := buildExampleNet()
+	router, err := lightpath.NewRouter(nw)
+	if err != nil {
+		panic(err)
+	}
+	tree, err := router.RouteFrom(0, nil)
+	if err != nil {
+		panic(err)
+	}
+	for t := 0; t < 3; t++ {
+		fmt.Printf("0→%d: %.1f\n", t, tree.Dist(t))
+	}
+	// Output:
+	// 0→0: 0.0
+	// 0→1: 1.0
+	// 0→2: 3.5
+}
+
+// The distributed algorithm gives the same answer with message-passing
+// semantics and reports the Theorem 3 counters.
+func ExampleFindDistributed() {
+	nw := buildExampleNet()
+	res, err := lightpath.FindDistributed(nw, 0, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cost %.1f\n", res.Cost)
+	fmt.Printf("messages within km bound: %v\n",
+		res.Stats.Messages <= nw.K()*nw.NumLinks())
+	// Output:
+	// cost 3.5
+	// messages within km bound: true
+}
+
+// Online circuit switching: admissions claim wavelengths, blocking
+// happens when capacity runs out.
+func ExampleSessionManager() {
+	nw := buildExampleNet()
+	m, err := lightpath.NewSessionManager(nw)
+	if err != nil {
+		panic(err)
+	}
+	first, err := m.Admit(0, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("admitted circuit %d at cost %.1f\n", first.ID, first.Cost)
+	if _, err := m.Admit(0, 2); err != nil {
+		fmt.Println("second request blocked")
+	}
+	if err := m.Release(first.ID); err != nil {
+		panic(err)
+	}
+	if _, err := m.Admit(0, 2); err == nil {
+		fmt.Println("admitted again after release")
+	}
+	// Output:
+	// admitted circuit 1 at cost 3.5
+	// second request blocked
+	// admitted again after release
+}

@@ -1,0 +1,115 @@
+// Allpairs: precompute a full optimal-semilightpath routing table for a
+// 20-node ARPANET-like backbone (Corollary 1) and answer path queries
+// from it — the "control plane builds the table, data plane looks it up"
+// pattern of circuit-switched WANs.
+//
+// Run with:
+//
+//	go run ./examples/allpairs
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"lightpath"
+)
+
+// 20-node ARPANET-like backbone, max degree 4.
+var fibers = [][2]int{
+	{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 4}, {2, 5}, {3, 6}, {3, 7},
+	{4, 7}, {4, 8}, {5, 8}, {5, 9}, {6, 10}, {7, 10}, {7, 11}, {8, 11},
+	{8, 12}, {9, 12}, {9, 13}, {10, 14}, {11, 14}, {11, 15}, {12, 15},
+	{12, 16}, {13, 16}, {14, 17}, {15, 17}, {15, 18}, {16, 18}, {16, 19},
+	{17, 18}, {18, 19},
+}
+
+func main() {
+	const (
+		n = 20
+		k = 6
+	)
+	rng := rand.New(rand.NewSource(20))
+	nw := lightpath.NewNetwork(n, k)
+	for _, f := range fibers {
+		for _, dir := range [][2]int{f, {f[1], f[0]}} {
+			var chans []lightpath.Channel
+			for l := 0; l < k; l++ {
+				if rng.Float64() < 0.5 {
+					chans = append(chans, lightpath.Channel{Lambda: lightpath.Wavelength(l), Weight: 1 + 2*rng.Float64()})
+				}
+			}
+			if len(chans) == 0 {
+				chans = append(chans, lightpath.Channel{Lambda: lightpath.Wavelength(rng.Intn(k)), Weight: 2})
+			}
+			if _, err := nw.AddLink(dir[0], dir[1], chans); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	nw.SetConverter(lightpath.UniformConversion{C: 0.5})
+
+	router, err := lightpath.NewRouter(nw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	all, err := router.AllPairs(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Table summary: reachability, cheapest/most expensive pairs.
+	reachable := 0
+	var minC, maxC = math.Inf(1), 0.0
+	var minPair, maxPair [2]int
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s == t {
+				continue
+			}
+			c := all.Costs[s][t]
+			if math.IsInf(c, 1) {
+				continue
+			}
+			reachable++
+			if c < minC {
+				minC, minPair = c, [2]int{s, t}
+			}
+			if c > maxC {
+				maxC, maxPair = c, [2]int{s, t}
+			}
+		}
+	}
+	fmt.Printf("routing table over %d nodes, %d wavelengths: %d/%d pairs connected\n",
+		n, k, reachable, n*(n-1))
+	fmt.Printf("cheapest circuit:      %d → %d at %.2f\n", minPair[0], minPair[1], minC)
+	fmt.Printf("most expensive circuit: %d → %d at %.2f (the cost diameter)\n", maxPair[0], maxPair[1], maxC)
+
+	// Materialize the worst pair's actual circuit.
+	tree, err := router.RouteFrom(maxPair[0], nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path, err := tree.PathTo(maxPair[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("its path: %s\n", path.String(nw))
+	fmt.Printf("conversions en route: %d\n", len(path.Conversions(nw)))
+
+	// Row extract: distances from node 0, like a routing table dump.
+	fmt.Println("\ntable row for node 0:")
+	for t := 0; t < n; t++ {
+		c := all.Costs[0][t]
+		switch {
+		case t == 0:
+			continue
+		case math.IsInf(c, 1):
+			fmt.Printf("  0 → %2d  unreachable\n", t)
+		default:
+			fmt.Printf("  0 → %2d  %.2f\n", t, c)
+		}
+	}
+}

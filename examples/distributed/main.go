@@ -1,0 +1,119 @@
+// Distributed: run the paper's Section III-B algorithm, where every
+// network node is an independent goroutine and routing state spreads by
+// message passing over the physical links only.
+//
+// The example routes across a 10×10 grid WAN and compares the measured
+// message and round counts against the O(km) / O(kn) bounds of
+// Theorem 3, then re-runs with per-link wavelength caps to show the
+// Theorem 5 regime where the totals depend on k0, not k.
+//
+// Run with:
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lightpath"
+)
+
+func main() {
+	const (
+		side = 10
+		n    = side * side
+	)
+
+	fmt.Println("distributed semilightpath routing on a 10×10 grid WAN")
+	fmt.Println()
+	fmt.Printf("%6s %6s %6s | %9s %9s %7s | %7s %8s\n",
+		"k", "k0", "m", "messages", "km-bound", "ratio", "rounds", "kn-bound")
+
+	for _, cfg := range []struct{ k, k0 int }{
+		{4, 0}, {8, 0}, {16, 0}, // Theorem 3: messages track km
+		{64, 4}, {256, 4}, // Theorem 5: k0 caps the work, k is irrelevant
+	} {
+		nw := buildGrid(side, cfg.k, cfg.k0)
+		res, err := lightpath.FindDistributed(nw, 0, n-1)
+		if err != nil {
+			log.Fatalf("k=%d: %v", cfg.k, err)
+		}
+		m := nw.NumLinks()
+		kmBound := cfg.k * m
+		if cfg.k0 > 0 {
+			kmBound = cfg.k0 * m // the Theorem 5 bound mk0
+		}
+		fmt.Printf("%6d %6d %6d | %9d %9d %7.3f | %7d %8d\n",
+			cfg.k, cfg.k0, m,
+			res.Stats.Messages, kmBound,
+			float64(res.Stats.Messages)/float64(kmBound),
+			res.Stats.Rounds, cfg.k*n)
+	}
+
+	// Show one routed path in detail.
+	nw := buildGrid(side, 8, 0)
+	res, err := lightpath.FindDistributed(nw, 0, n-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncorner-to-corner route (k=8): cost %.2f over %d hops, %d conversions\n",
+		res.Cost, res.Path.Len(), len(res.Path.Conversions(nw)))
+	fmt.Printf("path: %s\n", res.Path.String(nw))
+
+	// The distributed answer must match the centralized one.
+	cres, err := lightpath.Find(nw, 0, n-1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("centralized check: cost %.2f — %s\n", cres.Cost,
+		map[bool]string{true: "MATCH", false: "MISMATCH"}[abs(cres.Cost-res.Cost) < 1e-9])
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// buildGrid assembles a side×side grid with k wavelengths, optionally
+// capping the per-link availability at k0.
+func buildGrid(side, k, k0 int) *lightpath.Network {
+	rng := rand.New(rand.NewSource(int64(side*1000 + k*10 + k0)))
+	n := side * side
+	nw := lightpath.NewNetwork(n, k)
+	id := func(r, c int) int { return r*side + c }
+	addBoth := func(u, v int) {
+		for _, pair := range [][2]int{{u, v}, {v, u}} {
+			var chans []lightpath.Channel
+			for l := 0; l < k; l++ {
+				if rng.Float64() < 0.6 {
+					chans = append(chans, lightpath.Channel{Lambda: lightpath.Wavelength(l), Weight: 1 + rng.Float64()})
+				}
+				if k0 > 0 && len(chans) == k0 {
+					break
+				}
+			}
+			if len(chans) == 0 {
+				chans = append(chans, lightpath.Channel{Lambda: 0, Weight: 1.5})
+			}
+			if _, err := nw.AddLink(pair[0], pair[1], chans); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				addBoth(id(r, c), id(r, c+1))
+			}
+			if r+1 < side {
+				addBoth(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	nw.SetConverter(lightpath.UniformConversion{C: 0.4})
+	return nw
+}

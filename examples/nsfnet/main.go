@@ -1,0 +1,159 @@
+// NSFNET: wavelength routing on the 14-node NSFNET T1 backbone — the
+// classic wide-area WDM scenario the paper's introduction motivates.
+//
+// Only four hub offices host wavelength-converter banks; everywhere else
+// the signal must stay on its wavelength. The example routes a set of
+// coast-to-coast demands and shows when a pure lightpath suffices and
+// when the route must convert at a hub (a semilightpath).
+//
+// Run with:
+//
+//	go run ./examples/nsfnet
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lightpath"
+)
+
+// The NSFNET T1 fibers (undirected; installed in both directions).
+var fibers = [][2]int{
+	{0, 1}, {0, 2}, {0, 7}, {1, 2}, {1, 3}, {2, 5}, {3, 4}, {3, 10},
+	{4, 5}, {4, 6}, {5, 9}, {5, 12}, {6, 7}, {6, 13}, {7, 8}, {8, 9},
+	{8, 11}, {8, 13}, {10, 11}, {10, 13}, {11, 12},
+}
+
+var cities = []string{
+	"Seattle", "PaloAlto", "SanDiego", "SaltLake", "Boulder", "Houston",
+	"Lincoln", "Champaign", "Pittsburgh", "Atlanta", "AnnArbor", "Ithaca",
+	"CollegePk", "Princeton",
+}
+
+func main() {
+	const k = 5 // wavelengths per fiber pair; heavily loaded network
+	nw := lightpath.NewNetwork(len(cities), k)
+	rng := rand.New(rand.NewSource(14))
+
+	// Each direction of each fiber gets a random subset of the k
+	// wavelengths (most are occupied by existing traffic) with
+	// distance-flavoured weights.
+	addDirected := func(u, v int) {
+		var chans []lightpath.Channel
+		for l := 0; l < k; l++ {
+			if rng.Float64() < 0.3 {
+				chans = append(chans, lightpath.Channel{
+					Lambda: lightpath.Wavelength(l),
+					Weight: 1 + rng.Float64(), // normalized fiber cost
+				})
+			}
+		}
+		if len(chans) == 0 {
+			chans = append(chans, lightpath.Channel{Lambda: lightpath.Wavelength(rng.Intn(k)), Weight: 1.5})
+		}
+		if _, err := nw.AddLink(u, v, chans); err != nil {
+			log.Fatalf("link %s->%s: %v", cities[u], cities[v], err)
+		}
+	}
+	for _, f := range fibers {
+		addDirected(f[0], f[1])
+		addDirected(f[1], f[0])
+	}
+
+	// Converter banks only at four hubs; conversion is cheap relative to
+	// fiber traversal but not free.
+	hubs := map[int]lightpath.Converter{
+		3:  lightpath.UniformConversion{C: 0.25},                  // Salt Lake
+		5:  lightpath.UniformConversion{C: 0.25},                  // Houston
+		7:  lightpath.UniformConversion{C: 0.25},                  // Champaign
+		8:  lightpath.UniformConversion{C: 0.25},                  // Pittsburgh
+		10: lightpath.DistanceConversion{Radius: 2, PerStep: 0.2}, // Ann Arbor: limited range
+	}
+	nw.SetConverter(lightpath.PerNodeConversion{Nodes: hubs, Default: lightpath.NoConversion{}})
+
+	router, err := lightpath.NewRouter(nw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NSFNET with %d wavelengths, converter banks at 5 of 14 offices\n", k)
+	fmt.Printf("auxiliary graph: %s\n\n", router.Stats())
+
+	demands := [][2]int{
+		{0, 13}, // Seattle → Princeton
+		{2, 11}, // San Diego → Ithaca
+		{5, 0},  // Houston → Seattle
+		{9, 1},  // Atlanta → Palo Alto
+		{12, 2}, // College Park → San Diego
+	}
+	for _, d := range demands {
+		res, err := router.Route(d[0], d[1], nil)
+		if errors.Is(err, lightpath.ErrNoRoute) {
+			fmt.Printf("%-10s → %-10s BLOCKED (no wavelength continuity and no converter on any route)\n",
+				cities[d[0]], cities[d[1]])
+			continue
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "lightpath    "
+		if !res.Path.IsLightpath() {
+			kind = "semilightpath"
+		}
+		fmt.Printf("%-10s → %-10s %s cost %.2f, %d hops",
+			cities[d[0]], cities[d[1]], kind, res.Cost, res.Path.Len())
+		for _, c := range res.Conversions(nw) {
+			fmt.Printf(", retune λ%d→λ%d at %s", c.From+1, c.To+1, cities[c.Node])
+		}
+		fmt.Println()
+	}
+
+	// How much do the converter banks buy us? Compare against the same
+	// network with no conversion anywhere (pure lightpath routing).
+	noConv := cloneWithoutConversion(nw)
+	blockedWith, blockedWithout := countBlocked(router, nw), 0
+	noRouter, err := lightpath.NewRouter(noConv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blockedWithout = countBlocked(noRouter, noConv)
+	fmt.Printf("\nblocked demands across all %d ordered pairs: %d with hubs, %d without conversion\n",
+		nw.NumNodes()*(nw.NumNodes()-1), blockedWith, blockedWithout)
+}
+
+func cloneWithoutConversion(nw *lightpath.Network) *lightpath.Network {
+	data, err := lightpath.MarshalNetwork(clearConv(nw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := lightpath.UnmarshalNetwork(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+// clearConv swaps the converter for NoConversion without copying links.
+func clearConv(nw *lightpath.Network) *lightpath.Network {
+	nw2 := *nw
+	nw2.SetConverter(lightpath.NoConversion{})
+	return &nw2
+}
+
+func countBlocked(router *lightpath.Router, nw *lightpath.Network) int {
+	all, err := router.AllPairs(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blocked := 0
+	for s := range all.Costs {
+		for t, c := range all.Costs[s] {
+			if s != t && c > 1e17 {
+				blocked++
+			}
+		}
+	}
+	return blocked
+}

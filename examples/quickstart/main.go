@@ -1,0 +1,74 @@
+// Quickstart: build a tiny WDM network, find an optimal semilightpath,
+// and inspect the wavelength assignment and conversion switch settings.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightpath"
+)
+
+func main() {
+	// A 5-node network with 3 wavelengths. Think of nodes as cities and
+	// links as directed fiber strands; each strand lists which
+	// wavelengths are free and what using them costs.
+	nw := lightpath.NewNetwork(5, 3)
+
+	type fiber struct {
+		from, to int
+		channels []lightpath.Channel
+	}
+	fibers := []fiber{
+		{0, 1, []lightpath.Channel{{Lambda: 0, Weight: 1.0}, {Lambda: 1, Weight: 1.2}}},
+		{1, 2, []lightpath.Channel{{Lambda: 1, Weight: 0.8}}},
+		{2, 4, []lightpath.Channel{{Lambda: 1, Weight: 1.1}, {Lambda: 2, Weight: 0.9}}},
+		{0, 3, []lightpath.Channel{{Lambda: 2, Weight: 2.0}}},
+		{3, 4, []lightpath.Channel{{Lambda: 2, Weight: 2.0}}},
+	}
+	for _, f := range fibers {
+		if _, err := nw.AddLink(f.from, f.to, f.channels); err != nil {
+			log.Fatalf("add link %d->%d: %v", f.from, f.to, err)
+		}
+	}
+
+	// Every node can retune any wavelength to any other for 0.3.
+	nw.SetConverter(lightpath.UniformConversion{C: 0.3})
+
+	// One-shot query: the optimal semilightpath 0 → 4.
+	res, err := lightpath.Find(nw, 0, 4, nil)
+	if err != nil {
+		log.Fatalf("route: %v", err)
+	}
+	fmt.Printf("optimal 0→4 costs %.2f\n", res.Cost)
+	fmt.Printf("path: %s\n", res.Path.String(nw))
+	if res.Path.IsLightpath() {
+		fmt.Println("the path is a pure lightpath — no conversion needed")
+	}
+	for _, c := range res.Conversions(nw) {
+		fmt.Printf("converter at node %d retunes λ%d → λ%d (cost %.2f)\n",
+			c.Node, c.From+1, c.To+1, c.Cost)
+	}
+
+	// Compiled router for repeated queries on the same network.
+	router, err := lightpath.NewRouter(nw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := router.RouteFrom(0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noptimal costs from node 0:")
+	for t := 0; t < nw.NumNodes(); t++ {
+		if !tree.Reachable(t) {
+			fmt.Printf("  0 → %d: unreachable\n", t)
+			continue
+		}
+		fmt.Printf("  0 → %d: %.2f\n", t, tree.Dist(t))
+	}
+}

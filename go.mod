@@ -1,0 +1,3 @@
+module lightpath
+
+go 1.22

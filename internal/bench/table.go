@@ -1,0 +1,191 @@
+// Package bench is the experiment harness: it regenerates every
+// evaluation artifact of the reproduced paper (the worked example of
+// Figs. 1–4, the Fig. 5/6 revisit scenario, the Sec. III-C comparison,
+// the Theorem 3/4/5 complexity claims, and the Observation size bounds)
+// as printed tables with measured numbers. The cmd/wdmbench binary and
+// the repository-root benchmarks drive it; EXPERIMENTS.md records the
+// outputs next to the paper's claims.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a simple fixed-column result table.
+type Table struct {
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v != v:
+		return "NaN"
+	case v >= 1e18:
+		return "inf"
+	case v == float64(int64(v)) && v < 1e9 && v > -1e9:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// FprintCSV renders the table as RFC-4180 CSV with a leading comment
+// line naming the table, for machine consumption of experiment outputs.
+func (t *Table) FprintCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Format selects a table rendering.
+type Format int
+
+// Supported output formats.
+const (
+	FormatText Format = iota + 1
+	FormatCSV
+)
+
+// Render writes the table in the requested format.
+func (t *Table) Render(w io.Writer, f Format) error {
+	switch f {
+	case 0, FormatText:
+		t.Fprint(w)
+		return nil
+	case FormatCSV:
+		return t.FprintCSV(w)
+	default:
+		return fmt.Errorf("bench: unknown format %d", int(f))
+	}
+}
+
+// FormatCarrier is an io.Writer that also names the table format it
+// wants. Experiments render through it when present, so a caller can
+// switch the whole suite to CSV by wrapping its writer (see CSVWriter).
+type FormatCarrier interface {
+	io.Writer
+	TableFormat() Format
+}
+
+type formatWriter struct {
+	io.Writer
+	format Format
+}
+
+func (fw formatWriter) TableFormat() Format { return fw.format }
+
+// CSVWriter wraps w so every experiment table renders as CSV.
+func CSVWriter(w io.Writer) io.Writer { return formatWriter{Writer: w, format: FormatCSV} }
+
+// render is what experiments call: it honours a FormatCarrier wrapper
+// and falls back to aligned text.
+func (t *Table) render(w io.Writer) {
+	if fc, ok := w.(FormatCarrier); ok {
+		// CSV write errors surface through the underlying writer's own
+		// error behaviour; rendering falls back to text on format error.
+		if err := t.Render(fc, fc.TableFormat()); err == nil {
+			return
+		}
+	}
+	t.Fprint(w)
+}
+
+// medianDuration runs fn reps times and returns the median wall time.
+// The first (warm-up) run is discarded.
+func medianDuration(reps int, fn func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	fn() // warm-up
+	times := make([]time.Duration, reps)
+	for i := range times {
+		start := time.Now()
+		fn()
+		times[i] = time.Since(start)
+	}
+	// insertion sort; reps is tiny
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	return times[len(times)/2]
+}

@@ -1,0 +1,130 @@
+// Package cli holds the flag plumbing shared by the cmd/ binaries:
+// loading a network from a JSON instance file or generating one from a
+// named topology plus workload parameters.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"lightpath/internal/topo"
+	"lightpath/internal/wdm"
+	"lightpath/internal/workload"
+)
+
+// NetFlags collects the instance-selection flags common to the binaries.
+type NetFlags struct {
+	NetFile string
+	Topo    string
+	N       int
+	K       int
+	K0      int
+	Avail   float64
+	Conv    string
+	ConvC   float64
+	Radius  int
+	Seed    int64
+}
+
+// Register installs the flags on fs.
+func (f *NetFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.NetFile, "net", "", "path to a network JSON file (overrides generator flags)")
+	fs.StringVar(&f.Topo, "topo", "nsfnet",
+		"topology: ring|line|grid|torus|hypercube|shufflenet|sparse|waxman|complete|nsfnet|arpanet|paper (grid/torus use -n as side length; hypercube/shufflenet use -n as dimension/stages)")
+	fs.IntVar(&f.N, "n", 14, "node count for synthetic topologies")
+	fs.IntVar(&f.K, "k", 8, "number of wavelengths |Λ|")
+	fs.IntVar(&f.K0, "k0", 0, "max wavelengths per link (0 = unbounded)")
+	fs.Float64Var(&f.Avail, "avail", 0.6, "per-wavelength availability probability")
+	fs.StringVar(&f.Conv, "conv", "uniform", "conversion: uniform|distance|none|sparse")
+	fs.Float64Var(&f.ConvC, "conv-cost", 0.5, "conversion cost parameter")
+	fs.IntVar(&f.Radius, "conv-radius", 2, "conversion radius (distance converter)")
+	fs.Int64Var(&f.Seed, "seed", 1, "random seed for instance generation")
+}
+
+// Build resolves the flags into a network.
+func (f *NetFlags) Build() (*wdm.Network, error) {
+	if f.NetFile != "" {
+		data, err := os.ReadFile(f.NetFile)
+		if err != nil {
+			return nil, fmt.Errorf("read instance: %w", err)
+		}
+		return wdm.UnmarshalNetwork(data)
+	}
+	if f.Topo == "paper" {
+		return topo.PaperExample(topo.DefaultPaperExampleSpec())
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	t, err := f.topology(rng)
+	if err != nil {
+		return nil, err
+	}
+	spec := workload.Spec{
+		K:         f.K,
+		K0:        f.K0,
+		AvailProb: f.Avail,
+		ConvCost:  f.ConvC,
+	}
+	switch strings.ToLower(f.Conv) {
+	case "uniform":
+		spec.Conv = workload.ConvUniform
+	case "distance":
+		spec.Conv = workload.ConvDistance
+		spec.ConvRadius = f.Radius
+	case "none":
+		spec.Conv = workload.ConvNone
+	case "sparse":
+		spec.Conv = workload.ConvSparseTable
+		spec.ConvProb = 0.6
+	default:
+		return nil, fmt.Errorf("unknown conversion kind %q", f.Conv)
+	}
+	return workload.Build(t, spec, rng)
+}
+
+func (f *NetFlags) topology(rng *rand.Rand) (*topo.Topology, error) {
+	switch strings.ToLower(f.Topo) {
+	case "ring":
+		return topo.Ring(f.N), nil
+	case "line":
+		return topo.Line(f.N), nil
+	case "grid":
+		return topo.Grid(f.N, f.N), nil
+	case "torus":
+		return topo.Torus(f.N, f.N), nil
+	case "shufflenet":
+		if f.N < 1 || f.N > 6 {
+			return nil, fmt.Errorf("shufflenet stages -n must be in [1,6], got %d", f.N)
+		}
+		return topo.ShuffleNet(2, f.N), nil
+	case "hypercube":
+		// -n is the dimension here; 2^n nodes.
+		if f.N < 1 || f.N > 20 {
+			return nil, fmt.Errorf("hypercube dimension -n must be in [1,20], got %d", f.N)
+		}
+		return topo.Hypercube(f.N), nil
+	case "sparse":
+		return topo.RandomSparse(f.N, 4, 6, rng), nil
+	case "waxman":
+		return topo.Waxman(f.N, 0.4, 0.15, rng), nil
+	case "complete":
+		return topo.Complete(f.N), nil
+	case "nsfnet":
+		return topo.NSFNET(), nil
+	case "arpanet":
+		return topo.ARPANET(), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", f.Topo)
+	}
+}
+
+// ParseEndpoints validates a pair of -from/-to node flags against the
+// network size.
+func ParseEndpoints(nw *wdm.Network, from, to int) error {
+	if from < 0 || from >= nw.NumNodes() || to < 0 || to >= nw.NumNodes() {
+		return fmt.Errorf("endpoints %d→%d out of range [0,%d)", from, to, nw.NumNodes())
+	}
+	return nil
+}

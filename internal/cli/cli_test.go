@@ -1,0 +1,172 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func parse(t *testing.T, args ...string) *NetFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var nf NetFlags
+	nf.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return &nf
+}
+
+func TestBuildDefaults(t *testing.T) {
+	nf := parse(t)
+	nw, err := nf.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Defaults: NSFNET with k=8.
+	if nw.NumNodes() != 14 || nw.NumLinks() != 42 || nw.K() != 8 {
+		t.Fatalf("shape: n=%d m=%d k=%d", nw.NumNodes(), nw.NumLinks(), nw.K())
+	}
+}
+
+func TestBuildTopologies(t *testing.T) {
+	cases := map[string]int{ // topo name -> expected node count (with -n 9)
+		"ring":     9,
+		"line":     9,
+		"grid":     81,
+		"sparse":   9,
+		"waxman":   9,
+		"complete": 9,
+		"nsfnet":   14,
+		"arpanet":  20,
+		"paper":    7,
+	}
+	for name, wantN := range cases {
+		nf := parse(t, "-topo", name, "-n", "9", "-k", "4")
+		nw, err := nf.Build()
+		if err != nil {
+			t.Fatalf("topo %s: %v", name, err)
+		}
+		if nw.NumNodes() != wantN {
+			t.Fatalf("topo %s: n = %d, want %d", name, nw.NumNodes(), wantN)
+		}
+	}
+}
+
+func TestBuildConvKinds(t *testing.T) {
+	for _, conv := range []string{"uniform", "distance", "none", "sparse"} {
+		nf := parse(t, "-topo", "ring", "-n", "5", "-k", "3", "-conv", conv)
+		nw, err := nf.Build()
+		if err != nil {
+			t.Fatalf("conv %s: %v", conv, err)
+		}
+		if nw.Converter() == nil {
+			t.Fatalf("conv %s: nil converter", conv)
+		}
+	}
+	nf := parse(t, "-conv", "warp")
+	if _, err := nf.Build(); err == nil {
+		t.Fatal("unknown conversion must fail")
+	}
+	nf = parse(t, "-topo", "warp")
+	if _, err := nf.Build(); err == nil {
+		t.Fatal("unknown topology must fail")
+	}
+}
+
+func TestBuildK0(t *testing.T) {
+	nf := parse(t, "-topo", "sparse", "-n", "30", "-k", "10", "-k0", "2", "-avail", "0.9")
+	nw, err := nf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.MaxChannelsPerLink(); got > 2 {
+		t.Fatalf("k0 = %d, want ≤ 2", got)
+	}
+}
+
+func TestBuildFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "net.json")
+	doc := `{"nodes":3,"k":2,"links":[{"id":0,"from":0,"to":2,"channels":[{"lambda":1,"weight":4}]}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nf := parse(t, "-net", path)
+	nw, err := nf.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if nw.NumNodes() != 3 || nw.NumLinks() != 1 {
+		t.Fatalf("loaded wrong network: n=%d m=%d", nw.NumNodes(), nw.NumLinks())
+	}
+	nf = parse(t, "-net", filepath.Join(t.TempDir(), "missing.json"))
+	if _, err := nf.Build(); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestBuildDeterministicPerSeed(t *testing.T) {
+	a, err := parse(t, "-topo", "sparse", "-n", "20", "-seed", "5").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parse(t, "-topo", "sparse", "-n", "20", "-seed", "5").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalChannels() != b.TotalChannels() || a.NumLinks() != b.NumLinks() {
+		t.Fatal("same seed must reproduce the instance")
+	}
+}
+
+func TestParseEndpoints(t *testing.T) {
+	nw, err := parse(t, "-topo", "ring", "-n", "4", "-k", "2").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ParseEndpoints(nw, 0, 3); err != nil {
+		t.Fatalf("valid endpoints: %v", err)
+	}
+	if err := ParseEndpoints(nw, -1, 0); err == nil {
+		t.Fatal("negative endpoint must fail")
+	}
+	if err := ParseEndpoints(nw, 0, 4); err == nil {
+		t.Fatal("out-of-range endpoint must fail")
+	}
+}
+
+func TestBuildTorusAndHypercube(t *testing.T) {
+	nw, err := parse(t, "-topo", "torus", "-n", "4", "-k", "2").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumNodes() != 16 {
+		t.Fatalf("torus n = %d, want 16", nw.NumNodes())
+	}
+	nw, err = parse(t, "-topo", "hypercube", "-n", "3", "-k", "2").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumNodes() != 8 {
+		t.Fatalf("hypercube n = %d, want 8", nw.NumNodes())
+	}
+	if _, err := parse(t, "-topo", "hypercube", "-n", "25").Build(); err == nil {
+		t.Fatal("oversized hypercube must fail")
+	}
+}
+
+func TestBuildShuffleNet(t *testing.T) {
+	nw, err := parse(t, "-topo", "shufflenet", "-n", "2", "-k", "2").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumNodes() != 8 {
+		t.Fatalf("shufflenet n = %d, want 8", nw.NumNodes())
+	}
+	if _, err := parse(t, "-topo", "shufflenet", "-n", "9").Build(); err == nil {
+		t.Fatal("oversized shufflenet must fail")
+	}
+}

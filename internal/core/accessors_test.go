@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lightpath/internal/workload"
+)
+
+func TestSourceTreeAccessors(t *testing.T) {
+	nw := paperNet(t)
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := a.RouteFrom(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Source() != 0 {
+		t.Fatalf("Source = %d", st.Source())
+	}
+	if !st.Reachable(0) || st.Dist(0) != 0 {
+		t.Fatal("source must be reachable at distance 0")
+	}
+	if !st.Reachable(6) {
+		t.Fatal("paper node 7 reachable from node 1")
+	}
+	p, err := st.PathTo(6)
+	if err != nil {
+		t.Fatalf("PathTo: %v", err)
+	}
+	if err := p.Validate(nw, 0, 6); err != nil {
+		t.Fatalf("tree path invalid: %v", err)
+	}
+	if p2, err := st.PathTo(0); err != nil || p2.Len() != 0 {
+		t.Fatalf("PathTo(source) = %v, %v", p2, err)
+	}
+	if _, err := st.PathTo(99); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("PathTo(out of range): %v", err)
+	}
+	// Node 7 (our 6) has no outgoing links; from it nothing is reachable.
+	st6, err := a.RouteFrom(6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st6.Reachable(0) {
+		t.Fatal("node 0 should be unreachable from sink node")
+	}
+	if _, err := st6.PathTo(0); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("PathTo unreachable: %v", err)
+	}
+}
+
+func TestAuxAccessors(t *testing.T) {
+	nw := paperNet(t)
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Network() != nw {
+		t.Fatal("Network accessor broken")
+	}
+	if a.NumAuxArcs() != a.Stats().AuxArcs() {
+		t.Fatalf("NumAuxArcs %d != stats %d", a.NumAuxArcs(), a.Stats().AuxArcs())
+	}
+}
+
+func TestResultConversions(t *testing.T) {
+	nw, s, d, err := workload.RevisitInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FindSemilightpath(nw, s, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Conversions(nw); len(got) != 2 {
+		t.Fatalf("Conversions = %d, want 2", len(got))
+	}
+}
+
+func TestCheckObservationBoundsViolations(t *testing.T) {
+	// Hand-build stats violating each bound in turn and confirm the
+	// error message names the offended bound.
+	base := BuildStats{
+		Nodes: 10, Links: 20, K: 4, K0: 2, MaxDegree: 3,
+		AuxNodes: 10, GadgetArcs: 10, OrgArcs: 10, MultigraphArc: 10,
+	}
+	cases := []struct {
+		mutate func(*BuildStats)
+		want   string
+	}{
+		{func(s *BuildStats) { s.AuxNodes = 10_000 }, "2kn"},
+		{func(s *BuildStats) { s.GadgetArcs = 10_000 }, "k²n+km"},
+		{func(s *BuildStats) { s.K0 = 0; s.AuxNodes = 1 }, "2mk0"},
+		{func(s *BuildStats) { s.OrgArcs = 11 }, "must be equal"},
+		{func(s *BuildStats) { s.MultigraphArc = 1000; s.OrgArcs = 1000 }, "km"},
+	}
+	for i, tc := range cases {
+		st := base
+		tc.mutate(&st)
+		err := st.CheckObservationBounds()
+		if err == nil {
+			t.Fatalf("case %d: expected violation", i)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("case %d: error %q missing %q", i, err, tc.want)
+		}
+	}
+	if err := base.CheckObservationBounds(); err != nil {
+		t.Fatalf("base stats should satisfy bounds: %v", err)
+	}
+}

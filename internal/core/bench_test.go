@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lightpath/internal/topo"
+	"lightpath/internal/wdm"
+	"lightpath/internal/workload"
+)
+
+func benchNetwork(b *testing.B, n, k int) *wdm.Network {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(n*100 + k)))
+	tp := topo.RandomSparse(n, 4, 5, rng)
+	nw, err := workload.Build(tp, workload.RestrictedSpec(k), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw
+}
+
+func BenchmarkNewAux(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		nw := benchNetwork(b, n, 8)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewAux(nw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRouteReusedAux(b *testing.B) {
+	nw := benchNetwork(b, 1000, 8)
+	aux, err := NewAux(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := aux.Route(0, 500, nil); err != nil && !errors.Is(err, ErrNoRoute) {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKShortest(b *testing.B) {
+	nw := benchNetwork(b, 200, 6)
+	aux, err := NewAux(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{2, 5, 10} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := aux.KShortest(0, 100, k, nil); err != nil && !errors.Is(err, ErrNoRoute) {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRouteProtected(b *testing.B) {
+	nw := benchNetwork(b, 300, 6)
+	aux, err := NewAux(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := aux.RouteProtected(0, 150, nil)
+		if err != nil && !errors.Is(err, ErrNoRoute) && !errors.Is(err, ErrNoBackup) {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllPairsParallel(b *testing.B) {
+	nw := benchNetwork(b, 100, 4)
+	aux, err := NewAux(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := aux.AllPairsParallel(nil, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRouteBounded(b *testing.B) {
+	nw := benchNetwork(b, 300, 6)
+	aux, err := NewAux(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bound := range []int{4, 16} {
+		b.Run(fmt.Sprintf("maxHops=%d", bound), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := aux.RouteBounded(0, 150, bound, nil); err != nil && !errors.Is(err, ErrNoRoute) {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

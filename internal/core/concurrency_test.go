@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"lightpath/internal/topo"
+	"lightpath/internal/workload"
+)
+
+// TestConcurrentRoutes hammers one shared Aux from many goroutines; run
+// with -race this verifies the immutability claim on the compiled graph.
+func TestConcurrentRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	tp := topo.RandomSparse(40, 4, 5, rng)
+	nw, err := workload.Build(tp, workload.RestrictedSpec(4), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference answers computed serially.
+	type query struct{ s, d int }
+	queries := make([]query, 24)
+	want := make([]float64, len(queries))
+	qrng := rand.New(rand.NewSource(7))
+	for i := range queries {
+		queries[i] = query{s: qrng.Intn(tp.N), d: qrng.Intn(tp.N)}
+		res, err := a.Route(queries[i].s, queries[i].d, nil)
+		if err != nil {
+			want[i] = -1
+		} else {
+			want[i] = res.Cost
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8*len(queries))
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, q := range queries {
+				res, err := a.Route(q.s, q.d, nil)
+				switch {
+				case err != nil && want[i] != -1:
+					errCh <- err
+				case err == nil && want[i] == -1:
+					errCh <- errMismatch(q.s, q.d, res.Cost, -1)
+				case err == nil && math.Abs(res.Cost-want[i]) > 1e-9:
+					errCh <- errMismatch(q.s, q.d, res.Cost, want[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct {
+	s, d      int
+	got, want float64
+}
+
+func (e *mismatchError) Error() string {
+	return "concurrent route mismatch"
+}
+
+func errMismatch(s, d int, got, want float64) error {
+	return &mismatchError{s: s, d: d, got: got, want: want}
+}
+
+// TestAllPairsParallelMatchesSerial: the parallel all-pairs equals the
+// serial one for every worker count.
+func TestAllPairsParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	tp := topo.Grid(4, 5)
+	nw, err := workload.Build(tp, workload.RestrictedSpec(3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := a.AllPairs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 100} {
+		par, err := a.AllPairsParallel(nil, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for s := range serial.Costs {
+			for d := range serial.Costs[s] {
+				x, y := serial.Costs[s][d], par.Costs[s][d]
+				if math.IsInf(x, 1) != math.IsInf(y, 1) || (!math.IsInf(x, 1) && math.Abs(x-y) > 1e-9) {
+					t.Fatalf("workers=%d (%d,%d): %v != %v", workers, s, d, y, x)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentMixedOperations interleaves Route, RouteFrom and
+// KShortest concurrently (race check for the full read-only surface).
+func TestConcurrentMixedOperations(t *testing.T) {
+	nw, err := topo.PaperExample(topo.DefaultPaperExampleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch g % 3 {
+				case 0:
+					_, _ = a.Route(0, 6, nil)
+				case 1:
+					_, _ = a.RouteFrom(i%7, nil)
+				case 2:
+					_, _ = a.KShortest(0, 6, 3, nil)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

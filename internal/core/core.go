@@ -1,0 +1,249 @@
+// Package core implements the paper's contribution: optimal
+// lightpath/semilightpath routing by reduction to single-source shortest
+// paths on a layered auxiliary graph (Liang & Shen, Sec. III).
+//
+// The construction pipeline is:
+//
+//	G           the physical WDM network (package wdm)
+//	G_M         directed multigraph: one arc per (link, λ∈Λ(e)) pair
+//	G_v         per-node bipartite conversion gadget Λ_in(G_M,v) → Λ_out(G_M,v)
+//	G'          union of the gadgets plus E_org (the G_M arcs re-targeted
+//	            at gadget nodes)
+//	G_{s,t}     G' plus super-source s' and super-sink t''
+//
+// A shortest s'→t” path in G_{s,t} maps one-to-one onto an optimal
+// semilightpath of G, including its per-link wavelength assignment and
+// conversion switch settings (Theorem 1).
+//
+// Aux is the reusable compiled form of G'; Route answers (s,t) queries on
+// it, and AllPairs realizes Corollary 1 via the G_all construction.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lightpath/internal/graph"
+	"lightpath/internal/wdm"
+)
+
+// Errors returned by the solver.
+var (
+	// ErrNoRoute is returned when no semilightpath exists from s to t.
+	ErrNoRoute = errors.New("core: no semilightpath exists")
+	// ErrNodeRange is returned for out-of-range endpoints.
+	ErrNodeRange = errors.New("core: node out of range")
+	// ErrNilNetwork is returned when the network is nil.
+	ErrNilNetwork = errors.New("core: nil network")
+)
+
+// Arc tags on the auxiliary graph. Non-negative tags are physical link
+// IDs (E_org arcs); negative tags mark intra-gadget and super arcs.
+const (
+	tagConversion int32 = -1 // gadget arc: wavelength conversion at a node
+	tagSuper      int32 = -2 // super-source/sink arc, weight 0
+)
+
+// Side distinguishes the two shores of a conversion gadget.
+type Side uint8
+
+// Gadget shores: X holds incoming wavelengths, Y outgoing ones.
+const (
+	SideX Side = iota + 1 // x ∈ X_v ↔ λ ∈ Λ_in(G_M, v)
+	SideY                 // y ∈ Y_v ↔ λ ∈ Λ_out(G_M, v)
+)
+
+// AuxNode describes one node of G': the gadget shore entry (Node, Lambda,
+// Side). Exposed for tests and the distributed embedding.
+type AuxNode struct {
+	Node   int32
+	Lambda wdm.Wavelength
+	Side   Side
+}
+
+// Aux is the compiled auxiliary graph G' of a network, plus the index
+// structures needed to answer routing queries and map shortest paths back
+// to semilightpaths. Build it once with NewAux; the compiled graph is
+// immutable, so any number of Route/RouteFrom/KShortest queries may run
+// concurrently on one Aux.
+type Aux struct {
+	nw *wdm.Network
+
+	g *graph.Digraph // G' plus one reserved super node (superSrc)
+
+	// Node indexing: gadget nodes are 0..numAux-1, then superSrc.
+	info     []AuxNode // aux ID -> identity
+	xStart   []int32   // per network node: first X_v aux ID
+	xLambdas [][]wdm.Wavelength
+	yStart   []int32 // per network node: first Y_v aux ID
+	yLambdas [][]wdm.Wavelength
+
+	stats BuildStats
+}
+
+// NewAux compiles G' for the given network. Cost: O(k²n + km) time and
+// space (Observation 3); with per-link wavelength counts bounded by k0,
+// O(d²nk0² + mk0) (Observation 5).
+func NewAux(nw *wdm.Network) (*Aux, error) {
+	if nw == nil {
+		return nil, ErrNilNetwork
+	}
+	n := nw.NumNodes()
+	a := &Aux{
+		nw:       nw,
+		xStart:   make([]int32, n),
+		xLambdas: make([][]wdm.Wavelength, n),
+		yStart:   make([]int32, n),
+		yLambdas: make([][]wdm.Wavelength, n),
+	}
+
+	// Pass 1: gadget shores. Λ_in(G_M,v)/Λ_out(G_M,v) equal the unions of
+	// the channel sets on incident links (the multigraph adds no new
+	// wavelengths, it only splits links into parallel arcs).
+	total := 0
+	for v := 0; v < n; v++ {
+		a.xLambdas[v] = nw.LambdaIn(v)
+		a.yLambdas[v] = nw.LambdaOut(v)
+		a.xStart[v] = int32(total)
+		total += len(a.xLambdas[v])
+		a.yStart[v] = int32(total)
+		total += len(a.yLambdas[v])
+	}
+	a.info = make([]AuxNode, total)
+	for v := 0; v < n; v++ {
+		for i, l := range a.xLambdas[v] {
+			a.info[int(a.xStart[v])+i] = AuxNode{Node: int32(v), Lambda: l, Side: SideX}
+		}
+		for i, l := range a.yLambdas[v] {
+			a.info[int(a.yStart[v])+i] = AuxNode{Node: int32(v), Lambda: l, Side: SideY}
+		}
+	}
+	a.g = graph.New(total)
+
+	// Pass 2: gadget arcs E_v (conversion edges, Observation 1/4 sizes).
+	conv := nw.Converter()
+	gadgetArcs := 0
+	for v := 0; v < n; v++ {
+		for xi, p := range a.xLambdas[v] {
+			x := int(a.xStart[v]) + xi
+			for yi, q := range a.yLambdas[v] {
+				y := int(a.yStart[v]) + yi
+				var c float64
+				switch {
+				case p == q:
+					c = 0
+				case conv == nil:
+					continue
+				default:
+					c = conv.Cost(v, p, q)
+				}
+				if err := a.g.AddArc(x, y, c, tagConversion); err != nil {
+					return nil, fmt.Errorf("core: gadget arc at node %d: %w", v, err)
+				}
+			}
+		}
+	}
+	gadgetArcs = a.g.NumArcs()
+
+	// Pass 3: E_org — one arc per (link, channel), Y_u(λ) → X_v(λ) with
+	// weight w(e,λ). Wavelength positions are found by binary search in
+	// the sorted shore lists.
+	for _, l := range nw.Links() {
+		for _, ch := range l.Channels {
+			yID, ok := a.yIndex(l.From, ch.Lambda)
+			if !ok {
+				return nil, fmt.Errorf("core: internal: λ%d missing from Y_%d", ch.Lambda, l.From)
+			}
+			xID, ok := a.xIndex(l.To, ch.Lambda)
+			if !ok {
+				return nil, fmt.Errorf("core: internal: λ%d missing from X_%d", ch.Lambda, l.To)
+			}
+			if err := a.g.AddArc(yID, xID, ch.Weight, int32(l.ID)); err != nil {
+				return nil, fmt.Errorf("core: E_org arc for link %d: %w", l.ID, err)
+			}
+		}
+	}
+
+	a.stats = BuildStats{
+		Nodes:         nw.NumNodes(),
+		Links:         nw.NumLinks(),
+		K:             nw.K(),
+		K0:            nw.MaxChannelsPerLink(),
+		MaxDegree:     nw.MaxDegree(),
+		AuxNodes:      total,
+		GadgetArcs:    gadgetArcs,
+		OrgArcs:       a.g.NumArcs() - gadgetArcs,
+		MultigraphArc: nw.TotalChannels(),
+	}
+	return a, nil
+}
+
+// Network returns the network this auxiliary graph was compiled from.
+func (a *Aux) Network() *wdm.Network { return a.nw }
+
+// Stats reports the measured construction sizes (Observations 1–5).
+func (a *Aux) Stats() BuildStats { return a.stats }
+
+// NumAuxNodes reports |V'|.
+func (a *Aux) NumAuxNodes() int { return len(a.info) }
+
+// NumAuxArcs reports |E'|.
+func (a *Aux) NumAuxArcs() int { return a.g.NumArcs() }
+
+// NodeInfo returns the identity of auxiliary node id.
+func (a *Aux) NodeInfo(id int) AuxNode { return a.info[id] }
+
+// XShore returns the wavelengths of X_v in ascending order (Λ_in(G_M,v)).
+func (a *Aux) XShore(v int) []wdm.Wavelength { return a.xLambdas[v] }
+
+// YShore returns the wavelengths of Y_v in ascending order (Λ_out(G_M,v)).
+func (a *Aux) YShore(v int) []wdm.Wavelength { return a.yLambdas[v] }
+
+// GadgetArcs returns the conversion arcs of gadget G_v as (from,to)
+// wavelength pairs with costs, for inspection and the paper-example tests.
+func (a *Aux) GadgetArcs(v int) []wdm.Conversion {
+	var out []wdm.Conversion
+	for xi := range a.xLambdas[v] {
+		x := int(a.xStart[v]) + xi
+		for _, arc := range a.g.Out(x) {
+			if arc.Tag != tagConversion {
+				continue
+			}
+			to := a.info[arc.To]
+			out = append(out, wdm.Conversion{
+				Node: v,
+				From: a.info[x].Lambda,
+				To:   to.Lambda,
+				Cost: arc.Weight,
+			})
+		}
+	}
+	return out
+}
+
+func (a *Aux) xIndex(v int, l wdm.Wavelength) (int, bool) {
+	i, ok := searchLambda(a.xLambdas[v], l)
+	return int(a.xStart[v]) + i, ok
+}
+
+func (a *Aux) yIndex(v int, l wdm.Wavelength) (int, bool) {
+	i, ok := searchLambda(a.yLambdas[v], l)
+	return int(a.yStart[v]) + i, ok
+}
+
+// searchLambda binary-searches the sorted shore list for l.
+func searchLambda(ls []wdm.Wavelength, l wdm.Wavelength) (int, bool) {
+	lo, hi := 0, len(ls)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ls[mid] < l {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ls) && ls[lo] == l {
+		return lo, true
+	}
+	return 0, false
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lightpath/internal/graph"
+	"lightpath/internal/wdm"
+)
+
+// This file implements K-shortest semilightpath enumeration — the
+// alternate-routing primitive of dynamic RWA systems (if the best path's
+// wavelengths are contended, try the second best, and so on). It runs
+// Yen's algorithm over the same auxiliary graph G_{s,t} the single-path
+// solver uses, so every candidate is simple in the auxiliary graph:
+// distinct candidates may still revisit *physical* nodes on different
+// wavelengths, exactly like the optimal path itself (Fig. 5 semantics).
+
+// KShortest returns up to count lowest-cost semilightpaths from s to t
+// in nondecreasing cost order. The first result equals Route's optimum.
+// Fewer than count paths are returned when the auxiliary graph admits
+// fewer simple paths.
+func (a *Aux) KShortest(s, t, count int, opts *Options) ([]*Result, error) {
+	if s < 0 || s >= a.nw.NumNodes() {
+		return nil, fmt.Errorf("%w: source %d", ErrNodeRange, s)
+	}
+	if t < 0 || t >= a.nw.NumNodes() {
+		return nil, fmt.Errorf("%w: dest %d", ErrNodeRange, t)
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("core: count must be positive, got %d", count)
+	}
+	if s == t {
+		return []*Result{{Path: &wdm.Semilightpath{}, Source: s, Dest: t}}, nil
+	}
+
+	// Materialize a private query graph with explicit super source and
+	// super sink so Yen's bookkeeping has single endpoints. (Unlike
+	// Route, Yen genuinely needs the terminals as nodes.)
+	qg := a.g.Clone()
+	src := qg.AddNode()
+	sink := qg.AddNode()
+	for yi := range a.yLambdas[s] {
+		if err := qg.AddArc(src, int(a.yStart[s])+yi, 0, tagSuper); err != nil {
+			return nil, err
+		}
+	}
+	for xi := range a.xLambdas[t] {
+		if err := qg.AddArc(int(a.xStart[t])+xi, sink, 0, tagSuper); err != nil {
+			return nil, err
+		}
+	}
+
+	y := &yenState{g: qg, src: src, sink: sink}
+	auxPaths, err := y.run(count)
+	if err != nil {
+		return nil, err
+	}
+	if len(auxPaths) == 0 {
+		return nil, fmt.Errorf("%w: from %d to %d", ErrNoRoute, s, t)
+	}
+
+	results := make([]*Result, 0, len(auxPaths))
+	for _, p := range auxPaths {
+		path := a.auxArcsToPath(qg, p.arcs)
+		results = append(results, &Result{
+			Path:   path,
+			Cost:   p.cost,
+			Source: s,
+			Dest:   t,
+		})
+	}
+	return results, nil
+}
+
+// auxArcsToPath converts a query-graph arc walk into a semilightpath.
+func (a *Aux) auxArcsToPath(qg *graph.Digraph, arcs []graph.HopRef) *wdm.Semilightpath {
+	path := &wdm.Semilightpath{}
+	for _, h := range arcs {
+		arc := qg.Out(h.From)[h.ArcIndex]
+		if arc.Tag < 0 {
+			continue
+		}
+		path.Hops = append(path.Hops, wdm.Hop{
+			Link:       int(arc.Tag),
+			Wavelength: a.info[h.From].Lambda,
+		})
+	}
+	return path
+}
+
+// auxPath is one enumerated path through the query graph.
+type auxPath struct {
+	arcs []graph.HopRef
+	cost float64
+}
+
+// yenState runs Yen's loopless K-shortest-paths algorithm with
+// ban-aware Dijkstra searches.
+type yenState struct {
+	g    *graph.Digraph
+	src  int
+	sink int
+}
+
+func (y *yenState) run(count int) ([]auxPath, error) {
+	first, err := y.shortest(y.src, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if first == nil {
+		return nil, nil
+	}
+	accepted := []auxPath{*first}
+	var candidates []auxPath
+
+	for len(accepted) < count {
+		prev := accepted[len(accepted)-1]
+		var rootArcs []graph.HopRef
+		rootCost := 0.0
+		// Spur from every node of the previous path except the sink.
+		for i := 0; i < len(prev.arcs); i++ {
+			// Ban nodes on the root (except the spur node) to keep
+			// candidates loopless.
+			banNodes := make(map[int]bool, i)
+			at := y.src
+			for j := 0; j < i; j++ {
+				banNodes[at] = true
+				at = int(y.g.Out(prev.arcs[j].From)[prev.arcs[j].ArcIndex].To)
+			}
+			spurStart := at
+
+			// Ban the next arc of every accepted path sharing this root,
+			// so the spur search must deviate here.
+			banArcs := make(map[[2]int]bool)
+			for _, acc := range accepted {
+				if len(acc.arcs) > i && sameRoot(acc.arcs, prev.arcs, i) {
+					banArcs[[2]int{acc.arcs[i].From, acc.arcs[i].ArcIndex}] = true
+				}
+			}
+
+			spur, err := y.shortest(spurStart, banArcs, banNodes)
+			if err != nil {
+				return nil, err
+			}
+			if spur != nil {
+				cand := auxPath{
+					arcs: append(append([]graph.HopRef{}, rootArcs...), spur.arcs...),
+					cost: rootCost + spur.cost,
+				}
+				if !containsPath(candidates, cand) && !containsPath(accepted, cand) {
+					candidates = append(candidates, cand)
+				}
+			}
+
+			h := prev.arcs[i]
+			arc := y.g.Out(h.From)[h.ArcIndex]
+			rootArcs = append(rootArcs, h)
+			rootCost += arc.Weight
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i].cost < candidates[j].cost })
+		accepted = append(accepted, candidates[0])
+		candidates = candidates[1:]
+	}
+	return accepted, nil
+}
+
+func sameRoot(a, b []graph.HopRef, i int) bool {
+	if len(a) < i || len(b) < i {
+		return false
+	}
+	for j := 0; j < i; j++ {
+		if a[j] != b[j] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(list []auxPath, p auxPath) bool {
+	for _, q := range list {
+		if len(q.arcs) != len(p.arcs) {
+			continue
+		}
+		same := true
+		for i := range q.arcs {
+			if q.arcs[i] != p.arcs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// shortest runs a ban-aware Dijkstra from start to the sink. Returns nil
+// (no error) when the sink is unreachable under the bans.
+func (y *yenState) shortest(start int, banArcs map[[2]int]bool, banNodes map[int]bool) (*auxPath, error) {
+	n := y.g.NumNodes()
+	dist := make([]float64, n)
+	parent := make([]graph.HopRef, n)
+	settled := make([]bool, n)
+	for i := range dist {
+		dist[i] = graph.Inf
+		parent[i] = graph.HopRef{From: -1}
+	}
+	dist[start] = 0
+
+	// A small local binary heap keyed by dist; reuses the indexed heap
+	// from the shared substrate via PushOrDecrease semantics.
+	h := newLocalHeap(n)
+	h.push(start, 0)
+	for !h.empty() {
+		u, du := h.pop()
+		if settled[u] {
+			continue
+		}
+		settled[u] = true
+		if u == y.sink {
+			break
+		}
+		for i, arc := range y.g.Out(u) {
+			v := int(arc.To)
+			if settled[v] || banNodes[v] || banArcs[[2]int{u, i}] {
+				continue
+			}
+			if nd := du + arc.Weight; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = graph.HopRef{From: u, ArcIndex: i}
+				h.push(v, nd)
+			}
+		}
+	}
+	if dist[y.sink] == graph.Inf {
+		return nil, nil
+	}
+	var rev []graph.HopRef
+	for v := y.sink; v != start; {
+		p := parent[v]
+		if p.From < 0 {
+			return nil, fmt.Errorf("core: broken yen parent chain at %d", v)
+		}
+		rev = append(rev, p)
+		v = p.From
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return &auxPath{arcs: rev, cost: dist[y.sink]}, nil
+}
+
+// localHeap is a lazy-deletion binary heap of (node, key) pairs.
+type localHeap struct {
+	nodes []int
+	keys  []float64
+}
+
+func newLocalHeap(capacity int) *localHeap {
+	return &localHeap{
+		nodes: make([]int, 0, capacity),
+		keys:  make([]float64, 0, capacity),
+	}
+}
+
+func (h *localHeap) empty() bool { return len(h.nodes) == 0 }
+
+func (h *localHeap) push(node int, key float64) {
+	h.nodes = append(h.nodes, node)
+	h.keys = append(h.keys, key)
+	i := len(h.nodes) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.keys[p] <= h.keys[i] {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *localHeap) pop() (int, float64) {
+	node, key := h.nodes[0], h.keys[0]
+	last := len(h.nodes) - 1
+	h.swap(0, last)
+	h.nodes = h.nodes[:last]
+	h.keys = h.keys[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.keys[l] < h.keys[small] {
+			small = l
+		}
+		if r < last && h.keys[r] < h.keys[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.swap(i, small)
+		i = small
+	}
+	return node, key
+}
+
+func (h *localHeap) swap(i, j int) {
+	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lightpath/internal/topo"
+	"lightpath/internal/wdm"
+	"lightpath/internal/workload"
+)
+
+func TestKShortestArgs(t *testing.T) {
+	nw := paperNet(t)
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.KShortest(-1, 0, 1, nil); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("bad source: %v", err)
+	}
+	if _, err := a.KShortest(0, 99, 1, nil); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("bad dest: %v", err)
+	}
+	if _, err := a.KShortest(0, 1, 0, nil); err == nil {
+		t.Fatal("zero count must fail")
+	}
+	if _, err := a.KShortest(6, 0, 3, nil); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("unreachable: %v", err)
+	}
+	res, err := a.KShortest(2, 2, 3, nil)
+	if err != nil || len(res) != 1 || res[0].Cost != 0 {
+		t.Fatalf("s==t: %+v %v", res, err)
+	}
+}
+
+// TestKShortestParallelChannels: one link with three wavelengths has
+// exactly three semilightpaths.
+func TestKShortestParallelChannels(t *testing.T) {
+	nw := wdm.NewNetwork(2, 3)
+	if _, err := nw.AddLink(0, 1, []wdm.Channel{
+		{Lambda: 0, Weight: 1},
+		{Lambda: 1, Weight: 2},
+		{Lambda: 2, Weight: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := a.KShortest(0, 1, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if paths[i].Cost != want {
+			t.Fatalf("path %d cost = %v, want %v", i, paths[i].Cost, want)
+		}
+		if err := paths[i].Path.Validate(nw, 0, 1); err != nil {
+			t.Fatalf("path %d invalid: %v", i, err)
+		}
+	}
+}
+
+// TestKShortestChainEnumeration: a 2-hop chain with 2 wavelengths per
+// link has exactly 4 semilightpaths with known costs.
+func TestKShortestChainEnumeration(t *testing.T) {
+	nw := wdm.NewNetwork(3, 2)
+	for _, uv := range [][2]int{{0, 1}, {1, 2}} {
+		if _, err := nw.AddLink(uv[0], uv[1], []wdm.Channel{
+			{Lambda: 0, Weight: 1},
+			{Lambda: 1, Weight: 2},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.SetConverter(wdm.UniformConversion{C: 0.1})
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := a.KShortest(0, 2, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3.1, 3.1, 4}
+	if len(paths) != len(want) {
+		t.Fatalf("got %d paths, want %d", len(paths), len(want))
+	}
+	for i, w := range want {
+		if math.Abs(paths[i].Cost-w) > 1e-9 {
+			t.Fatalf("path %d cost = %v, want %v", i, paths[i].Cost, w)
+		}
+	}
+	// All four must be pairwise distinct hop sequences.
+	for i := 0; i < len(paths); i++ {
+		for j := i + 1; j < len(paths); j++ {
+			if samePath(paths[i].Path, paths[j].Path) {
+				t.Fatalf("paths %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func samePath(a, b *wdm.Semilightpath) bool {
+	if len(a.Hops) != len(b.Hops) {
+		return false
+	}
+	for i := range a.Hops {
+		if a.Hops[i] != b.Hops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKShortestFirstIsOptimal: the first result always matches Route.
+func TestKShortestFirstIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		tp := topo.RandomSparse(6+rng.Intn(10), 3, 5, rng)
+		nw, err := workload.Build(tp, workload.RestrictedSpec(3), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := NewAux(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, d := rng.Intn(tp.N), rng.Intn(tp.N)
+		if s == d {
+			continue
+		}
+		route, rerr := a.Route(s, d, nil)
+		paths, kerr := a.KShortest(s, d, 4, nil)
+		if (rerr == nil) != (kerr == nil) {
+			t.Fatalf("trial %d: reachability disagrees: %v vs %v", trial, rerr, kerr)
+		}
+		if rerr != nil {
+			continue
+		}
+		if math.Abs(paths[0].Cost-route.Cost) > 1e-9 {
+			t.Fatalf("trial %d: K=1 cost %v != Route cost %v", trial, paths[0].Cost, route.Cost)
+		}
+		// Nondecreasing costs, all valid.
+		for i, p := range paths {
+			if i > 0 && p.Cost < paths[i-1].Cost-1e-9 {
+				t.Fatalf("trial %d: costs not sorted: %v then %v", trial, paths[i-1].Cost, p.Cost)
+			}
+			if err := p.Path.Validate(nw, s, d); err != nil {
+				t.Fatalf("trial %d: path %d invalid: %v", trial, i, err)
+			}
+			if got := p.Path.Cost(nw); math.Abs(got-p.Cost) > 1e-9 {
+				t.Fatalf("trial %d: path %d reported %v, recomputed %v", trial, i, p.Cost, got)
+			}
+		}
+	}
+}
+
+// TestKShortestDoesNotDisturbRouting: running KShortest must not corrupt
+// the shared Aux for subsequent Route calls.
+func TestKShortestDoesNotDisturbRouting(t *testing.T) {
+	nw := paperNet(t)
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := a.Route(0, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.KShortest(0, 6, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	after, err := a.Route(0, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Cost != after.Cost {
+		t.Fatalf("Route changed after KShortest: %v vs %v", before.Cost, after.Cost)
+	}
+}

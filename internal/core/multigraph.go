@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+
+	"lightpath/internal/graph"
+	"lightpath/internal/wdm"
+)
+
+// Multigraph materializes G_M = (V_M, E_M, w): the directed multigraph on
+// the physical node set with one parallel arc per (link, λ∈Λ(e)) pair,
+// each weighted w(e,λ) (Sec. III-A, Fig. 2).
+//
+// The routing pipeline does not need G_M as a standalone object — the
+// link channel sets already encode it — but the construction is part of
+// the paper's exposition and the example tests verify it (|E_M| =
+// Σ|Λ(e)|, per-node degree sums, the Λ_in/Λ_out sets of Fig. 2).
+//
+// Arc tags encode the originating (link, wavelength) pair as
+// link*k + λ so tests can invert them with DecodeMultigraphTag.
+func Multigraph(nw *wdm.Network) (*graph.Digraph, error) {
+	if nw == nil {
+		return nil, ErrNilNetwork
+	}
+	g := graph.New(nw.NumNodes())
+	k := nw.K()
+	for _, l := range nw.Links() {
+		for _, ch := range l.Channels {
+			tag := int32(l.ID*k + int(ch.Lambda))
+			if err := g.AddArc(l.From, l.To, ch.Weight, tag); err != nil {
+				return nil, fmt.Errorf("core: multigraph arc for link %d: %w", l.ID, err)
+			}
+		}
+	}
+	return g, nil
+}
+
+// DecodeMultigraphTag inverts the tag encoding of Multigraph.
+func DecodeMultigraphTag(tag int32, k int) (link int, lambda wdm.Wavelength) {
+	return int(tag) / k, wdm.Wavelength(int(tag) % k)
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lightpath/internal/topo"
+	"lightpath/internal/wdm"
+	"lightpath/internal/workload"
+)
+
+func TestRouteProtectedOnRing(t *testing.T) {
+	// A ring always has exactly two link-disjoint routes between any
+	// pair: clockwise and counterclockwise.
+	rng := rand.New(rand.NewSource(1))
+	tp := topo.Ring(8)
+	nw, err := workload.Build(tp, workload.RestrictedSpec(3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := a.RouteProtected(0, 4, nil)
+	if err != nil {
+		t.Fatalf("RouteProtected: %v", err)
+	}
+	if err := pair.Primary.Path.Validate(nw, 0, 4); err != nil {
+		t.Fatalf("primary invalid: %v", err)
+	}
+	if err := pair.Backup.Path.Validate(nw, 0, 4); err != nil {
+		t.Fatalf("backup invalid: %v", err)
+	}
+	if !LinkDisjoint(pair.Primary.Path, pair.Backup.Path) {
+		t.Fatal("paths share a link")
+	}
+	if pair.Primary.Cost > pair.Backup.Cost {
+		t.Fatalf("primary (%v) should be the cheaper of the pair (backup %v)",
+			pair.Primary.Cost, pair.Backup.Cost)
+	}
+	if pair.TotalCost() != pair.Primary.Cost+pair.Backup.Cost {
+		t.Fatal("TotalCost arithmetic wrong")
+	}
+}
+
+func TestRouteProtectedNoBackupOnLine(t *testing.T) {
+	// A line has a single route: the backup must fail with ErrNoBackup.
+	rng := rand.New(rand.NewSource(2))
+	tp := topo.Line(5)
+	nw, err := workload.Build(tp, workload.RestrictedSpec(2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RouteProtected(0, 4, nil); !errors.Is(err, ErrNoBackup) {
+		t.Fatalf("line backup: %v, want ErrNoBackup", err)
+	}
+}
+
+func TestRouteProtectedTrivial(t *testing.T) {
+	nw := paperNet(t)
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := a.RouteProtected(3, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.TotalCost() != 0 {
+		t.Fatalf("trivial pair cost = %v", pair.TotalCost())
+	}
+	if _, err := a.RouteProtected(6, 0, nil); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("unreachable primary: %v", err)
+	}
+}
+
+func TestRouteProtectedRandomDisjointness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		tp := topo.RandomSparse(10+rng.Intn(15), 4, 6, rng)
+		nw, err := workload.Build(tp, workload.RestrictedSpec(4), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := NewAux(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, d := rng.Intn(tp.N), rng.Intn(tp.N)
+		pair, err := a.RouteProtected(s, d, nil)
+		if err != nil {
+			continue // no pair exists; fine
+		}
+		if s == d {
+			continue
+		}
+		if !LinkDisjoint(pair.Primary.Path, pair.Backup.Path) {
+			t.Fatalf("trial %d: pair not disjoint", trial)
+		}
+		// Backup hop list must be valid against the ORIGINAL network.
+		if err := pair.Backup.Path.Validate(nw, s, d); err != nil {
+			t.Fatalf("trial %d: backup invalid on original network: %v", trial, err)
+		}
+	}
+}
+
+func TestLinkDisjoint(t *testing.T) {
+	a := &wdm.Semilightpath{Hops: []wdm.Hop{{Link: 1}, {Link: 2}}}
+	b := &wdm.Semilightpath{Hops: []wdm.Hop{{Link: 3}, {Link: 4}}}
+	c := &wdm.Semilightpath{Hops: []wdm.Hop{{Link: 2}, {Link: 5}}}
+	if !LinkDisjoint(a, b) {
+		t.Fatal("a,b are disjoint")
+	}
+	if LinkDisjoint(a, c) {
+		t.Fatal("a,c share link 2")
+	}
+}
+
+// trapNet is the classical trap topology: the optimal primary uses links
+// that every disjoint pair needs, so plain two-step protection fails even
+// though a link-disjoint pair exists.
+func trapNet(t *testing.T) *wdm.Network {
+	t.Helper()
+	nw := wdm.NewNetwork(4, 1)
+	const (
+		s = 0
+		u = 1
+		v = 2
+		d = 3
+	)
+	links := []struct {
+		from, to int
+		w        float64
+	}{
+		{s, u, 1}, {u, v, 1}, {v, d, 1}, // the cheap chain (the trap)
+		{s, v, 10}, {u, d, 10}, // the expensive detours
+	}
+	for _, l := range links {
+		if _, err := nw.AddLink(l.from, l.to, []wdm.Channel{{Lambda: 0, Weight: l.w}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+func TestRouteProtectedTrapTopology(t *testing.T) {
+	nw := trapNet(t)
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain two-step falls into the trap.
+	if _, err := a.RouteProtected(0, 3, nil); !errors.Is(err, ErrNoBackup) {
+		t.Fatalf("plain two-step should trap: %v", err)
+	}
+	// The anti-trap retry escapes it.
+	pair, err := a.RouteProtected(0, 3, &ProtectOptions{PrimaryCandidates: 3})
+	if err != nil {
+		t.Fatalf("anti-trap retry: %v", err)
+	}
+	if !LinkDisjoint(pair.Primary.Path, pair.Backup.Path) {
+		t.Fatal("pair not disjoint")
+	}
+	if pair.TotalCost() != 22 {
+		t.Fatalf("total = %v, want 22 (11 + 11)", pair.TotalCost())
+	}
+}
+
+func TestRouteProtectedNodeDisjoint(t *testing.T) {
+	// Diamond 0→{1,2}→3: the only node-disjoint pair routes one path via
+	// node 1 and the other via node 2.
+	nw := wdm.NewNetwork(4, 1)
+	for _, l := range [][3]float64{
+		{0, 1, 1}, {1, 3, 1}, // via node 1
+		{0, 2, 5}, {2, 3, 5}, // via node 2
+	} {
+		if _, err := nw.AddLink(int(l[0]), int(l[1]), []wdm.Channel{{Lambda: 0, Weight: l[2]}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := a.RouteProtected(0, 3, &ProtectOptions{NodeDisjoint: true})
+	if err != nil {
+		t.Fatalf("node-disjoint: %v", err)
+	}
+	pn := pair.Primary.Path.Nodes(nw)
+	bn := pair.Backup.Path.Nodes(nw)
+	seen := map[int]bool{}
+	for _, v := range pn[1 : len(pn)-1] {
+		seen[v] = true
+	}
+	for _, v := range bn[1 : len(bn)-1] {
+		if seen[v] {
+			t.Fatalf("backup shares intermediate node %d", v)
+		}
+	}
+}
+
+func TestProtectOptionsDefaults(t *testing.T) {
+	var o *ProtectOptions
+	if o.candidates() != 1 || o.nodeDisjoint() || o.route() != nil {
+		t.Fatal("nil options defaults wrong")
+	}
+	o2 := &ProtectOptions{PrimaryCandidates: 0}
+	if o2.candidates() != 1 {
+		t.Fatal("candidate floor should be 1")
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"lightpath/internal/graph"
+	"lightpath/internal/wdm"
+)
+
+// Options configures a routing query.
+type Options struct {
+	// Queue selects the priority structure for Dijkstra. The zero value
+	// means graph.QueueFibonacci, the structure Theorem 1's bound cites.
+	Queue graph.QueueKind
+}
+
+func (o *Options) queue() graph.QueueKind {
+	if o == nil || o.Queue == 0 {
+		return graph.QueueFibonacci
+	}
+	return o.Queue
+}
+
+// SearchStats reports work counters of one shortest-path query.
+type SearchStats struct {
+	AuxNodes int // |V'_{s,t}| (gadget nodes + super terminals)
+	AuxArcs  int // |E'_{s,t}|
+	Settled  int // Dijkstra pops
+	Relaxed  int // arc relaxations
+}
+
+// Result is an optimal semilightpath together with its cost and the
+// per-query statistics. Cost is exactly Path.Cost(network).
+type Result struct {
+	Path   *wdm.Semilightpath
+	Cost   float64
+	Source int
+	Dest   int
+	Stats  SearchStats
+}
+
+// Conversions is shorthand for Result.Path.Conversions on the originating
+// network.
+func (r *Result) Conversions(nw *wdm.Network) []wdm.Conversion {
+	return r.Path.Conversions(nw)
+}
+
+// Route finds an optimal semilightpath from s to t (Theorem 1).
+//
+// Both super terminals of G_{s,t} stay virtual: the super source s′ is
+// realized by running multi-seed Dijkstra with every node of Y_s at
+// distance 0, and the super sink t″ by taking the best distance over
+// X_t. Both are equivalent to (and cheaper than) materializing the
+// terminals, and they leave the compiled graph untouched — concurrent
+// Route calls on one Aux are safe.
+func (a *Aux) Route(s, t int, opts *Options) (*Result, error) {
+	if s < 0 || s >= a.nw.NumNodes() {
+		return nil, fmt.Errorf("%w: source %d", ErrNodeRange, s)
+	}
+	if t < 0 || t >= a.nw.NumNodes() {
+		return nil, fmt.Errorf("%w: dest %d", ErrNodeRange, t)
+	}
+	if s == t {
+		// The trivial semilightpath: no links, no conversions, cost 0.
+		return &Result{Path: &wdm.Semilightpath{}, Source: s, Dest: t}, nil
+	}
+
+	seeds := a.sourceSeeds(s)
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("%w: from %d to %d (no outgoing channels at source)", ErrNoRoute, s, t)
+	}
+	// Early termination: stop once every X_t shore node is settled (the
+	// virtual super sink's in-neighbours). Unreachable shore nodes keep
+	// the search running to exhaustion, which is the correct worst case.
+	goals := make([]int, len(a.xLambdas[t]))
+	for xi := range a.xLambdas[t] {
+		goals[xi] = int(a.xStart[t]) + xi
+	}
+	tree, err := graph.DijkstraSeedsUntil(a.g, seeds, goals, opts.queue())
+	if err != nil {
+		return nil, fmt.Errorf("core: dijkstra: %w", err)
+	}
+
+	// Virtual super sink: min over X_t.
+	bestDist := graph.Inf
+	bestNode := -1
+	for xi := range a.xLambdas[t] {
+		x := int(a.xStart[t]) + xi
+		if tree.Dist[x] < bestDist {
+			bestDist = tree.Dist[x]
+			bestNode = x
+		}
+	}
+	stats := SearchStats{
+		AuxNodes: a.NumAuxNodes() + 2,
+		AuxArcs:  a.g.NumArcs() + len(a.xLambdas[t]),
+		Settled:  tree.Settled,
+		Relaxed:  tree.Relaxed,
+	}
+	if bestNode < 0 {
+		return nil, fmt.Errorf("%w: from %d to %d", ErrNoRoute, s, t)
+	}
+
+	path, err := a.extractPath(tree, bestNode)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Path: path, Cost: bestDist, Source: s, Dest: t, Stats: stats}, nil
+}
+
+// sourceSeeds lists the Y_s shore node IDs — the targets the virtual
+// super source s′ would reach with weight-0 arcs.
+func (a *Aux) sourceSeeds(s int) []int {
+	seeds := make([]int, len(a.yLambdas[s]))
+	for yi := range a.yLambdas[s] {
+		seeds[yi] = int(a.yStart[s]) + yi
+	}
+	return seeds
+}
+
+// extractPath maps the shortest Y_s→(t,λ) path in the auxiliary graph
+// back to a semilightpath of G: arcs with non-negative tags are physical
+// hops whose wavelength is the shore wavelength of their tail.
+func (a *Aux) extractPath(tree *graph.ShortestPathTree, goal int) (*wdm.Semilightpath, error) {
+	hops, err := tree.ArcsTo(goal)
+	if err != nil {
+		return nil, fmt.Errorf("core: reconstruct path: %w", err)
+	}
+	path := &wdm.Semilightpath{Hops: make([]wdm.Hop, 0, len(hops)/2+1)}
+	for _, h := range hops {
+		arc := a.g.Out(h.From)[h.ArcIndex]
+		if arc.Tag < 0 {
+			continue // conversion or super arc: implied by hop wavelengths
+		}
+		path.Hops = append(path.Hops, wdm.Hop{
+			Link:       int(arc.Tag),
+			Wavelength: a.info[h.From].Lambda,
+		})
+	}
+	return path, nil
+}
+
+// FindSemilightpath is the one-shot convenience API: compile the
+// auxiliary graph for nw and answer a single (s,t) query. For repeated
+// queries on one network, build an Aux once and call Route.
+func FindSemilightpath(nw *wdm.Network, s, t int, opts *Options) (*Result, error) {
+	a, err := NewAux(nw)
+	if err != nil {
+		return nil, err
+	}
+	return a.Route(s, t, opts)
+}

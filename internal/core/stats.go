@@ -1,0 +1,78 @@
+package core
+
+import "fmt"
+
+// BuildStats reports the measured sizes of an auxiliary-graph
+// construction next to the bounds the paper proves for them
+// (Observations 1–5). The benchmark suite prints these to reproduce E8.
+type BuildStats struct {
+	// Network parameters.
+	Nodes     int // n
+	Links     int // m
+	K         int // k = |Λ|
+	K0        int // max_e |Λ(e)|
+	MaxDegree int // d
+
+	// Measured construction sizes.
+	AuxNodes      int // |V'| = Σ_v (|X_v| + |Y_v|)
+	GadgetArcs    int // Σ_v |E_v|
+	OrgArcs       int // |E_org| = |E_M|
+	MultigraphArc int // |E_M| measured from the network directly
+}
+
+// AuxArcs reports |E'| = Σ|E_v| + |E_org|.
+func (s BuildStats) AuxArcs() int { return s.GadgetArcs + s.OrgArcs }
+
+// BoundAuxNodesGeneral is the Observation 2 bound |V'| ≤ 2kn.
+func (s BuildStats) BoundAuxNodesGeneral() int { return 2 * s.K * s.Nodes }
+
+// BoundAuxArcsGeneral is the Observation 2 bound |E'| ≤ k²n + km.
+func (s BuildStats) BoundAuxArcsGeneral() int {
+	return s.K*s.K*s.Nodes + s.K*s.Links
+}
+
+// BoundAuxNodesRestricted is the Observation 5 bound on |V'| in the
+// k0-restricted problem. The paper states |V'| ≤ Σ_e|Λ(e)| ≤ mk0, but the
+// literal inequality is off by a factor of two: each multigraph arc
+// contributes at most one node to the Y-shore of its tail AND one to the
+// X-shore of its head, so the tight bound is |V'| ≤ 2·Σ_e|Λ(e)| ≤ 2mk0.
+// (The paper's own Fig. 1 example witnesses the erratum: |V'| = 36 >
+// mk0 = 33, while 2mk0 = 66 holds.) Asymptotically — which is all
+// Theorem 4 needs — both read O(mk0).
+func (s BuildStats) BoundAuxNodesRestricted() int { return 2 * s.Links * s.K0 }
+
+// BoundAuxArcsRestricted is the Observation 5 bound |E'| ≤ d²nk0² + mk0.
+func (s BuildStats) BoundAuxArcsRestricted() int {
+	return s.MaxDegree*s.MaxDegree*s.Nodes*s.K0*s.K0 + s.Links*s.K0
+}
+
+// CheckObservationBounds verifies every measured size against its proven
+// bound, returning a descriptive error on the first violation. A nil
+// return is the empirical content of Observations 1, 2, 4 and 5.
+func (s BuildStats) CheckObservationBounds() error {
+	if s.AuxNodes > s.BoundAuxNodesGeneral() {
+		return fmt.Errorf("core: |V'| = %d exceeds 2kn = %d", s.AuxNodes, s.BoundAuxNodesGeneral())
+	}
+	if s.AuxArcs() > s.BoundAuxArcsGeneral() {
+		return fmt.Errorf("core: |E'| = %d exceeds k²n+km = %d", s.AuxArcs(), s.BoundAuxArcsGeneral())
+	}
+	if s.AuxNodes > s.BoundAuxNodesRestricted() {
+		return fmt.Errorf("core: |V'| = %d exceeds 2mk0 = %d", s.AuxNodes, s.BoundAuxNodesRestricted())
+	}
+	if s.AuxArcs() > s.BoundAuxArcsRestricted() {
+		return fmt.Errorf("core: |E'| = %d exceeds d²nk0²+mk0 = %d", s.AuxArcs(), s.BoundAuxArcsRestricted())
+	}
+	if s.OrgArcs != s.MultigraphArc {
+		return fmt.Errorf("core: |E_org| = %d but |E_M| = %d; they must be equal", s.OrgArcs, s.MultigraphArc)
+	}
+	if s.MultigraphArc > s.K*s.Links {
+		return fmt.Errorf("core: |E_M| = %d exceeds km = %d", s.MultigraphArc, s.K*s.Links)
+	}
+	return nil
+}
+
+// String renders the stats as a one-line summary for logs.
+func (s BuildStats) String() string {
+	return fmt.Sprintf("n=%d m=%d k=%d k0=%d d=%d |V'|=%d |E'|=%d (gadget=%d, org=%d)",
+		s.Nodes, s.Links, s.K, s.K0, s.MaxDegree, s.AuxNodes, s.AuxArcs(), s.GadgetArcs, s.OrgArcs)
+}

@@ -1,0 +1,107 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lightpath/internal/core"
+	"lightpath/internal/topo"
+	"lightpath/internal/workload"
+)
+
+func TestAllPairsPipelinedMatchesCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 5; trial++ {
+		tp := topo.RandomSparse(6+rng.Intn(8), 3, 5, rng)
+		nw, err := workload.Build(tp, workload.RestrictedSpec(3), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs, stats, err := AllPairsPipelined(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aux, err := core.NewAux(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := aux.AllPairs(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < tp.N; s++ {
+			for d := 0; d < tp.N; d++ {
+				a, b := costs[s][d], ref.Costs[s][d]
+				if math.IsInf(a, 1) != math.IsInf(b, 1) {
+					t.Fatalf("trial %d (%d,%d): reachability disagrees", trial, s, d)
+				}
+				if !math.IsInf(a, 1) && math.Abs(a-b) > 1e-9 {
+					t.Fatalf("trial %d (%d,%d): %v != %v", trial, s, d, a, b)
+				}
+			}
+		}
+		if stats.Messages <= 0 || stats.Rounds <= 0 {
+			t.Fatalf("stats empty: %+v", stats)
+		}
+	}
+}
+
+// TestPipelinedBeatsSequentialRounds: the pipelined execution's round
+// count is (much) smaller than the sequential composition's, while
+// message totals match — the point of Corollary 2's concurrency.
+func TestPipelinedBeatsSequentialRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	tp := topo.Ring(12)
+	nw, err := workload.Build(tp, workload.RestrictedSpec(3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, seqStats, err := AllPairs(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pipStats, err := AllPairsPipelined(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipStats.Messages != seqStats.Messages {
+		t.Fatalf("message totals differ: pipelined %d, sequential %d",
+			pipStats.Messages, seqStats.Messages)
+	}
+	if pipStats.Rounds >= seqStats.Rounds {
+		t.Fatalf("pipelined rounds %d should beat sequential %d",
+			pipStats.Rounds, seqStats.Rounds)
+	}
+	// With n concurrent sources, pipelined rounds ≈ one source's rounds.
+	if pipStats.Rounds > seqStats.Rounds/4 {
+		t.Fatalf("pipelined rounds %d not substantially below sequential %d",
+			pipStats.Rounds, seqStats.Rounds)
+	}
+}
+
+func TestAllPairsPipelinedNil(t *testing.T) {
+	if _, _, err := AllPairsPipelined(nil); !errors.Is(err, ErrNilNetwork) {
+		t.Fatalf("nil: %v", err)
+	}
+}
+
+func TestAllPairsPipelinedMessagesBound(t *testing.T) {
+	// Corollary 2: O(k²n²) messages. Check the constant is modest.
+	rng := rand.New(rand.NewSource(97))
+	tp := topo.RandomSparse(20, 3, 5, rng)
+	k := 3
+	nw, err := workload.Build(tp, workload.RestrictedSpec(k), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := AllPairsPipelined(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := nw.NumNodes()
+	if stats.Messages > 4*k*k*n*n {
+		t.Fatalf("messages %d exceed 4k²n² = %d", stats.Messages, 4*k*k*n*n)
+	}
+}

@@ -1,0 +1,401 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lightpath/internal/core"
+	"lightpath/internal/topo"
+	"lightpath/internal/wdm"
+	"lightpath/internal/workload"
+)
+
+func paperNet(t *testing.T) *wdm.Network {
+	t.Helper()
+	nw, err := topo.PaperExample(topo.DefaultPaperExampleSpec())
+	if err != nil {
+		t.Fatalf("PaperExample: %v", err)
+	}
+	return nw
+}
+
+func TestRouteErrors(t *testing.T) {
+	nw := paperNet(t)
+	if _, err := Route(nil, 0, 1); !errors.Is(err, ErrNilNetwork) {
+		t.Fatalf("nil network: %v", err)
+	}
+	if _, err := Route(nw, -1, 1); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("bad source: %v", err)
+	}
+	if _, err := Route(nw, 0, 9); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("bad dest: %v", err)
+	}
+	if _, err := Route(nw, 6, 0); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("unreachable: %v", err)
+	}
+	res, err := Route(nw, 3, 3)
+	if err != nil || res.Cost != 0 || res.Path.Len() != 0 {
+		t.Fatalf("trivial route: %+v %v", res, err)
+	}
+}
+
+func TestRouteOnPaperExample(t *testing.T) {
+	nw := paperNet(t)
+	res, err := Route(nw, 0, 6)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if err := res.Path.Validate(nw, 0, 6); err != nil {
+		t.Fatalf("invalid path: %v", err)
+	}
+	if got := res.Path.Cost(nw); math.Abs(got-res.Cost) > 1e-9 {
+		t.Fatalf("reported %v, recomputed %v", res.Cost, got)
+	}
+	cres, err := core.FindSemilightpath(nw, 0, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-cres.Cost) > 1e-9 {
+		t.Fatalf("distributed %v != centralized %v", res.Cost, cres.Cost)
+	}
+	if res.Stats.Messages <= 0 || res.Stats.Rounds <= 0 {
+		t.Fatalf("stats not populated: %+v", res.Stats)
+	}
+}
+
+// TestAgreesWithCentralized is the distributed cross-validation: on
+// random instances the distributed and centralized algorithms return
+// identical optimal costs and both paths validate.
+func TestAgreesWithCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 40; trial++ {
+		tp := topo.RandomSparse(5+rng.Intn(15), 3, 5, rng)
+		spec := workload.Spec{
+			K:         1 + rng.Intn(5),
+			AvailProb: 0.3 + 0.5*rng.Float64(),
+			Conv:      workload.ConvSparseTable,
+			ConvCost:  0.5,
+			ConvProb:  0.6,
+		}
+		nw, err := workload.Build(tp, spec, rng)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		aux, err := core.NewAux(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 3; q++ {
+			s, d := rng.Intn(tp.N), rng.Intn(tp.N)
+			dres, derr := Route(nw, s, d)
+			cres, cerr := aux.Route(s, d, nil)
+			if (derr == nil) != (cerr == nil) {
+				t.Fatalf("trial %d (%d->%d): reachability disagrees: dist=%v core=%v",
+					trial, s, d, derr, cerr)
+			}
+			if derr != nil {
+				continue
+			}
+			if math.Abs(dres.Cost-cres.Cost) > 1e-9 {
+				t.Fatalf("trial %d (%d->%d): dist %v != core %v", trial, s, d, dres.Cost, cres.Cost)
+			}
+			if s != d {
+				if err := dres.Path.Validate(nw, s, d); err != nil {
+					t.Fatalf("distributed path invalid: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem3Bounds (E5): measured message and round counts stay within
+// small constants of the paper's O(km) / O(kn) bounds.
+func TestTheorem3Bounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.Intn(40)
+		tp := topo.RandomSparse(n, 3, 5, rng)
+		k := 2 + rng.Intn(4)
+		nw, err := workload.Build(tp, workload.RestrictedSpec(k), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, d := rng.Intn(n), rng.Intn(n)
+		res, err := Route(nw, s, d)
+		if errors.Is(err, ErrNoRoute) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		km := k * nw.NumLinks()
+		kn := k * n
+		// The km/kn bounds hold up to a modest constant; we assert 4×.
+		if res.Stats.Messages > 4*km {
+			t.Fatalf("trial %d: messages %d exceed 4km = %d", trial, res.Stats.Messages, 4*km)
+		}
+		if res.Stats.Rounds > 4*kn {
+			t.Fatalf("trial %d: rounds %d exceed 4kn = %d", trial, res.Stats.Rounds, 4*kn)
+		}
+	}
+}
+
+// TestQuickDistMatchesCore property over seeds.
+func TestQuickDistMatchesCore(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tp := topo.Ring(3 + rng.Intn(8))
+		nw, err := workload.Build(tp, workload.RestrictedSpec(3), rng)
+		if err != nil {
+			return false
+		}
+		d, derr := Route(nw, 0, tp.N-1)
+		c, cerr := core.FindSemilightpath(nw, 0, tp.N-1, nil)
+		if (derr == nil) != (cerr == nil) {
+			return false
+		}
+		if derr != nil {
+			return true
+		}
+		return math.Abs(d.Cost-c.Cost) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicStats(t *testing.T) {
+	nw := paperNet(t)
+	first, err := Route(nw, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := Route(nw, 0, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats != first.Stats {
+			t.Fatalf("stats changed across runs: %+v vs %+v", res.Stats, first.Stats)
+		}
+		if res.Cost != first.Cost {
+			t.Fatalf("cost changed across runs")
+		}
+	}
+}
+
+func TestAllPairsAgainstCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	tp := topo.Grid(3, 3)
+	nw, err := workload.Build(tp, workload.RestrictedSpec(3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, stats, err := AllPairs(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux, err := core.NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := aux.AllPairs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < tp.N; s++ {
+		for d := 0; d < tp.N; d++ {
+			a, b := costs[s][d], ref.Costs[s][d]
+			if math.IsInf(a, 1) != math.IsInf(b, 1) {
+				t.Fatalf("(%d,%d): reachability disagrees", s, d)
+			}
+			if !math.IsInf(a, 1) && math.Abs(a-b) > 1e-9 {
+				t.Fatalf("(%d,%d): %v != %v", s, d, a, b)
+			}
+		}
+	}
+	if stats.Messages <= 0 {
+		t.Fatal("all-pairs stats empty")
+	}
+	if _, _, err := AllPairs(nil); !errors.Is(err, ErrNilNetwork) {
+		t.Fatalf("nil: %v", err)
+	}
+}
+
+func TestRuntimeValidation(t *testing.T) {
+	if _, err := NewRuntime[int](2, []Wire{{From: 0, To: 5}}, nil); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("bad wire: %v", err)
+	}
+}
+
+// flooder is a tiny Program used to test the runtime in isolation: node
+// 0 seeds a token that each node forwards once.
+type flooder struct {
+	visited []bool
+	outs    [][]int // wires per node
+}
+
+func (f *flooder) Init(node int, send Send[int]) {
+	if node != 0 {
+		return
+	}
+	f.visited[0] = true
+	for _, w := range f.outs[0] {
+		send(w, 1)
+	}
+}
+
+func (f *flooder) Step(node, round int, inbox []Delivery[int], send Send[int]) {
+	if len(inbox) == 0 || f.visited[node] {
+		return
+	}
+	f.visited[node] = true
+	for _, w := range f.outs[node] {
+		send(w, 1)
+	}
+}
+
+func TestRuntimeFlood(t *testing.T) {
+	// Ring of 5: 0→1→2→3→4→0.
+	const n = 5
+	wires := make([]Wire, n)
+	outs := make([][]int, n)
+	for i := 0; i < n; i++ {
+		wires[i] = Wire{From: i, To: (i + 1) % n}
+		outs[i] = []int{i}
+	}
+	f := &flooder{visited: make([]bool, n), outs: outs}
+	rt, err := NewRuntime[int](n, wires, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range f.visited {
+		if !v {
+			t.Fatalf("node %d never visited", i)
+		}
+	}
+	// Token travels the ring once: n messages, n rounds (last delivery to
+	// node 0 is consumed but not forwarded).
+	if stats.Messages != n {
+		t.Fatalf("messages = %d, want %d", stats.Messages, n)
+	}
+	if stats.Rounds != n {
+		t.Fatalf("rounds = %d, want %d", stats.Rounds, n)
+	}
+	if stats.MaxWireLoad != 1 || stats.MaxNodeInbox != 1 {
+		t.Fatalf("load stats: %+v", stats)
+	}
+}
+
+// babbler sends forever; the round cap must stop it.
+type babbler struct{}
+
+func (babbler) Init(node int, send Send[int]) { send(0, 1) }
+func (babbler) Step(node, round int, inbox []Delivery[int], send Send[int]) {
+	for range inbox {
+		send(0, 1)
+	}
+}
+
+func TestRuntimeRoundCap(t *testing.T) {
+	rt, err := NewRuntime[int](1, []Wire{{From: 0, To: 0}}, babbler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.MaxRounds = 10
+	if _, err := rt.Run(); !errors.Is(err, ErrNoQuiescence) {
+		t.Fatalf("round cap: %v", err)
+	}
+}
+
+// TestFig5RevisitDistributed: the distributed algorithm also finds the
+// node-revisiting optimum of the Fig. 5 instance.
+func TestFig5RevisitDistributed(t *testing.T) {
+	nw, s, d, err := workload.RevisitInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(nw, s, d)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if math.Abs(res.Cost-workload.RevisitOptimalCost) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", res.Cost, workload.RevisitOptimalCost)
+	}
+	if !res.Path.RevisitsNode(nw) {
+		t.Fatal("path should revisit node w")
+	}
+}
+
+// TestRuntimeNoGoroutineLeak: every Run must terminate all node
+// goroutines before returning.
+func TestRuntimeNoGoroutineLeak(t *testing.T) {
+	nw := paperNet(t)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		if _, err := Route(nw, 0, 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give any stragglers a beat to exit, then compare.
+	for wait := 0; wait < 100; wait++ {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestRouteWithTrace(t *testing.T) {
+	nw := paperNet(t)
+	res, trace, err := RouteWithTrace(nw, 0, 6)
+	if err != nil {
+		t.Fatalf("RouteWithTrace: %v", err)
+	}
+	plain, err := Route(nw, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-plain.Cost) > 1e-9 {
+		t.Fatalf("traced cost %v != plain %v", res.Cost, plain.Cost)
+	}
+	if trace.TotalMessages() != res.Stats.Messages {
+		t.Fatalf("trace messages %d != stats %d", trace.TotalMessages(), res.Stats.Messages)
+	}
+	if len(trace.Rounds) == 0 || trace.Rounds[0].Round != -1 {
+		t.Fatalf("trace should start with init phase: %+v", trace.Rounds)
+	}
+	var buf strings.Builder
+	trace.Fprint(&buf)
+	if !strings.Contains(buf.String(), "init") {
+		t.Fatalf("trace print missing init row:\n%s", buf.String())
+	}
+
+	// Error paths.
+	if _, _, err := RouteWithTrace(nil, 0, 1); !errors.Is(err, ErrNilNetwork) {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, _, err := RouteWithTrace(nw, -1, 1); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("bad source: %v", err)
+	}
+	if _, _, err := RouteWithTrace(nw, 0, 77); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("bad dest: %v", err)
+	}
+	if res, tr, err := RouteWithTrace(nw, 2, 2); err != nil || res.Cost != 0 || len(tr.Rounds) != 0 {
+		t.Fatalf("trivial: %+v %+v %v", res, tr, err)
+	}
+	if _, tr, err := RouteWithTrace(nw, 6, 0); !errors.Is(err, ErrNoRoute) || tr == nil {
+		t.Fatalf("no route: %v %v", tr, err)
+	}
+}

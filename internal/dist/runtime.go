@@ -1,0 +1,218 @@
+// Package dist implements the paper's Section III-B: distributed optimal
+// semilightpath routing on the control network.
+//
+// Two layers live here:
+//
+//   - Runtime — a synchronous message-passing simulator. Every physical
+//     node runs as its own goroutine; messages travel only over the
+//     physical directed links of the network, and a coordinator enforces
+//     round barriers (the synchronous model the paper's O(kn)-time /
+//     O(km)-message claims of Theorem 3 are stated in). The runtime
+//     counts exactly what the theorems bound: messages crossing physical
+//     links and rounds to quiescence. Computation inside a node — i.e.
+//     inside its gadget fragment of G_{s,t} — is local and free, matching
+//     "the communication costs on these links are negligible".
+//
+//   - The semilightpath program (sssp.go) — each node holds its own
+//     bipartite fragment G_v of the embedded auxiliary graph G_{s,t} and
+//     runs distributed Bellman–Ford relaxation over it, one message per
+//     improved (link, wavelength) label.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by the runtime.
+var (
+	// ErrNoQuiescence is returned when the round cap is hit before the
+	// computation converges.
+	ErrNoQuiescence = errors.New("dist: no quiescence within round budget")
+	// ErrNodeRange is returned for out-of-range endpoints.
+	ErrNodeRange = errors.New("dist: node out of range")
+	// ErrNilNetwork is returned for a nil network.
+	ErrNilNetwork = errors.New("dist: nil network")
+	// ErrNoRoute is returned when the destination is unreachable.
+	ErrNoRoute = errors.New("dist: no semilightpath exists")
+)
+
+// Wire identifies a directed physical channel the runtime can carry
+// messages over: From → To. Wires are the network's links; their IDs
+// must be dense 0..W-1.
+type Wire struct {
+	From, To int
+}
+
+// Delivery is a message as seen by its receiver: the wire it arrived on
+// plus the payload.
+type Delivery[M any] struct {
+	Wire int
+	Msg  M
+}
+
+// Send is handed to node programs for emitting messages. Sending on a
+// wire whose From is not the calling node panics — a program bug, not a
+// runtime condition.
+type Send[M any] func(wire int, msg M)
+
+// Program is the per-node behaviour. Implementations must be
+// self-contained per node; the runtime guarantees Init and Step are
+// never called concurrently for the same node.
+type Program[M any] interface {
+	// Init runs once before round 0 and may send seed messages.
+	Init(node int, send Send[M])
+	// Step runs once per round with the messages delivered this round
+	// (sent during the previous round), sorted by wire ID for
+	// determinism. It may send messages for delivery next round.
+	Step(node, round int, inbox []Delivery[M], send Send[M])
+}
+
+// Stats aggregates what the distributed complexity theorems talk about.
+type Stats struct {
+	Rounds       int // rounds until global quiescence (the "time" of Theorem 3)
+	Messages     int // total messages over physical wires (the "communication")
+	MaxWireLoad  int // max messages carried by any single wire
+	MaxNodeInbox int // max messages any node received in one round
+}
+
+// Runtime executes a Program over a set of nodes and wires in
+// synchronous rounds until quiescence (a round in which no messages are
+// in flight). One goroutine per node runs the program steps; the
+// coordinator routes messages and enforces the barrier.
+type Runtime[M any] struct {
+	numNodes int
+	wires    []Wire
+	prog     Program[M]
+	// MaxRounds caps execution; 0 defaults to 4·numNodes + 16, well above
+	// the O(n) rounds synchronous Bellman–Ford needs.
+	MaxRounds int
+	// Trace, when non-nil, accumulates per-round activity.
+	Trace *Trace
+}
+
+// NewRuntime validates the wire list and returns a runtime.
+func NewRuntime[M any](numNodes int, wires []Wire, prog Program[M]) (*Runtime[M], error) {
+	for i, w := range wires {
+		if w.From < 0 || w.From >= numNodes || w.To < 0 || w.To >= numNodes {
+			return nil, fmt.Errorf("%w: wire %d (%d->%d) with %d nodes", ErrNodeRange, i, w.From, w.To, numNodes)
+		}
+	}
+	return &Runtime[M]{numNodes: numNodes, wires: wires, prog: prog}, nil
+}
+
+// outMsg is a message captured from a node before routing.
+type outMsg[M any] struct {
+	wire int
+	msg  M
+}
+
+// task is one unit of work handed to a node goroutine: either the init
+// phase or a numbered round with its inbox.
+type task[M any] struct {
+	round int
+	inbox []Delivery[M]
+	init  bool
+}
+
+// Run executes rounds until quiescence and returns the stats.
+func (r *Runtime[M]) Run() (Stats, error) {
+	maxRounds := r.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 4*r.numNodes + 16
+	}
+
+	// Per-node worker goroutines. Each receives an inbox and returns an
+	// outbox; the coordinator owns all routing state, so node programs
+	// never share memory with each other.
+	taskCh := make([]chan task[M], r.numNodes)
+	doneCh := make([]chan []outMsg[M], r.numNodes)
+	var wg sync.WaitGroup
+	for v := 0; v < r.numNodes; v++ {
+		taskCh[v] = make(chan task[M], 1)
+		doneCh[v] = make(chan []outMsg[M], 1)
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			for tk := range taskCh[v] {
+				var out []outMsg[M]
+				send := func(wire int, msg M) {
+					if wire < 0 || wire >= len(r.wires) || r.wires[wire].From != v {
+						panic(fmt.Sprintf("dist: node %d sent on foreign wire %d", v, wire))
+					}
+					out = append(out, outMsg[M]{wire: wire, msg: msg})
+				}
+				if tk.init {
+					r.prog.Init(v, send)
+				} else {
+					r.prog.Step(v, tk.round, tk.inbox, send)
+				}
+				doneCh[v] <- out
+			}
+		}(v)
+	}
+	defer func() {
+		for v := 0; v < r.numNodes; v++ {
+			close(taskCh[v])
+		}
+		wg.Wait()
+	}()
+
+	var stats Stats
+	wireLoad := make([]int, len(r.wires))
+
+	// dispatch runs one barrier-synchronized phase across all nodes and
+	// routes the emitted messages into next-round inboxes.
+	dispatch := func(init bool, round int, inboxes map[int][]Delivery[M]) map[int][]Delivery[M] {
+		for v := 0; v < r.numNodes; v++ {
+			tk := task[M]{init: init, round: round}
+			if !init {
+				tk.inbox = inboxes[v]
+				if len(tk.inbox) > stats.MaxNodeInbox {
+					stats.MaxNodeInbox = len(tk.inbox)
+				}
+			}
+			taskCh[v] <- tk
+		}
+		next := make(map[int][]Delivery[M])
+		sent := 0
+		for v := 0; v < r.numNodes; v++ {
+			for _, om := range <-doneCh[v] {
+				dst := r.wires[om.wire].To
+				next[dst] = append(next[dst], Delivery[M]{Wire: om.wire, Msg: om.msg})
+				stats.Messages++
+				sent++
+				wireLoad[om.wire]++
+			}
+		}
+		// Sort inboxes by wire for deterministic Step behaviour.
+		for _, box := range next {
+			sort.Slice(box, func(i, j int) bool { return box[i].Wire < box[j].Wire })
+		}
+		if r.Trace != nil {
+			entry := RoundTrace{Round: round, Messages: sent, ActiveNodes: len(inboxes)}
+			if init {
+				entry.Round = -1
+			}
+			r.Trace.Rounds = append(r.Trace.Rounds, entry)
+		}
+		return next
+	}
+
+	inFlight := dispatch(true, 0, nil)
+	for round := 0; len(inFlight) > 0; round++ {
+		if round >= maxRounds {
+			return stats, fmt.Errorf("%w: %d rounds", ErrNoQuiescence, round)
+		}
+		stats.Rounds++
+		inFlight = dispatch(false, round, inFlight)
+	}
+	for _, l := range wireLoad {
+		if l > stats.MaxWireLoad {
+			stats.MaxWireLoad = l
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,364 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lightpath/internal/wdm"
+)
+
+// This file implements the distributed optimal-semilightpath algorithm of
+// Theorem 3 (and, with k0-bounded availability, Theorem 5).
+//
+// The embedding follows Sec. III-B exactly: every physical node v holds
+// the adjacency lists of its own gadget G_v of G_{s,t} — the shores
+// X_v = Λ_in(G_M,v) and Y_v = Λ_out(G_M,v) plus the conversion arcs
+// between them. The links of E_org are the physical fibers themselves:
+// one label-carrying message per (link, wavelength) realizes the
+// corresponding auxiliary arc. The super source s' lives inside node s
+// (0-weight arcs onto Y_s), the super sink t'' inside node t.
+//
+// Relaxation is synchronous distributed Bellman–Ford: a node that
+// improves any Y_v(λ) label announces dist+w(e,λ) on every outgoing link
+// carrying λ — but only when the announcement improves on what it last
+// sent, so each wire carries at most O(path-length-changes) messages.
+
+// label is a tentative distance with its parent pointer.
+type label struct {
+	dist float64
+	// parent of an X entry: the wire (physical link) the best message
+	// arrived on. parent of a Y entry: the index into X of the best
+	// conversion predecessor, or -1 when seeded by the super source.
+	parent int32
+	seeded bool // Y entries only: true when the 0-weight s' arc applies
+}
+
+// distMsg is the single message type: "over this wire, on wavelength
+// Lambda, the tail's best label plus the channel weight is Dist".
+type distMsg struct {
+	Lambda wdm.Wavelength
+	Dist   float64
+}
+
+// nodeState is the per-node program state: the node's fragment of
+// G_{s,t}.
+type nodeState struct {
+	xLam []wdm.Wavelength // X_v shore, ascending
+	yLam []wdm.Wavelength // Y_v shore, ascending
+	x    []label
+	y    []label
+	// conv[yi] lists (xi, cost) pairs: the gadget arcs into Y entry yi.
+	conv [][]convArc
+	// outs lists the node's outgoing physical links with channel info.
+	outs []outLink
+	// lastSent[wire][ci] is the best value already announced per
+	// outgoing channel, to suppress non-improving messages.
+	lastSent map[int][]float64
+	isSource bool
+}
+
+type convArc struct {
+	xi   int32
+	cost float64
+}
+
+type outLink struct {
+	wire     int
+	channels []wdm.Channel
+	// yIdx[ci] is the Y-shore index of channels[ci].Lambda.
+	yIdx []int32
+}
+
+// semiProgram is the Program implementation shared by all nodes.
+// All per-node state is partitioned by node ID, so concurrent Step calls
+// on different nodes never share memory.
+type semiProgram struct {
+	states []*nodeState
+}
+
+var _ Program[distMsg] = (*semiProgram)(nil)
+
+// Init seeds the super source: Y_s labels become 0 and are announced.
+func (p *semiProgram) Init(node int, send Send[distMsg]) {
+	st := p.states[node]
+	if !st.isSource {
+		return
+	}
+	for yi := range st.y {
+		st.y[yi] = label{dist: 0, parent: -1, seeded: true}
+	}
+	st.announce(send)
+}
+
+// Step consumes wavelength labels from upstream, relaxes the local
+// gadget, and announces improvements downstream.
+func (p *semiProgram) Step(node, round int, inbox []Delivery[distMsg], send Send[distMsg]) {
+	st := p.states[node]
+	changedX := false
+	for _, d := range inbox {
+		xi, ok := searchLam(st.xLam, d.Msg.Lambda)
+		if !ok {
+			continue // cannot happen with well-formed senders
+		}
+		if d.Msg.Dist < st.x[xi].dist {
+			st.x[xi] = label{dist: d.Msg.Dist, parent: int32(d.Wire)}
+			changedX = true
+		}
+	}
+	if !changedX {
+		return
+	}
+	// Local gadget relaxation: Y entries from X entries (one conversion
+	// arc each, never chained — the bipartite shape of G_v).
+	changedY := false
+	for yi := range st.y {
+		for _, ca := range st.conv[yi] {
+			if nd := st.x[ca.xi].dist + ca.cost; nd < st.y[yi].dist {
+				st.y[yi].dist = nd
+				st.y[yi].parent = ca.xi
+				st.y[yi].seeded = false
+				changedY = true
+			}
+		}
+	}
+	if changedY {
+		st.announce(send)
+	}
+}
+
+// announce emits dist+w(e,λ) on every outgoing channel whose value
+// improved since the last announcement.
+func (st *nodeState) announce(send Send[distMsg]) {
+	for _, ol := range st.outs {
+		last := st.lastSent[ol.wire]
+		for ci, ch := range ol.channels {
+			yd := st.y[ol.yIdx[ci]].dist
+			if math.IsInf(yd, 1) {
+				continue
+			}
+			cand := yd + ch.Weight
+			if cand < last[ci] {
+				last[ci] = cand
+				send(ol.wire, distMsg{Lambda: ch.Lambda, Dist: cand})
+			}
+		}
+	}
+}
+
+func searchLam(ls []wdm.Wavelength, l wdm.Wavelength) (int, bool) {
+	i := sort.Search(len(ls), func(i int) bool { return ls[i] >= l })
+	if i < len(ls) && ls[i] == l {
+		return i, true
+	}
+	return 0, false
+}
+
+// Result is the outcome of a distributed routing run.
+type Result struct {
+	Path  *wdm.Semilightpath
+	Cost  float64
+	Stats Stats
+}
+
+// Route runs the distributed algorithm on nw from s to t and returns the
+// optimal semilightpath with the message/round statistics of Theorem 3
+// (or Theorem 5 when availability is k0-bounded). The physical links of
+// nw are the wires; nothing else carries messages.
+func Route(nw *wdm.Network, s, t int) (*Result, error) {
+	if nw == nil {
+		return nil, ErrNilNetwork
+	}
+	n := nw.NumNodes()
+	if s < 0 || s >= n {
+		return nil, fmt.Errorf("%w: source %d", ErrNodeRange, s)
+	}
+	if t < 0 || t >= n {
+		return nil, fmt.Errorf("%w: dest %d", ErrNodeRange, t)
+	}
+	if s == t {
+		return &Result{Path: &wdm.Semilightpath{}, Cost: 0}, nil
+	}
+
+	prog := buildProgram(nw, s)
+	wires := make([]Wire, nw.NumLinks())
+	for _, l := range nw.Links() {
+		wires[l.ID] = Wire{From: l.From, To: l.To}
+	}
+	rt, err := NewRuntime[distMsg](n, wires, prog)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := rt.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	path, cost, err := extractPath(nw, prog, s, t)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Path: path, Cost: cost, Stats: stats}, nil
+}
+
+// buildProgram constructs each node's fragment of G_{s,t}.
+func buildProgram(nw *wdm.Network, s int) *semiProgram {
+	n := nw.NumNodes()
+	conv := nw.Converter()
+	prog := &semiProgram{states: make([]*nodeState, n)}
+	inf := math.Inf(1)
+	for v := 0; v < n; v++ {
+		st := &nodeState{
+			xLam:     nw.LambdaIn(v),
+			yLam:     nw.LambdaOut(v),
+			isSource: v == s,
+			lastSent: make(map[int][]float64, len(nw.Out(v))),
+		}
+		st.x = make([]label, len(st.xLam))
+		st.y = make([]label, len(st.yLam))
+		for i := range st.x {
+			st.x[i] = label{dist: inf, parent: -1}
+		}
+		for i := range st.y {
+			st.y[i] = label{dist: inf, parent: -1}
+		}
+		st.conv = make([][]convArc, len(st.yLam))
+		for yi, q := range st.yLam {
+			for xi, p := range st.xLam {
+				var c float64
+				switch {
+				case p == q:
+					c = 0
+				case conv == nil:
+					continue
+				default:
+					c = conv.Cost(v, p, q)
+				}
+				if math.IsInf(c, 1) || c < 0 {
+					continue
+				}
+				st.conv[yi] = append(st.conv[yi], convArc{xi: int32(xi), cost: c})
+			}
+		}
+		for _, linkID := range nw.Out(v) {
+			l := nw.Link(int(linkID))
+			ol := outLink{wire: l.ID, channels: l.Channels, yIdx: make([]int32, len(l.Channels))}
+			for ci, ch := range l.Channels {
+				yi, ok := searchLam(st.yLam, ch.Lambda)
+				if !ok {
+					// Impossible: Λ(e) ⊆ Λ_out(G,v) by definition.
+					panic(fmt.Sprintf("dist: λ%d of link %d missing from Y_%d", ch.Lambda, l.ID, v))
+				}
+				ol.yIdx[ci] = int32(yi)
+			}
+			st.outs = append(st.outs, ol)
+			sent := make([]float64, len(l.Channels))
+			for i := range sent {
+				sent[i] = inf
+			}
+			st.lastSent[l.ID] = sent
+		}
+		prog.states[v] = st
+	}
+	return prog
+}
+
+// extractPath performs the trace-back from t's best X label to the super
+// source inside s. In a deployment this is a control-message walk along
+// parent pointers (O(path length) extra messages); here the coordinator
+// reads the converged node states directly.
+func extractPath(nw *wdm.Network, prog *semiProgram, s, t int) (*wdm.Semilightpath, float64, error) {
+	stT := prog.states[t]
+	bestXi, best := -1, math.Inf(1)
+	for xi := range stT.x {
+		if stT.x[xi].dist < best {
+			best = stT.x[xi].dist
+			bestXi = xi
+		}
+	}
+	if bestXi < 0 {
+		return nil, 0, fmt.Errorf("%w: from %d to %d", ErrNoRoute, s, t)
+	}
+
+	var rev []wdm.Hop
+	node, xi := t, bestXi
+	for hops := 0; ; hops++ {
+		if hops > nw.TotalChannels()+1 {
+			return nil, 0, fmt.Errorf("dist: parent chain too long (cycle?)")
+		}
+		st := prog.states[node]
+		wire := int(st.x[xi].parent)
+		if wire < 0 {
+			return nil, 0, fmt.Errorf("dist: broken parent chain at node %d", node)
+		}
+		lam := st.xLam[xi]
+		rev = append(rev, wdm.Hop{Link: wire, Wavelength: lam})
+		prev := nw.Link(wire).From
+		pst := prog.states[prev]
+		yi, ok := searchLam(pst.yLam, lam)
+		if !ok {
+			return nil, 0, fmt.Errorf("dist: λ%d missing from Y_%d during trace-back", lam, prev)
+		}
+		if pst.y[yi].seeded {
+			if prev != s {
+				return nil, 0, fmt.Errorf("dist: seed found at %d, want source %d", prev, s)
+			}
+			break
+		}
+		node = prev
+		xi = int(pst.y[yi].parent)
+		if xi < 0 {
+			return nil, 0, fmt.Errorf("dist: broken Y parent at node %d", prev)
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return &wdm.Semilightpath{Hops: rev}, best, nil
+}
+
+// AllPairs runs the distributed algorithm from every source (Corollary 2)
+// and returns the n×n cost matrix plus the summed statistics.
+func AllPairs(nw *wdm.Network) ([][]float64, Stats, error) {
+	if nw == nil {
+		return nil, Stats{}, ErrNilNetwork
+	}
+	n := nw.NumNodes()
+	costs := make([][]float64, n)
+	var total Stats
+	for s := 0; s < n; s++ {
+		prog := buildProgram(nw, s)
+		wires := make([]Wire, nw.NumLinks())
+		for _, l := range nw.Links() {
+			wires[l.ID] = Wire{From: l.From, To: l.To}
+		}
+		rt, err := NewRuntime[distMsg](n, wires, prog)
+		if err != nil {
+			return nil, total, err
+		}
+		stats, err := rt.Run()
+		if err != nil {
+			return nil, total, err
+		}
+		// Runs are sequential here, so rounds add up; a deployment could
+		// pipeline the n sources (Haldar's algorithm) and pay only the max.
+		total.Messages += stats.Messages
+		total.Rounds += stats.Rounds
+		row := make([]float64, n)
+		for t := 0; t < n; t++ {
+			if t == s {
+				continue
+			}
+			stT := prog.states[t]
+			best := math.Inf(1)
+			for xi := range stT.x {
+				if stT.x[xi].dist < best {
+					best = stT.x[xi].dist
+				}
+			}
+			row[t] = best
+		}
+		costs[s] = row
+	}
+	return costs, total, nil
+}

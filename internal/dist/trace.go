@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+
+	"lightpath/internal/wdm"
+)
+
+// Trace records the per-round progress of a synchronous execution, for
+// debugging distributed programs and for visualizing convergence. Attach
+// one to a Runtime via its Trace field before Run.
+type Trace struct {
+	// Rounds[i] describes one barrier phase; entry 0 is the init phase.
+	Rounds []RoundTrace
+}
+
+// RoundTrace is one round's activity.
+type RoundTrace struct {
+	Round       int // -1 for the init phase
+	Messages    int // messages sent during this phase
+	ActiveNodes int // nodes that received at least one message this phase
+}
+
+// Fprint renders the trace as a convergence profile.
+func (tr *Trace) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "  %-6s %-9s %-12s\n", "round", "messages", "active nodes")
+	for _, r := range tr.Rounds {
+		label := fmt.Sprintf("%d", r.Round)
+		if r.Round < 0 {
+			label = "init"
+		}
+		fmt.Fprintf(w, "  %-6s %-9d %-12d\n", label, r.Messages, r.ActiveNodes)
+	}
+}
+
+// TotalMessages sums messages across all phases.
+func (tr *Trace) TotalMessages() int {
+	total := 0
+	for _, r := range tr.Rounds {
+		total += r.Messages
+	}
+	return total
+}
+
+// RouteWithTrace runs the synchronous distributed algorithm recording a
+// per-round convergence trace alongside the usual result.
+func RouteWithTrace(nw *wdm.Network, s, t int) (*Result, *Trace, error) {
+	if nw == nil {
+		return nil, nil, ErrNilNetwork
+	}
+	n := nw.NumNodes()
+	if s < 0 || s >= n {
+		return nil, nil, fmt.Errorf("%w: source %d", ErrNodeRange, s)
+	}
+	if t < 0 || t >= n {
+		return nil, nil, fmt.Errorf("%w: dest %d", ErrNodeRange, t)
+	}
+	if s == t {
+		return &Result{Path: &wdm.Semilightpath{}, Cost: 0}, &Trace{}, nil
+	}
+	prog := buildProgram(nw, s)
+	wires := make([]Wire, nw.NumLinks())
+	for _, l := range nw.Links() {
+		wires[l.ID] = Wire{From: l.From, To: l.To}
+	}
+	rt, err := NewRuntime[distMsg](n, wires, prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	trace := &Trace{}
+	rt.Trace = trace
+	stats, err := rt.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	path, cost, err := extractPath(nw, prog, s, t)
+	if err != nil {
+		return nil, trace, err
+	}
+	return &Result{Path: path, Cost: cost, Stats: stats}, trace, nil
+}

@@ -1,0 +1,362 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allKinds = []QueueKind{QueueFibonacci, QueueBinary, QueueLinear, QueuePairing}
+
+func TestQueueKindString(t *testing.T) {
+	cases := map[QueueKind]string{
+		QueueFibonacci: "fibonacci",
+		QueueBinary:    "binary",
+		QueueLinear:    "linear",
+		QueueKind(0):   "QueueKind(0)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func lineGraph(t *testing.T, n int) *Digraph {
+	t.Helper()
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		mustArc(t, g, i, i+1, float64(i+1))
+	}
+	return g
+}
+
+func TestDijkstraLine(t *testing.T) {
+	for _, kind := range allKinds {
+		g := lineGraph(t, 5)
+		tree, err := Dijkstra(g, 0, -1, kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		want := []float64{0, 1, 3, 6, 10}
+		for v, d := range want {
+			if tree.Dist[v] != d {
+				t.Fatalf("%v: Dist[%d] = %v, want %v", kind, v, tree.Dist[v], d)
+			}
+		}
+		path, err := tree.PathTo(4)
+		if err != nil {
+			t.Fatalf("%v: PathTo: %v", kind, err)
+		}
+		if len(path) != 5 {
+			t.Fatalf("%v: path = %v", kind, path)
+		}
+		for i, v := range path {
+			if v != i {
+				t.Fatalf("%v: path = %v, want 0..4", kind, path)
+			}
+		}
+	}
+}
+
+func TestDijkstraPicksCheaperOfParallelArcs(t *testing.T) {
+	for _, kind := range allKinds {
+		g := New(2)
+		mustTaggedArc(t, g, 0, 1, 9, 1)
+		mustTaggedArc(t, g, 0, 1, 4, 2)
+		mustTaggedArc(t, g, 0, 1, 6, 3)
+		tree, err := Dijkstra(g, 0, -1, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Dist[1] != 4 {
+			t.Fatalf("%v: Dist[1] = %v, want 4", kind, tree.Dist[1])
+		}
+		hops, err := tree.ArcsTo(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hops) != 1 {
+			t.Fatalf("%v: hops = %+v", kind, hops)
+		}
+		arc := g.Out(hops[0].From)[hops[0].ArcIndex]
+		if arc.Tag != 2 {
+			t.Fatalf("%v: chose arc tag %d, want 2 (the cheap one)", kind, arc.Tag)
+		}
+	}
+}
+
+func mustTaggedArc(t *testing.T, g *Digraph, u, v int, w float64, tag int32) {
+	t.Helper()
+	if err := g.AddArc(u, v, w, tag); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	for _, kind := range allKinds {
+		g := New(3)
+		mustArc(t, g, 0, 1, 1)
+		tree, err := Dijkstra(g, 0, -1, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Reached(2) {
+			t.Fatalf("%v: node 2 should be unreachable", kind)
+		}
+		if _, err := tree.PathTo(2); !errors.Is(err, ErrNoPath) {
+			t.Fatalf("%v: PathTo unreachable: %v", kind, err)
+		}
+	}
+}
+
+func TestDijkstraEarlyStop(t *testing.T) {
+	g := lineGraph(t, 100)
+	tree, err := Dijkstra(g, 0, 3, QueueBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Dist[3] != 6 {
+		t.Fatalf("Dist[3] = %v, want 6", tree.Dist[3])
+	}
+	if tree.Settled > 5 {
+		t.Fatalf("early stop should settle ≤5 nodes, settled %d", tree.Settled)
+	}
+}
+
+func TestDijkstraArgErrors(t *testing.T) {
+	g := New(2)
+	if _, err := Dijkstra(g, -1, -1, QueueBinary); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("bad source: %v", err)
+	}
+	if _, err := Dijkstra(g, 0, 5, QueueBinary); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("bad goal: %v", err)
+	}
+	if _, err := Dijkstra(g, 0, -1, QueueKind(99)); err == nil {
+		t.Fatal("unknown queue kind should error")
+	}
+}
+
+func TestDijkstraZeroWeightCycle(t *testing.T) {
+	// Zero-weight cycles must not hang or corrupt distances.
+	for _, kind := range allKinds {
+		g := New(3)
+		mustArc(t, g, 0, 1, 0)
+		mustArc(t, g, 1, 0, 0)
+		mustArc(t, g, 1, 2, 5)
+		tree, err := Dijkstra(g, 0, -1, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Dist[2] != 5 {
+			t.Fatalf("%v: Dist[2] = %v, want 5", kind, tree.Dist[2])
+		}
+	}
+}
+
+// TestEnginesAgree is the central cross-validation property: on random
+// digraphs all three Dijkstra engines and Bellman-Ford produce identical
+// distance vectors, and every reconstructed path's arc weights sum to the
+// reported distance.
+func TestEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(40)
+		g := randomDigraph(rng, n, 0.15)
+		src := rng.Intn(n)
+
+		ref, _, err := BellmanFord(g, src)
+		if err != nil {
+			t.Fatalf("BellmanFord: %v", err)
+		}
+		for _, kind := range allKinds {
+			tree, err := Dijkstra(g, src, -1, kind)
+			if err != nil {
+				t.Fatalf("%v: %v", kind, err)
+			}
+			for v := 0; v < n; v++ {
+				if !almostEq(tree.Dist[v], ref.Dist[v]) {
+					t.Fatalf("trial %d %v: Dist[%d] = %v, reference %v", trial, kind, v, tree.Dist[v], ref.Dist[v])
+				}
+				if !tree.Reached(v) {
+					continue
+				}
+				hops, err := tree.ArcsTo(v)
+				if err != nil {
+					t.Fatalf("ArcsTo(%d): %v", v, err)
+				}
+				sum := 0.0
+				at := src
+				for _, h := range hops {
+					if h.From != at {
+						t.Fatalf("path discontinuity at %d", h.From)
+					}
+					arc := g.Out(h.From)[h.ArcIndex]
+					sum += arc.Weight
+					at = int(arc.To)
+				}
+				if at != v || !almostEq(sum, tree.Dist[v]) {
+					t.Fatalf("trial %d %v: path to %d sums to %v, Dist %v", trial, kind, v, sum, tree.Dist[v])
+				}
+			}
+		}
+	}
+}
+
+func almostEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-7*(1+max(abs(a), abs(b)))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestQuickTriangleInequality property: for random graphs, final distances
+// satisfy d(v) <= d(u) + w(u,v) over every arc (relaxation fixpoint).
+func TestQuickTriangleInequality(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomDigraph(rng, n, 0.2)
+		tree, err := Dijkstra(g, 0, -1, QueueFibonacci)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			if tree.Dist[u] == Inf {
+				continue
+			}
+			for _, a := range g.Out(u) {
+				if tree.Dist[a.To] > tree.Dist[u]+a.Weight+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBellmanFordRounds(t *testing.T) {
+	g := lineGraph(t, 10)
+	tree, rounds, err := BellmanFord(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Dist[9] != 45 {
+		t.Fatalf("Dist[9] = %v, want 45", tree.Dist[9])
+	}
+	// Sequential relaxation order makes a line converge fast, but rounds
+	// must be at least 2 (one working round, one quiescent round).
+	if rounds < 2 || rounds > 11 {
+		t.Fatalf("rounds = %d, want within [2,11]", rounds)
+	}
+}
+
+func TestBellmanFordBadSource(t *testing.T) {
+	g := New(2)
+	if _, _, err := BellmanFord(g, 7); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("bad source: %v", err)
+	}
+}
+
+func BenchmarkDijkstraSparse(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 2000
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for j := 0; j < 4; j++ {
+			_ = g.AddArc(u, rng.Intn(n), rng.Float64()*10, 0)
+		}
+	}
+	for _, kind := range allKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Dijkstra(g, 0, -1, kind); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestDijkstraSeedsMulti(t *testing.T) {
+	// Two seeds: distances are min over either origin.
+	g := New(5)
+	mustArc(t, g, 0, 2, 10)
+	mustArc(t, g, 1, 2, 1)
+	mustArc(t, g, 2, 3, 1)
+	tree, err := DijkstraSeeds(g, []int{0, 1}, -1, QueueBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Source != -1 {
+		t.Fatalf("multi-seed Source = %d, want -1", tree.Source)
+	}
+	if tree.Dist[2] != 1 || tree.Dist[3] != 2 {
+		t.Fatalf("dists = %v", tree.Dist)
+	}
+	path, err := tree.PathTo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != 1 {
+		t.Fatalf("path should start at seed 1: %v", path)
+	}
+}
+
+func TestDijkstraSeedsErrors(t *testing.T) {
+	g := New(2)
+	if _, err := DijkstraSeeds(g, nil, -1, QueueBinary); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("no seeds: %v", err)
+	}
+	if _, err := DijkstraSeeds(g, []int{5}, -1, QueueBinary); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("bad seed: %v", err)
+	}
+	if _, err := DijkstraSeedsUntil(g, []int{0}, []int{9}, QueueBinary); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("bad goal: %v", err)
+	}
+}
+
+func TestDijkstraSeedsUntilEarlyStop(t *testing.T) {
+	g := lineGraph(t, 100)
+	for _, kind := range allKinds {
+		tree, err := DijkstraSeedsUntil(g, []int{0}, []int{2, 4}, kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if tree.Dist[2] != 3 || tree.Dist[4] != 10 {
+			t.Fatalf("%v: goal dists = %v, %v", kind, tree.Dist[2], tree.Dist[4])
+		}
+		if tree.Settled > 6 {
+			t.Fatalf("%v: settled %d nodes, expected early stop ≤6", kind, tree.Settled)
+		}
+	}
+}
+
+func TestDijkstraSeedsUntilUnreachableGoalRunsFull(t *testing.T) {
+	g := New(4)
+	mustArc(t, g, 0, 1, 1)
+	// Node 3 unreachable: search exhausts but reports correct dists.
+	tree, err := DijkstraSeedsUntil(g, []int{0}, []int{1, 3}, QueueBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Dist[1] != 1 || tree.Reached(3) {
+		t.Fatalf("dists wrong: %v", tree.Dist)
+	}
+}

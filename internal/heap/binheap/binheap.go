@@ -1,0 +1,166 @@
+// Package binheap implements an indexed binary min-heap over dense integer
+// item IDs with float64 priorities.
+//
+// It is the practical workhorse alternative to the Fibonacci heap of
+// package fibheap: DecreaseKey costs O(log n) instead of amortized O(1),
+// but constants are far smaller and memory is a pair of flat slices. The
+// benchmark suite uses it for the heap-choice ablation called out in
+// DESIGN.md.
+//
+// Items are identified by an int in [0, capacity); each item may be in the
+// heap at most once, which is exactly the shape Dijkstra needs.
+package binheap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by heap operations.
+var (
+	// ErrEmpty is returned when popping from an empty heap.
+	ErrEmpty = errors.New("binheap: empty heap")
+	// ErrNotPresent is returned when decreasing an absent item.
+	ErrNotPresent = errors.New("binheap: item not in heap")
+	// ErrDuplicate is returned when pushing an item already present.
+	ErrDuplicate = errors.New("binheap: item already in heap")
+	// ErrKeyIncrease is returned when DecreaseKey is given a larger key.
+	ErrKeyIncrease = errors.New("binheap: new key is greater than current key")
+)
+
+// Heap is an indexed binary min-heap. Create one with New.
+// Heap is not safe for concurrent use.
+type Heap struct {
+	items []int     // heap array of item IDs
+	keys  []float64 // keys[item] = current priority
+	pos   []int     // pos[item] = index into items, or -1 if absent
+}
+
+// New returns a heap able to hold items with IDs in [0, capacity).
+func New(capacity int) *Heap {
+	h := &Heap{
+		items: make([]int, 0, capacity),
+		keys:  make([]float64, capacity),
+		pos:   make([]int, capacity),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len reports the number of items currently in the heap.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Empty reports whether the heap has no items.
+func (h *Heap) Empty() bool { return len(h.items) == 0 }
+
+// Contains reports whether item is currently in the heap.
+func (h *Heap) Contains(item int) bool {
+	return item >= 0 && item < len(h.pos) && h.pos[item] >= 0
+}
+
+// Key returns the current priority of item. The result is meaningful only
+// if Contains(item).
+func (h *Heap) Key(item int) float64 { return h.keys[item] }
+
+// Push inserts item with the given key.
+func (h *Heap) Push(item int, key float64) error {
+	if item < 0 || item >= len(h.pos) {
+		return fmt.Errorf("binheap: item %d out of range [0,%d)", item, len(h.pos))
+	}
+	if h.pos[item] >= 0 {
+		return ErrDuplicate
+	}
+	h.keys[item] = key
+	h.pos[item] = len(h.items)
+	h.items = append(h.items, item)
+	h.up(len(h.items) - 1)
+	return nil
+}
+
+// Pop removes and returns the item with the smallest key.
+func (h *Heap) Pop() (item int, key float64, err error) {
+	if len(h.items) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.items = h.items[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return top, h.keys[top], nil
+}
+
+// DecreaseKey lowers the priority of item to newKey.
+func (h *Heap) DecreaseKey(item int, newKey float64) error {
+	if item < 0 || item >= len(h.pos) || h.pos[item] < 0 {
+		return ErrNotPresent
+	}
+	if newKey > h.keys[item] {
+		return ErrKeyIncrease
+	}
+	h.keys[item] = newKey
+	h.up(h.pos[item])
+	return nil
+}
+
+// PushOrDecrease inserts item if absent, otherwise lowers its key if
+// newKey improves on the current one. It reports whether the heap changed.
+// This is the single operation Dijkstra's relaxation step needs.
+func (h *Heap) PushOrDecrease(item int, newKey float64) (bool, error) {
+	if !h.Contains(item) {
+		return true, h.Push(item, newKey)
+	}
+	if newKey >= h.keys[item] {
+		return false, nil
+	}
+	return true, h.DecreaseKey(item, newKey)
+}
+
+// Reset empties the heap, retaining capacity for reuse.
+func (h *Heap) Reset() {
+	for _, it := range h.items {
+		h.pos[it] = -1
+	}
+	h.items = h.items[:0]
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[h.items[parent]] <= h.keys[h.items[i]] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.keys[h.items[l]] < h.keys[h.items[smallest]] {
+			smallest = l
+		}
+		if r < n && h.keys[h.items[r]] < h.keys[h.items[smallest]] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *Heap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i]] = i
+	h.pos[h.items[j]] = j
+}

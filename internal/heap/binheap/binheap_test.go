@@ -1,0 +1,253 @@
+package binheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	h := New(4)
+	if !h.Empty() || h.Len() != 0 {
+		t.Fatal("new heap should be empty")
+	}
+	if _, _, err := h.Pop(); err != ErrEmpty {
+		t.Fatalf("Pop on empty: err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPushPopOrdering(t *testing.T) {
+	h := New(10)
+	keys := []float64{9, 1, 7, 3, 5, 2, 8, 4, 6, 0}
+	for item, k := range keys {
+		if err := h.Push(item, k); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	for want := 0.0; want < 10; want++ {
+		item, key, err := h.Pop()
+		if err != nil {
+			t.Fatalf("Pop: %v", err)
+		}
+		if key != want {
+			t.Fatalf("popped key %v, want %v", key, want)
+		}
+		if keys[item] != key {
+			t.Fatalf("item/key mismatch: item %d has key %v, popped %v", item, keys[item], key)
+		}
+	}
+}
+
+func TestPushErrors(t *testing.T) {
+	h := New(2)
+	if err := h.Push(-1, 0); err == nil {
+		t.Fatal("negative item should error")
+	}
+	if err := h.Push(2, 0); err == nil {
+		t.Fatal("out-of-range item should error")
+	}
+	if err := h.Push(0, 1); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	if err := h.Push(0, 2); err != ErrDuplicate {
+		t.Fatalf("duplicate push: err = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	h := New(3)
+	for i, k := range []float64{10, 20, 30} {
+		if err := h.Push(i, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.DecreaseKey(2, 5); err != nil {
+		t.Fatalf("DecreaseKey: %v", err)
+	}
+	item, key, _ := h.Pop()
+	if item != 2 || key != 5 {
+		t.Fatalf("popped (%d,%v), want (2,5)", item, key)
+	}
+	if err := h.DecreaseKey(2, 1); err != ErrNotPresent {
+		t.Fatalf("decrease absent: err = %v, want ErrNotPresent", err)
+	}
+	if err := h.DecreaseKey(0, 100); err != ErrKeyIncrease {
+		t.Fatalf("increase: err = %v, want ErrKeyIncrease", err)
+	}
+}
+
+func TestPushOrDecrease(t *testing.T) {
+	h := New(2)
+	changed, err := h.PushOrDecrease(0, 10)
+	if err != nil || !changed {
+		t.Fatalf("first PushOrDecrease: changed=%v err=%v", changed, err)
+	}
+	changed, err = h.PushOrDecrease(0, 20)
+	if err != nil || changed {
+		t.Fatalf("worse key should not change heap: changed=%v err=%v", changed, err)
+	}
+	changed, err = h.PushOrDecrease(0, 5)
+	if err != nil || !changed {
+		t.Fatalf("better key should change heap: changed=%v err=%v", changed, err)
+	}
+	_, key, _ := h.Pop()
+	if key != 5 {
+		t.Fatalf("key = %v, want 5", key)
+	}
+}
+
+func TestContainsAndKey(t *testing.T) {
+	h := New(5)
+	if h.Contains(3) {
+		t.Fatal("empty heap should not contain 3")
+	}
+	if h.Contains(-1) || h.Contains(5) {
+		t.Fatal("out-of-range Contains should be false")
+	}
+	_ = h.Push(3, 42)
+	if !h.Contains(3) {
+		t.Fatal("heap should contain 3")
+	}
+	if h.Key(3) != 42 {
+		t.Fatalf("Key(3) = %v, want 42", h.Key(3))
+	}
+	_, _, _ = h.Pop()
+	if h.Contains(3) {
+		t.Fatal("popped item should no longer be contained")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(4)
+	for i := 0; i < 4; i++ {
+		_ = h.Push(i, float64(i))
+	}
+	h.Reset()
+	if !h.Empty() {
+		t.Fatal("Reset should empty the heap")
+	}
+	for i := 0; i < 4; i++ {
+		if h.Contains(i) {
+			t.Fatalf("item %d should be absent after Reset", i)
+		}
+		if err := h.Push(i, float64(-i)); err != nil {
+			t.Fatalf("re-Push after Reset: %v", err)
+		}
+	}
+	item, key, _ := h.Pop()
+	if item != 3 || key != -3 {
+		t.Fatalf("popped (%d,%v), want (3,-3)", item, key)
+	}
+}
+
+// TestQuickSortedDrain property: push a random permutation of keys, drain,
+// result is sorted and a permutation of the input.
+func TestQuickSortedDrain(t *testing.T) {
+	prop := func(raw []float64) bool {
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		keys := make([]float64, 0, len(raw))
+		for _, k := range raw {
+			if k == k { // skip NaN
+				keys = append(keys, k)
+			}
+		}
+		h := New(len(keys))
+		for i, k := range keys {
+			if err := h.Push(i, k); err != nil {
+				return false
+			}
+		}
+		var drained []float64
+		for !h.Empty() {
+			_, k, err := h.Pop()
+			if err != nil {
+				return false
+			}
+			drained = append(drained, k)
+		}
+		if len(drained) != len(keys) {
+			return false
+		}
+		sort.Float64s(keys)
+		for i := range keys {
+			if drained[i] != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomOpsAgainstModel interleaves operations and compares with a
+// naive model.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const capacity = 200
+	for trial := 0; trial < 20; trial++ {
+		h := New(capacity)
+		model := make(map[int]float64)
+		for op := 0; op < 1000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5:
+				item := rng.Intn(capacity)
+				key := float64(rng.Intn(1000))
+				if _, ok := model[item]; ok {
+					if key < model[item] {
+						model[item] = key
+					}
+					_, _ = h.PushOrDecrease(item, key)
+				} else {
+					model[item] = key
+					if err := h.Push(item, key); err != nil {
+						t.Fatalf("Push: %v", err)
+					}
+				}
+			case len(model) > 0:
+				item, key, err := h.Pop()
+				if err != nil {
+					t.Fatalf("Pop: %v", err)
+				}
+				minKey := key + 1
+				for _, k := range model {
+					if k < minKey {
+						minKey = k
+					}
+				}
+				if key != minKey {
+					t.Fatalf("popped key %v, model min %v", key, minKey)
+				}
+				if model[item] != key {
+					t.Fatalf("popped item %d key %v, model has %v", item, key, model[item])
+				}
+				delete(model, item)
+			}
+			if h.Len() != len(model) {
+				t.Fatalf("Len() = %d, model %d", h.Len(), len(model))
+			}
+		}
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]float64, 1000)
+	for i := range keys {
+		keys[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := New(len(keys))
+		for j, k := range keys {
+			_ = h.Push(j, k)
+		}
+		for !h.Empty() {
+			_, _, _ = h.Pop()
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package pairing
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	h := New()
+	if !h.Empty() || h.Len() != 0 || h.Min() != nil {
+		t.Fatal("new heap should be empty")
+	}
+	if _, err := h.ExtractMin(); err != ErrEmpty {
+		t.Fatalf("extract on empty: %v", err)
+	}
+}
+
+func TestInsertExtractOrdering(t *testing.T) {
+	h := New()
+	keys := []float64{9, 1, 7, 3, 5, 2, 8, 4, 6, 0}
+	for _, k := range keys {
+		h.Insert(k, int64(k))
+	}
+	if h.Min().Key() != 0 {
+		t.Fatalf("min = %v", h.Min().Key())
+	}
+	for want := 0.0; want < 10; want++ {
+		n, err := h.ExtractMin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Key() != want || n.Value() != int64(want) {
+			t.Fatalf("extracted (%v,%v), want %v", n.Key(), n.Value(), want)
+		}
+	}
+	if !h.Empty() {
+		t.Fatal("should be empty after drain")
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	h := New()
+	a := h.Insert(10, 1)
+	h.Insert(20, 2)
+	c := h.Insert(30, 3)
+	if err := h.DecreaseKey(c, 5); err != nil {
+		t.Fatal(err)
+	}
+	if h.Min() != c {
+		t.Fatal("decreased node should be min")
+	}
+	n, _ := h.ExtractMin()
+	if n.Value() != 3 {
+		t.Fatalf("value = %d, want 3", n.Value())
+	}
+	// Decrease the current root is a no-op structurally.
+	if err := h.DecreaseKey(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = h.ExtractMin()
+	if n.Value() != 1 {
+		t.Fatalf("value = %d, want 1", n.Value())
+	}
+}
+
+func TestDecreaseKeyErrors(t *testing.T) {
+	h := New()
+	a := h.Insert(10, 1)
+	if err := h.DecreaseKey(a, 11); err != ErrKeyIncrease {
+		t.Fatalf("increase: %v", err)
+	}
+	if err := h.DecreaseKey(nil, 0); err != ErrForeignNode {
+		t.Fatalf("nil: %v", err)
+	}
+	other := New()
+	b := other.Insert(1, 2)
+	if err := h.DecreaseKey(b, 0); err != ErrForeignNode {
+		t.Fatalf("foreign: %v", err)
+	}
+	if _, err := h.ExtractMin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DecreaseKey(a, 0); err != ErrDetachedNode {
+		t.Fatalf("detached: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	h := New()
+	h.Insert(1, 1)
+	b := h.Insert(2, 2)
+	h.Insert(3, 3)
+	if err := h.Delete(b); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	n1, _ := h.ExtractMin()
+	n2, _ := h.ExtractMin()
+	if n1.Value() != 1 || n2.Value() != 3 {
+		t.Fatalf("remaining = %d,%d", n1.Value(), n2.Value())
+	}
+}
+
+func TestSortAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		keys := make([]float64, n)
+		h := New()
+		for i := range keys {
+			keys[i] = rng.NormFloat64() * 50
+			h.Insert(keys[i], int64(i))
+		}
+		sort.Float64s(keys)
+		for i := 0; i < n; i++ {
+			node, err := h.ExtractMin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if node.Key() != keys[i] {
+				t.Fatalf("trial %d: key[%d] = %v, want %v", trial, i, node.Key(), keys[i])
+			}
+		}
+	}
+}
+
+func TestRandomOpsAgainstModel(t *testing.T) {
+	type entry struct {
+		key  float64
+		node *Node
+	}
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		h := New()
+		var model []*entry
+		for op := 0; op < 800; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5:
+				k := float64(rng.Intn(1000))
+				e := &entry{key: k, node: h.Insert(k, 0)}
+				model = append(model, e)
+			case r < 8 && len(model) > 0:
+				minIdx := 0
+				for i, e := range model {
+					if e.key < model[minIdx].key {
+						minIdx = i
+					}
+				}
+				n, err := h.ExtractMin()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n.Key() != model[minIdx].key {
+					t.Fatalf("op %d: got %v, model min %v", op, n.Key(), model[minIdx].key)
+				}
+				for i, e := range model {
+					if e.node == n {
+						model = append(model[:i], model[i+1:]...)
+						break
+					}
+				}
+			case len(model) > 0:
+				i := rng.Intn(len(model))
+				nk := model[i].key - float64(rng.Intn(200))
+				if err := h.DecreaseKey(model[i].node, nk); err != nil {
+					t.Fatal(err)
+				}
+				model[i].key = nk
+			}
+			if h.Len() != len(model) {
+				t.Fatalf("op %d: len %d, model %d", op, h.Len(), len(model))
+			}
+		}
+	}
+}
+
+func TestQuickDrainSorted(t *testing.T) {
+	prop := func(raw []float64) bool {
+		h := New()
+		var keys []float64
+		for _, k := range raw {
+			if !math.IsNaN(k) {
+				keys = append(keys, k)
+				h.Insert(k, 0)
+			}
+		}
+		prev := math.Inf(-1)
+		count := 0
+		for !h.Empty() {
+			n, err := h.ExtractMin()
+			if err != nil || n.Key() < prev {
+				return false
+			}
+			prev = n.Key()
+			count++
+		}
+		return count == len(keys)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertExtract(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := New()
+		for j := 0; j < 1000; j++ {
+			h.Insert(rng.Float64(), int64(j))
+		}
+		for !h.Empty() {
+			if _, err := h.ExtractMin(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

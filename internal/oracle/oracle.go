@@ -1,0 +1,129 @@
+// Package oracle is an independent reference solver for the optimal
+// semilightpath problem, used only by tests to cross-validate the real
+// implementations.
+//
+// It works directly from the problem definition (Equation 1): dynamic
+// programming over (last-link, wavelength) states with Bellman–Ford
+// style sweeps, never building any auxiliary graph and never touching
+// the shared Dijkstra engines. Slow — Θ(L·Σ|Λ(e)|·(k+1)) for L sweeps —
+// but its correctness is obvious by inspection, which is the point of an
+// oracle: agreement between this and the core/baseline/distributed
+// solvers is strong evidence all four are right.
+package oracle
+
+import (
+	"errors"
+	"math"
+
+	"lightpath/internal/wdm"
+)
+
+// ErrNoRoute is returned when no semilightpath exists.
+var ErrNoRoute = errors.New("oracle: no semilightpath exists")
+
+// state identifies "standing at head(link) having just used (link, λ)".
+type state struct {
+	link int
+	lam  wdm.Wavelength
+}
+
+// Solve returns the optimal semilightpath cost from s to t and one
+// optimal hop sequence. It performs relaxation sweeps over all
+// (link, wavelength) states until a fixpoint, which the non-negative
+// costs guarantee happens within |states| sweeps.
+func Solve(nw *wdm.Network, s, t int) (float64, *wdm.Semilightpath, error) {
+	if s == t {
+		return 0, &wdm.Semilightpath{}, nil
+	}
+	conv := nw.Converter()
+
+	// Enumerate states and initialize: states whose link leaves s cost
+	// just the link weight.
+	dist := make(map[state]float64)
+	parent := make(map[state]state)
+	hasParent := make(map[state]bool)
+	var states []state
+	for _, l := range nw.Links() {
+		for _, ch := range l.Channels {
+			st := state{link: l.ID, lam: ch.Lambda}
+			states = append(states, st)
+			if l.From == s {
+				dist[st] = ch.Weight
+			} else {
+				dist[st] = math.Inf(1)
+			}
+		}
+	}
+
+	// Bellman–Ford sweeps straight from Eq. (1): extending a path ending
+	// in (e, λ) with a link e' out of head(e) on wavelength λ' costs
+	// c_head(e)(λ, λ') + w(e', λ').
+	for sweep := 0; sweep <= len(states); sweep++ {
+		changed := false
+		for _, from := range states {
+			d := dist[from]
+			if math.IsInf(d, 1) {
+				continue
+			}
+			at := nw.Link(from.link).To
+			for _, nextID := range nw.Out(at) {
+				next := nw.Link(int(nextID))
+				for _, ch := range next.Channels {
+					cost := 0.0
+					if ch.Lambda != from.lam {
+						if conv == nil {
+							continue
+						}
+						cost = conv.Cost(at, from.lam, ch.Lambda)
+						if math.IsInf(cost, 1) || cost < 0 {
+							continue
+						}
+					}
+					to := state{link: next.ID, lam: ch.Lambda}
+					if nd := d + cost + ch.Weight; nd < dist[to] {
+						dist[to] = nd
+						parent[to] = from
+						hasParent[to] = true
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Best terminal state: any state whose link ends at t.
+	best := math.Inf(1)
+	var bestState state
+	found := false
+	for _, st := range states {
+		if nw.Link(st.link).To == t && dist[st] < best {
+			best = dist[st]
+			bestState = st
+			found = true
+		}
+	}
+	if !found {
+		return 0, nil, ErrNoRoute
+	}
+
+	// Trace back.
+	var rev []wdm.Hop
+	cur := bestState
+	for i := 0; ; i++ {
+		if i > len(states) {
+			return 0, nil, errors.New("oracle: parent cycle")
+		}
+		rev = append(rev, wdm.Hop{Link: cur.link, Wavelength: cur.lam})
+		if !hasParent[cur] {
+			break
+		}
+		cur = parent[cur]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return best, &wdm.Semilightpath{Hops: rev}, nil
+}

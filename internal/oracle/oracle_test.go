@@ -1,0 +1,152 @@
+package oracle
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lightpath/internal/core"
+	"lightpath/internal/dist"
+	"lightpath/internal/topo"
+	"lightpath/internal/wdm"
+	"lightpath/internal/workload"
+)
+
+func TestSolveTrivial(t *testing.T) {
+	nw := wdm.NewNetwork(2, 1)
+	if _, err := nw.AddLink(0, 1, []wdm.Channel{{Lambda: 0, Weight: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	cost, path, err := Solve(nw, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 || path.Len() != 1 {
+		t.Fatalf("cost=%v len=%d", cost, path.Len())
+	}
+	cost, path, err = Solve(nw, 1, 1)
+	if err != nil || cost != 0 || path.Len() != 0 {
+		t.Fatalf("s==t: %v %v %v", cost, path, err)
+	}
+	if _, _, err := Solve(nw, 1, 0); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("no route: %v", err)
+	}
+}
+
+func TestSolveConversion(t *testing.T) {
+	nw := wdm.NewNetwork(3, 2)
+	mustLink(t, nw, 0, 1, wdm.Channel{Lambda: 0, Weight: 1})
+	mustLink(t, nw, 1, 2, wdm.Channel{Lambda: 1, Weight: 1})
+	nw.SetConverter(wdm.UniformConversion{C: 0.5})
+	cost, path, err := Solve(nw, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2.5 {
+		t.Fatalf("cost = %v, want 2.5", cost)
+	}
+	if err := path.Validate(nw, 0, 2); err != nil {
+		t.Fatalf("path invalid: %v", err)
+	}
+}
+
+func TestSolveRevisitInstance(t *testing.T) {
+	nw, s, d, err := workload.RevisitInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, path, err := Solve(nw, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-workload.RevisitOptimalCost) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", cost, workload.RevisitOptimalCost)
+	}
+	if !path.RevisitsNode(nw) {
+		t.Fatal("oracle should also find the revisiting optimum")
+	}
+}
+
+func mustLink(t *testing.T, nw *wdm.Network, u, v int, cs ...wdm.Channel) {
+	t.Helper()
+	if _, err := nw.AddLink(u, v, cs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOracleAgreesWithAllSolvers is the strongest correctness statement
+// in the repository: on random instances the from-definition oracle, the
+// core auxiliary-graph algorithm and the distributed algorithm agree on
+// the optimal cost, and all returned paths validate with that exact cost.
+func TestOracleAgreesWithAllSolvers(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		tp := topo.RandomSparse(4+rng.Intn(10), 3, 5, rng)
+		spec := workload.Spec{
+			K:         1 + rng.Intn(4),
+			AvailProb: 0.3 + 0.5*rng.Float64(),
+			Conv:      workload.ConvSparseTable,
+			ConvCost:  0.4,
+			ConvProb:  0.5,
+		}
+		nw, err := workload.Build(tp, spec, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, d := rng.Intn(tp.N), rng.Intn(tp.N)
+		if s == d {
+			continue
+		}
+
+		oCost, oPath, oErr := Solve(nw, s, d)
+		cRes, cErr := core.FindSemilightpath(nw, s, d, nil)
+		dRes, dErr := dist.Route(nw, s, d)
+
+		if (oErr == nil) != (cErr == nil) || (oErr == nil) != (dErr == nil) {
+			t.Fatalf("trial %d (%d->%d): reachability disagrees: oracle=%v core=%v dist=%v",
+				trial, s, d, oErr, cErr, dErr)
+		}
+		if oErr != nil {
+			continue
+		}
+		if math.Abs(oCost-cRes.Cost) > 1e-9 || math.Abs(oCost-dRes.Cost) > 1e-9 {
+			t.Fatalf("trial %d (%d->%d): costs disagree: oracle=%v core=%v dist=%v",
+				trial, s, d, oCost, cRes.Cost, dRes.Cost)
+		}
+		for name, p := range map[string]*wdm.Semilightpath{"oracle": oPath, "core": cRes.Path, "dist": dRes.Path} {
+			if err := p.Validate(nw, s, d); err != nil {
+				t.Fatalf("trial %d: %s path invalid: %v", trial, name, err)
+			}
+			if got := p.Cost(nw); math.Abs(got-oCost) > 1e-9 {
+				t.Fatalf("trial %d: %s path costs %v, optimum %v", trial, name, got, oCost)
+			}
+		}
+	}
+}
+
+// TestQuickOracleMatchesCore drives the agreement as a quick property.
+func TestQuickOracleMatchesCore(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tp := topo.Grid(2+rng.Intn(3), 2+rng.Intn(3))
+		nw, err := workload.Build(tp, workload.RestrictedSpec(3), rng)
+		if err != nil {
+			return false
+		}
+		s, d := 0, tp.N-1
+		oCost, _, oErr := Solve(nw, s, d)
+		cRes, cErr := core.FindSemilightpath(nw, s, d, nil)
+		if (oErr == nil) != (cErr == nil) {
+			return false
+		}
+		if oErr != nil {
+			return true
+		}
+		return math.Abs(oCost-cRes.Cost) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,31 @@
+package place_test
+
+import (
+	"fmt"
+
+	"lightpath/internal/place"
+	"lightpath/internal/wdm"
+)
+
+// A 3-node chain whose two links share no wavelength: only a converter
+// at the middle node can connect the ends. The greedy planner finds it.
+func ExampleGreedy() {
+	nw := wdm.NewNetwork(3, 2)
+	if _, err := nw.AddLink(0, 1, []wdm.Channel{{Lambda: 0, Weight: 1}}); err != nil {
+		panic(err)
+	}
+	if _, err := nw.AddLink(1, 2, []wdm.Channel{{Lambda: 1, Weight: 1}}); err != nil {
+		panic(err)
+	}
+
+	sites, history, err := place.Greedy(nw, 1, wdm.UniformConversion{C: 0.5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("place a converter at node %d\n", sites[0])
+	fmt.Printf("connected pairs: %d -> %d\n",
+		history[0].ConnectedPairs, history[1].ConnectedPairs)
+	// Output:
+	// place a converter at node 1
+	// connected pairs: 2 -> 3
+}

@@ -1,0 +1,153 @@
+// Package place solves the converter-placement planning problem: given a
+// WDM network whose nodes have NO wavelength converters, choose a budget
+// of B nodes to equip with converter banks so that network-wide routing
+// improves the most. Sparse converter placement is the capital-planning
+// question behind the paper's model — c_v is a general per-node function
+// precisely because real networks equip only some offices.
+//
+// The package scores a candidate placement by running the paper's
+// all-pairs algorithm (Corollary 1) over the induced network and
+// measuring (a) how many ordered pairs become connectable and (b) the
+// total optimal-semilightpath cost over connected pairs. Placement is
+// optimized greedily — each round adds the site with the best marginal
+// gain — which is the standard heuristic for this (NP-hard) coverage
+// problem and comes with the usual submodular-style empirical quality.
+package place
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"lightpath/internal/core"
+	"lightpath/internal/wdm"
+)
+
+// Errors returned by the planner.
+var (
+	// ErrNilNetwork is returned for a nil network.
+	ErrNilNetwork = errors.New("place: nil network")
+	// ErrBadBudget is returned for a non-positive or oversized budget.
+	ErrBadBudget = errors.New("place: invalid budget")
+)
+
+// Metrics scores one placement.
+type Metrics struct {
+	Sites          []int   // converter-equipped nodes, ascending
+	ConnectedPairs int     // ordered (s,t) pairs with a finite optimal cost
+	TotalCost      float64 // Σ optimal cost over connected pairs
+}
+
+// MeanCost is TotalCost / ConnectedPairs (0 when nothing connects).
+func (m Metrics) MeanCost() float64 {
+	if m.ConnectedPairs == 0 {
+		return 0
+	}
+	return m.TotalCost / float64(m.ConnectedPairs)
+}
+
+// Better reports whether m improves on other: more connected pairs
+// first, then lower total cost.
+func (m Metrics) Better(other Metrics) bool {
+	if m.ConnectedPairs != other.ConnectedPairs {
+		return m.ConnectedPairs > other.ConnectedPairs
+	}
+	return m.TotalCost < other.TotalCost-1e-12
+}
+
+// Evaluate scores the placement in which exactly the given sites carry
+// the converter conv and every other node has none.
+func Evaluate(nw *wdm.Network, sites []int, conv wdm.Converter) (Metrics, error) {
+	if nw == nil {
+		return Metrics{}, ErrNilNetwork
+	}
+	for _, v := range sites {
+		if v < 0 || v >= nw.NumNodes() {
+			return Metrics{}, fmt.Errorf("place: site %d out of range", v)
+		}
+	}
+	equipped := wdm.NewNetwork(nw.NumNodes(), nw.K())
+	for _, l := range nw.Links() {
+		if _, err := equipped.AddLink(l.From, l.To, l.Channels); err != nil {
+			return Metrics{}, fmt.Errorf("place: clone link %d: %w", l.ID, err)
+		}
+	}
+	perNode := wdm.PerNodeConversion{
+		Nodes:   make(map[int]wdm.Converter, len(sites)),
+		Default: wdm.NoConversion{},
+	}
+	for _, v := range sites {
+		perNode.Nodes[v] = conv
+	}
+	equipped.SetConverter(perNode)
+
+	aux, err := core.NewAux(equipped)
+	if err != nil {
+		return Metrics{}, err
+	}
+	all, err := aux.AllPairsParallel(nil, 0)
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	m := Metrics{Sites: append([]int(nil), sites...)}
+	sort.Ints(m.Sites)
+	for s := range all.Costs {
+		for t, c := range all.Costs[s] {
+			if s == t || math.IsInf(c, 1) {
+				continue
+			}
+			m.ConnectedPairs++
+			m.TotalCost += c
+		}
+	}
+	return m, nil
+}
+
+// Greedy chooses up to budget converter sites one at a time, each round
+// adding the node with the best marginal Metrics gain. It returns the
+// chosen sites in selection order together with the metrics after each
+// addition (index 0 is the empty placement). Rounds that cannot improve
+// the metrics stop the search early, so fewer than budget sites may
+// return.
+func Greedy(nw *wdm.Network, budget int, conv wdm.Converter) ([]int, []Metrics, error) {
+	if nw == nil {
+		return nil, nil, ErrNilNetwork
+	}
+	if budget <= 0 || budget > nw.NumNodes() {
+		return nil, nil, fmt.Errorf("%w: %d with %d nodes", ErrBadBudget, budget, nw.NumNodes())
+	}
+	base, err := Evaluate(nw, nil, conv)
+	if err != nil {
+		return nil, nil, err
+	}
+	history := []Metrics{base}
+	var chosen []int
+	inSet := make(map[int]bool, budget)
+
+	for round := 0; round < budget; round++ {
+		best := history[len(history)-1]
+		bestSite := -1
+		for v := 0; v < nw.NumNodes(); v++ {
+			if inSet[v] {
+				continue
+			}
+			cand, err := Evaluate(nw, append(chosen[:len(chosen):len(chosen)], v), conv)
+			if err != nil {
+				return nil, nil, err
+			}
+			if cand.Better(best) {
+				best = cand
+				bestSite = v
+			}
+		}
+		if bestSite < 0 {
+			break // no marginal gain anywhere
+		}
+		chosen = append(chosen, bestSite)
+		inSet[bestSite] = true
+		history = append(history, best)
+	}
+	return chosen, history, nil
+}

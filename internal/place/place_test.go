@@ -1,0 +1,164 @@
+package place
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lightpath/internal/topo"
+	"lightpath/internal/wdm"
+	"lightpath/internal/workload"
+)
+
+// discontinuityNet builds a 3-node chain whose two links share no
+// wavelength: without a converter at node 1 nothing crosses end to end.
+func discontinuityNet(t *testing.T) *wdm.Network {
+	t.Helper()
+	nw := wdm.NewNetwork(3, 2)
+	if _, err := nw.AddLink(0, 1, []wdm.Channel{{Lambda: 0, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddLink(1, 2, []wdm.Channel{{Lambda: 1, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestEvaluateArgs(t *testing.T) {
+	if _, err := Evaluate(nil, nil, wdm.UniformConversion{C: 1}); !errors.Is(err, ErrNilNetwork) {
+		t.Fatalf("nil: %v", err)
+	}
+	nw := discontinuityNet(t)
+	if _, err := Evaluate(nw, []int{9}, wdm.UniformConversion{C: 1}); err == nil {
+		t.Fatal("bad site must fail")
+	}
+}
+
+func TestEvaluateDiscontinuity(t *testing.T) {
+	nw := discontinuityNet(t)
+	conv := wdm.UniformConversion{C: 0.5}
+
+	empty, err := Evaluate(nw, nil, conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without converters only 0→1 and 1→2 connect.
+	if empty.ConnectedPairs != 2 {
+		t.Fatalf("empty placement pairs = %d, want 2", empty.ConnectedPairs)
+	}
+
+	// A converter anywhere but node 1 is useless.
+	useless, err := Evaluate(nw, []int{0}, conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if useless.ConnectedPairs != 2 {
+		t.Fatalf("converter at 0: pairs = %d, want 2", useless.ConnectedPairs)
+	}
+
+	// At node 1 it connects 0→2 as well.
+	good, err := Evaluate(nw, []int{1}, conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.ConnectedPairs != 3 {
+		t.Fatalf("converter at 1: pairs = %d, want 3", good.ConnectedPairs)
+	}
+	if !good.Better(empty) || !good.Better(useless) {
+		t.Fatal("node-1 placement should dominate")
+	}
+	if good.MeanCost() <= 0 {
+		t.Fatalf("mean cost = %v", good.MeanCost())
+	}
+	if (Metrics{}).MeanCost() != 0 {
+		t.Fatal("empty metrics mean cost should be 0")
+	}
+}
+
+func TestGreedyPicksTheCriticalNode(t *testing.T) {
+	nw := discontinuityNet(t)
+	sites, history, err := Greedy(nw, 2, wdm.UniformConversion{C: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 1 || sites[0] != 1 {
+		t.Fatalf("sites = %v, want [1] (extra budget has no marginal gain)", sites)
+	}
+	if len(history) != 2 {
+		t.Fatalf("history length = %d, want 2", len(history))
+	}
+	if history[1].ConnectedPairs != 3 {
+		t.Fatalf("final pairs = %d, want 3", history[1].ConnectedPairs)
+	}
+}
+
+func TestGreedyArgs(t *testing.T) {
+	nw := discontinuityNet(t)
+	if _, _, err := Greedy(nil, 1, wdm.NoConversion{}); !errors.Is(err, ErrNilNetwork) {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, _, err := Greedy(nw, 0, wdm.NoConversion{}); !errors.Is(err, ErrBadBudget) {
+		t.Fatalf("zero budget: %v", err)
+	}
+	if _, _, err := Greedy(nw, 99, wdm.NoConversion{}); !errors.Is(err, ErrBadBudget) {
+		t.Fatalf("oversize budget: %v", err)
+	}
+}
+
+// TestGreedyMonotone: each accepted round strictly improves the metrics,
+// and connectivity never decreases.
+func TestGreedyMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tp := topo.NSFNET()
+	nw, err := workload.Build(tp, workload.Spec{K: 4, AvailProb: 0.35, Conv: workload.ConvNone}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, history, err := Greedy(nw, 3, wdm.UniformConversion{C: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != len(sites)+1 {
+		t.Fatalf("history %d vs sites %d", len(history), len(sites))
+	}
+	for i := 1; i < len(history); i++ {
+		if !history[i].Better(history[i-1]) {
+			t.Fatalf("round %d did not improve: %+v -> %+v", i, history[i-1], history[i])
+		}
+		if history[i].ConnectedPairs < history[i-1].ConnectedPairs {
+			t.Fatalf("connectivity decreased at round %d", i)
+		}
+	}
+	// Placing converters can only help: final ≥ empty connectivity.
+	if len(history) > 1 && history[len(history)-1].ConnectedPairs < history[0].ConnectedPairs {
+		t.Fatal("placement reduced connectivity")
+	}
+}
+
+// TestEvaluateMonotoneInSites property: adding a site never hurts.
+func TestEvaluateMonotoneInSites(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tp := topo.Ring(8)
+	nw, err := workload.Build(tp, workload.Spec{K: 3, AvailProb: 0.4, Conv: workload.ConvNone}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := wdm.UniformConversion{C: 0.2}
+	prev, err := Evaluate(nw, nil, conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sites []int
+	for v := 0; v < 4; v++ {
+		sites = append(sites, v)
+		cur, err := Evaluate(nw, sites, conv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.ConnectedPairs < prev.ConnectedPairs {
+			t.Fatalf("adding site %d lost connectivity: %d -> %d",
+				v, prev.ConnectedPairs, cur.ConnectedPairs)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,106 @@
+package session
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fiber-cut handling: FailLink takes a physical link out of service,
+// tears down every circuit that was riding it, and reports the damage.
+// Protected primaries (AdmitProtected) survive a cut that only hits
+// their primary path — traffic conceptually switches to the backup,
+// which stays provisioned. RepairLink returns the fiber to service.
+
+// FailureReport describes the effect of one fiber cut.
+type FailureReport struct {
+	Link int
+	// Dropped circuits were torn down (their channels freed) because
+	// they rode the failed link and had no surviving backup.
+	Dropped []ID
+	// Survived lists protected primaries whose path was cut but whose
+	// backup remains provisioned and intact.
+	Survived []ID
+}
+
+// FailLink marks the physical link out of service and tears down every
+// affected circuit. Failed links carry no traffic until RepairLink; the
+// residual network and the fixed-route heuristics both treat them as
+// channel-less.
+func (m *Manager) FailLink(link int) (*FailureReport, error) {
+	if link < 0 || link >= m.base.NumLinks() {
+		return nil, fmt.Errorf("session: link %d out of range", link)
+	}
+	if m.failed == nil {
+		m.failed = make(map[int]bool)
+	}
+	if m.failed[link] {
+		return &FailureReport{Link: link}, nil // already down: no new damage
+	}
+	m.failed[link] = true
+
+	report := &FailureReport{Link: link}
+	// Find circuits riding the link. Collect first: Release mutates.
+	var hit []ID
+	for id, c := range m.active {
+		for _, h := range c.Path.Hops {
+			if h.Link == link {
+				hit = append(hit, id)
+				break
+			}
+		}
+	}
+	sort.Slice(hit, func(i, j int) bool { return hit[i] < hit[j] })
+
+	for _, id := range hit {
+		if _, stillActive := m.active[id]; !stillActive {
+			continue // already cascaded away by an earlier teardown
+		}
+		backupID, isProtectedPrimary := m.pairedBackup[id]
+		if isProtectedPrimary {
+			if backup, ok := m.active[backupID]; ok && !m.pathUsesLink(backup, link) {
+				// The backup is intact: the circuit survives the cut.
+				// The primary's channels are freed (they are dark now),
+				// and the backup is promoted to stand-alone.
+				primary := m.active[id]
+				for _, h := range primary.Path.Hops {
+					delete(m.inUse, chanKey{link: h.Link, lam: h.Wavelength})
+				}
+				delete(m.active, id)
+				delete(m.pairedBackup, id)
+				m.stats.Released++
+				report.Survived = append(report.Survived, id)
+				continue
+			}
+		}
+		if err := m.Release(id); err != nil {
+			return nil, fmt.Errorf("session: teardown after failure: %w", err)
+		}
+		report.Dropped = append(report.Dropped, id)
+	}
+	return report, nil
+}
+
+// RepairLink returns a failed link to service. Unknown or healthy links
+// are a no-op.
+func (m *Manager) RepairLink(link int) {
+	delete(m.failed, link)
+}
+
+// FailedLinks lists the links currently out of service, ascending.
+func (m *Manager) FailedLinks() []int {
+	out := make([]int, 0, len(m.failed))
+	for l := range m.failed {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (m *Manager) pathUsesLink(c *Circuit, link int) bool {
+	for _, h := range c.Path.Hops {
+		if h.Link == link {
+			return true
+		}
+	}
+	return false
+}

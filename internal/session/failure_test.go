@@ -1,0 +1,142 @@
+package session
+
+import (
+	"errors"
+	"testing"
+
+	"lightpath/internal/wdm"
+)
+
+func TestFailLinkDropsRidingCircuits(t *testing.T) {
+	m, err := NewManager(twoPathNet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Admit(0, 1) // direct link 0 on λ0
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := m.FailLink(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Dropped) != 1 || report.Dropped[0] != c.ID {
+		t.Fatalf("dropped = %v, want [%d]", report.Dropped, c.ID)
+	}
+	if m.ActiveCircuits() != 0 {
+		t.Fatal("circuit should be torn down")
+	}
+	// New admissions must avoid the failed link (detour via node 2).
+	c2, err := m.Admit(0, 1)
+	if err != nil {
+		t.Fatalf("re-admit: %v", err)
+	}
+	if c2.Path.Len() != 2 {
+		t.Fatalf("route should detour around the cut: %+v", c2.Path)
+	}
+	if got := m.FailedLinks(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("FailedLinks = %v", got)
+	}
+	// Repair restores the direct route for future circuits.
+	_ = m.Release(c2.ID)
+	m.RepairLink(0)
+	c3, err := m.Admit(0, 1)
+	if err != nil || c3.Path.Len() != 1 {
+		t.Fatalf("after repair: %+v %v", c3, err)
+	}
+}
+
+func TestFailLinkProtectedSurvives(t *testing.T) {
+	m := ringManager(t)
+	primary, backup, err := m.AdmitProtected(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the first link of the primary path.
+	cut := primary.Path.Hops[0].Link
+	report, err := m.FailLink(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Survived) != 1 || report.Survived[0] != primary.ID {
+		t.Fatalf("survived = %v, want [%d]", report.Survived, primary.ID)
+	}
+	if len(report.Dropped) != 0 {
+		t.Fatalf("nothing should drop: %v", report.Dropped)
+	}
+	// The backup keeps carrying; the primary's channels are freed.
+	if m.ActiveCircuits() != 1 {
+		t.Fatalf("active = %d, want 1 (the backup)", m.ActiveCircuits())
+	}
+	if _, held := m.HolderOf(cut, primary.Path.Hops[0].Wavelength); held {
+		t.Fatal("failed primary channels must be freed")
+	}
+	if err := m.Release(backup.ID); err != nil {
+		t.Fatalf("backup should be releasable stand-alone: %v", err)
+	}
+}
+
+func TestFailLinkHittingBothPathsDropsCircuit(t *testing.T) {
+	// Protected pair on a ring; cut one link of EACH path: first cut
+	// survives via backup, second cut (now unprotected) drops it.
+	m := ringManager(t)
+	primary, backup, err := m.AdmitProtected(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FailLink(primary.Path.Hops[0].Link); err != nil {
+		t.Fatal(err)
+	}
+	report, err := m.FailLink(backup.Path.Hops[0].Link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Dropped) != 1 || report.Dropped[0] != backup.ID {
+		t.Fatalf("dropped = %v, want [%d]", report.Dropped, backup.ID)
+	}
+	if m.ActiveCircuits() != 0 {
+		t.Fatal("everything should be down now")
+	}
+}
+
+func TestFailLinkIdempotentAndBounds(t *testing.T) {
+	m, err := NewManager(twoPathNet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FailLink(99); err == nil {
+		t.Fatal("out-of-range link must fail")
+	}
+	if _, err := m.FailLink(0); err != nil {
+		t.Fatal(err)
+	}
+	report, err := m.FailLink(0) // second cut of the same fiber
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Dropped) != 0 && len(report.Survived) != 0 {
+		t.Fatal("re-failing a dead link must be a no-op")
+	}
+	m.RepairLink(42) // unknown repair is a no-op
+}
+
+func TestFailLinkBlocksWhenCutIsolates(t *testing.T) {
+	// One-link network: cutting it makes admission impossible.
+	nw := wdm.NewNetwork(2, 1)
+	if _, err := nw.AddLink(0, 1, []wdm.Channel{{Lambda: 0, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FailLink(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Admit(0, 1); !errors.Is(err, ErrBlocked) {
+		t.Fatalf("admission over cut fiber: %v, want ErrBlocked", err)
+	}
+	if _, err := m.AdmitPolicy(0, 1, PolicyFirstFit); !errors.Is(err, ErrBlocked) {
+		t.Fatalf("first-fit over cut fiber: %v, want ErrBlocked", err)
+	}
+}

@@ -1,0 +1,168 @@
+package session
+
+import (
+	"fmt"
+
+	"lightpath/internal/wdm"
+)
+
+// Policy selects the admission algorithm.
+type Policy int
+
+// Admission policies.
+const (
+	// PolicyOptimal routes an optimal semilightpath over residual
+	// capacity (the paper's algorithm) — conversion-aware, cost-optimal.
+	PolicyOptimal Policy = iota + 1
+	// PolicyFirstFit is the classical fixed-routing + first-fit
+	// wavelength-assignment heuristic: the circuit must follow the
+	// minimum-hop physical route and use ONE wavelength end to end (no
+	// conversion), chosen as the lowest-indexed wavelength free on every
+	// link of that route. Cheap, and the standard strawman the RWA
+	// literature compares against.
+	PolicyFirstFit
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyOptimal:
+		return "optimal"
+	case PolicyFirstFit:
+		return "first-fit"
+	case PolicyMostUsed:
+		return "most-used"
+	case PolicyLeastUsed:
+		return "least-used"
+	case PolicyRandomFit:
+		return "random-fit"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// AdmitPolicy admits a circuit with the chosen policy. See Admit.
+func (m *Manager) AdmitPolicy(s, t int, policy Policy) (*Circuit, error) {
+	switch policy {
+	case 0, PolicyOptimal:
+		return m.Admit(s, t)
+	case PolicyFirstFit:
+		return m.admitFirstFit(s, t)
+	case PolicyMostUsed:
+		return m.admitMostUsed(s, t)
+	case PolicyLeastUsed:
+		return m.admitLeastUsed(s, t)
+	case PolicyRandomFit:
+		return m.admitRandomFit(s, t)
+	default:
+		return nil, fmt.Errorf("session: unknown policy %d", int(policy))
+	}
+}
+
+// admitFirstFit implements PolicyFirstFit: min-hop fixed route over the
+// physical topology, then the first wavelength free along the whole
+// route. Blocks when the fixed route exists but no single wavelength is
+// continuously free (wavelength-continuity blocking) or when s cannot
+// reach t at all.
+func (m *Manager) admitFirstFit(s, t int) (*Circuit, error) {
+	route, ok := m.minHopRoute(s, t)
+	if !ok {
+		m.stats.Blocked++
+		return nil, fmt.Errorf("%w: %d->%d (no physical route)", ErrBlocked, s, t)
+	}
+	k := m.base.K()
+	for lam := wdm.Wavelength(0); int(lam) < k; lam++ {
+		if m.routeFreeOn(route, lam) {
+			hops := make([]wdm.Hop, len(route))
+			cost := 0.0
+			for i, linkID := range route {
+				hops[i] = wdm.Hop{Link: linkID, Wavelength: lam}
+				w, _ := m.base.Link(linkID).Has(lam)
+				cost += w
+			}
+			c := m.claim(s, t, &wdm.Semilightpath{Hops: hops}, cost)
+			return c, nil
+		}
+	}
+	m.stats.Blocked++
+	return nil, fmt.Errorf("%w: %d->%d (no continuous wavelength on the fixed route)", ErrBlocked, s, t)
+}
+
+// minHopRoute finds the minimum-hop link sequence s→t over the full
+// installed topology (fixed routing ignores current occupancy — that is
+// what makes it cheap and blocking-prone).
+func (m *Manager) minHopRoute(s, t int) ([]int, bool) {
+	if s == t {
+		return nil, true
+	}
+	n := m.base.NumNodes()
+	parentLink := make([]int32, n)
+	for i := range parentLink {
+		parentLink[i] = -1
+	}
+	visited := make([]bool, n)
+	visited[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == t {
+			break
+		}
+		for _, linkID := range m.base.Out(u) {
+			l := m.base.Link(int(linkID))
+			if len(l.Channels) == 0 || visited[l.To] || m.failed[l.ID] {
+				continue
+			}
+			visited[l.To] = true
+			parentLink[l.To] = linkID
+			queue = append(queue, l.To)
+		}
+	}
+	if !visited[t] {
+		return nil, false
+	}
+	var rev []int
+	for v := t; v != s; {
+		linkID := int(parentLink[v])
+		rev = append(rev, linkID)
+		v = m.base.Link(linkID).From
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// routeFreeOn reports whether lam is installed and currently unheld on
+// every link of the route.
+func (m *Manager) routeFreeOn(route []int, lam wdm.Wavelength) bool {
+	for _, linkID := range route {
+		if m.failed[linkID] {
+			return false
+		}
+		if _, installed := m.base.Link(linkID).Has(lam); !installed {
+			return false
+		}
+		if _, taken := m.inUse[chanKey{link: linkID, lam: lam}]; taken {
+			return false
+		}
+	}
+	return true
+}
+
+// claim registers a circuit holding the path's channels. The channels
+// are known-free (the caller checked), so this cannot conflict.
+func (m *Manager) claim(s, t int, path *wdm.Semilightpath, cost float64) *Circuit {
+	m.nextID++
+	c := &Circuit{ID: m.nextID, From: s, To: t, Path: path, Cost: cost}
+	for _, h := range path.Hops {
+		m.inUse[chanKey{link: h.Link, lam: h.Wavelength}] = c.ID
+	}
+	m.active[c.ID] = c
+	m.stats.Admitted++
+	if len(m.active) > m.maxHeld {
+		m.maxHeld = len(m.active)
+	}
+	return c
+}

@@ -1,0 +1,66 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+
+	"lightpath/internal/core"
+)
+
+// AdmitProtected admits a 1+1 protected circuit: a primary optimal
+// semilightpath plus a link-disjoint backup, both routed over the
+// current residual capacity and both claiming their channels until
+// Release. The returned primary circuit's Release tears down the backup
+// too.
+//
+// Protection admission blocks when either path cannot be provisioned;
+// nothing is claimed on failure (all-or-nothing).
+func (m *Manager) AdmitProtected(s, t int) (primary, backup *Circuit, err error) {
+	res, err := m.Residual()
+	if err != nil {
+		return nil, nil, err
+	}
+	aux, err := core.NewAux(res)
+	if err != nil {
+		return nil, nil, err
+	}
+	pair, err := aux.RouteProtected(s, t, &core.ProtectOptions{
+		Route:             &core.Options{Queue: m.queue},
+		PrimaryCandidates: 4, // modest anti-trap effort per admission
+	})
+	if errors.Is(err, core.ErrNoRoute) || errors.Is(err, core.ErrNoBackup) {
+		m.stats.Blocked++
+		return nil, nil, fmt.Errorf("%w: %d->%d (protected)", ErrBlocked, s, t)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	primary = m.claim(s, t, pair.Primary.Path, pair.Primary.Cost)
+	backup = m.claim(s, t, pair.Backup.Path, pair.Backup.Cost)
+	// Pairing: releasing the primary cascades to the backup.
+	if m.pairedBackup == nil {
+		m.pairedBackup = make(map[ID]ID)
+	}
+	m.pairedBackup[primary.ID] = backup.ID
+	return primary, backup, nil
+}
+
+// releasePaired drops the paired backup of id, if one exists. Called by
+// Release before the primary itself is torn down.
+func (m *Manager) releasePaired(id ID) {
+	if m.pairedBackup == nil {
+		return
+	}
+	backupID, ok := m.pairedBackup[id]
+	if !ok {
+		return
+	}
+	delete(m.pairedBackup, id)
+	if c, active := m.active[backupID]; active {
+		for _, h := range c.Path.Hops {
+			delete(m.inUse, chanKey{link: h.Link, lam: h.Wavelength})
+		}
+		delete(m.active, backupID)
+		m.stats.Released++
+	}
+}

@@ -1,0 +1,114 @@
+package session
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lightpath/internal/topo"
+	"lightpath/internal/workload"
+)
+
+func ringManager(t *testing.T) *Manager {
+	t.Helper()
+	rng := rand.New(rand.NewSource(6))
+	nw, err := workload.Build(topo.Ring(8), workload.Spec{
+		K: 2, AvailProb: 1.0, Conv: workload.ConvUniform, ConvCost: 0.1,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAdmitProtected(t *testing.T) {
+	m := ringManager(t)
+	primary, backup, err := m.AdmitProtected(0, 4)
+	if err != nil {
+		t.Fatalf("AdmitProtected: %v", err)
+	}
+	if primary == nil || backup == nil {
+		t.Fatal("both circuits should exist")
+	}
+	if m.ActiveCircuits() != 2 {
+		t.Fatalf("active = %d, want 2", m.ActiveCircuits())
+	}
+	// The two paths are disjoint: they use opposite ring directions, so
+	// releasing the primary must free everything.
+	if err := m.Release(primary.ID); err != nil {
+		t.Fatal(err)
+	}
+	if m.ActiveCircuits() != 0 {
+		t.Fatalf("cascade release failed: %d active", m.ActiveCircuits())
+	}
+	if m.Utilization() != 0 {
+		t.Fatal("channels leaked after cascade release")
+	}
+	st := m.Stats()
+	if st.Admitted != 2 || st.Released != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAdmitProtectedBackupIndependentRelease(t *testing.T) {
+	m := ringManager(t)
+	primary, backup, err := m.AdmitProtected(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Releasing the backup directly leaves the primary alone.
+	if err := m.Release(backup.ID); err != nil {
+		t.Fatal(err)
+	}
+	if m.ActiveCircuits() != 1 {
+		t.Fatalf("active = %d, want 1", m.ActiveCircuits())
+	}
+	if err := m.Release(primary.ID); err != nil {
+		t.Fatal(err)
+	}
+	if m.ActiveCircuits() != 0 {
+		t.Fatal("primary release should succeed after backup went away")
+	}
+}
+
+func TestAdmitProtectedBlocksWhenNoPair(t *testing.T) {
+	// A line has no disjoint pair anywhere.
+	rng := rand.New(rand.NewSource(7))
+	nw, err := workload.Build(topo.Line(4), workload.RestrictedSpec(2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.AdmitProtected(0, 3); !errors.Is(err, ErrBlocked) {
+		t.Fatalf("err = %v, want ErrBlocked", err)
+	}
+	if m.ActiveCircuits() != 0 || m.Utilization() != 0 {
+		t.Fatal("failed protected admission must claim nothing")
+	}
+	if m.Stats().Blocked != 1 {
+		t.Fatal("blocking not counted")
+	}
+}
+
+func TestAdmitProtectedCapacityExhaustion(t *testing.T) {
+	m := ringManager(t)
+	// k=2 on a ring: each protected circuit takes both directions. After
+	// two protected circuits between the same endpoints (2 wavelengths ×
+	// 2 directions), a third must block.
+	if _, _, err := m.AdmitProtected(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.AdmitProtected(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.AdmitProtected(0, 4); !errors.Is(err, ErrBlocked) {
+		t.Fatalf("third protected admission: %v, want ErrBlocked", err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package session implements the application the paper's introduction
+// motivates: online circuit switching. A Manager owns the live
+// wavelength occupancy of a WDM network, admits connection requests by
+// routing an optimal semilightpath over the *residual* capacity (the
+// channels no active circuit holds), claims the chosen channels, and
+// releases them at teardown. Blocking statistics fall out naturally,
+// enabling the classic blocking-probability-vs-offered-load experiments
+// of the WDM literature.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"lightpath/internal/core"
+	"lightpath/internal/graph"
+	"lightpath/internal/wdm"
+)
+
+// Errors returned by the manager.
+var (
+	// ErrBlocked is returned when no semilightpath exists in the
+	// residual network — the request is blocked.
+	ErrBlocked = errors.New("session: request blocked")
+	// ErrUnknownSession is returned when releasing an unknown ID.
+	ErrUnknownSession = errors.New("session: unknown session")
+	// ErrNilNetwork is returned for a nil base network.
+	ErrNilNetwork = errors.New("session: nil network")
+)
+
+// ID identifies an admitted circuit.
+type ID int64
+
+// Circuit is one admitted connection holding its channels.
+type Circuit struct {
+	ID   ID
+	From int
+	To   int
+	Path *wdm.Semilightpath
+	Cost float64
+}
+
+type chanKey struct {
+	link int
+	lam  wdm.Wavelength
+}
+
+// Stats counts the manager's admission outcomes.
+type Stats struct {
+	Admitted int
+	Blocked  int
+	Released int
+}
+
+// BlockingProbability is Blocked / (Admitted + Blocked), or 0 with no
+// offered traffic.
+func (s Stats) BlockingProbability() float64 {
+	offered := s.Admitted + s.Blocked
+	if offered == 0 {
+		return 0
+	}
+	return float64(s.Blocked) / float64(offered)
+}
+
+// Manager owns wavelength occupancy and admits/releases circuits.
+// Manager is not safe for concurrent use; wrap it if needed.
+type Manager struct {
+	base    *wdm.Network
+	inUse   map[chanKey]ID
+	active  map[ID]*Circuit
+	nextID  ID
+	queue   graph.QueueKind
+	stats   Stats
+	maxHeld int
+	rng     *rand.Rand // PolicyRandomFit's wavelength picker
+	// pairedBackup maps a protected primary to its backup circuit so
+	// releasing the primary cascades.
+	pairedBackup map[ID]ID
+	// failed marks links out of service (fiber cuts); they contribute no
+	// channels until RepairLink.
+	failed map[int]bool
+}
+
+// NewManager wraps the installed network nw. The manager never mutates
+// nw; it tracks occupancy separately and routes over residual copies.
+func NewManager(nw *wdm.Network) (*Manager, error) {
+	if nw == nil {
+		return nil, ErrNilNetwork
+	}
+	return &Manager{
+		base:   nw,
+		inUse:  make(map[chanKey]ID),
+		active: make(map[ID]*Circuit),
+		queue:  graph.QueueBinary, // practical default for repeated small queries
+	}, nil
+}
+
+// SetQueue overrides the Dijkstra queue used for admission routing.
+func (m *Manager) SetQueue(kind graph.QueueKind) { m.queue = kind }
+
+// Stats returns the admission counters so far.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ActiveCircuits reports the number of circuits currently holding
+// channels.
+func (m *Manager) ActiveCircuits() int { return len(m.active) }
+
+// PeakActiveCircuits reports the maximum concurrently-active circuits
+// observed.
+func (m *Manager) PeakActiveCircuits() int { return m.maxHeld }
+
+// Utilization is the fraction of installed (link, wavelength) channels
+// currently held by circuits.
+func (m *Manager) Utilization() float64 {
+	total := m.base.TotalChannels()
+	if total == 0 {
+		return 0
+	}
+	return float64(len(m.inUse)) / float64(total)
+}
+
+// Residual builds the network of currently-free channels. Converters
+// are shared with the base network (converter banks are not a per-
+// circuit resource in this model).
+func (m *Manager) Residual() (*wdm.Network, error) {
+	res := wdm.NewNetwork(m.base.NumNodes(), m.base.K())
+	for _, l := range m.base.Links() {
+		free := make([]wdm.Channel, 0, len(l.Channels))
+		if !m.failed[l.ID] {
+			for _, ch := range l.Channels {
+				if _, taken := m.inUse[chanKey{link: l.ID, lam: ch.Lambda}]; !taken {
+					free = append(free, ch)
+				}
+			}
+		}
+		// Links are added even when fully occupied so link IDs stay
+		// aligned with the base network for claiming.
+		if _, err := res.AddLink(l.From, l.To, free); err != nil {
+			return nil, fmt.Errorf("session: residual link %d: %w", l.ID, err)
+		}
+	}
+	res.SetConverter(m.base.Converter())
+	return res, nil
+}
+
+// Admit routes a circuit from s to t over the residual capacity and, on
+// success, claims its channels. A nil error means the circuit is active
+// until Release.
+func (m *Manager) Admit(s, t int) (*Circuit, error) {
+	res, err := m.Residual()
+	if err != nil {
+		return nil, err
+	}
+	result, err := core.FindSemilightpath(res, s, t, &core.Options{Queue: m.queue})
+	if errors.Is(err, core.ErrNoRoute) {
+		m.stats.Blocked++
+		return nil, fmt.Errorf("%w: %d->%d", ErrBlocked, s, t)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	m.nextID++
+	c := &Circuit{ID: m.nextID, From: s, To: t, Path: result.Path, Cost: result.Cost}
+	for _, h := range result.Path.Hops {
+		key := chanKey{link: h.Link, lam: h.Wavelength}
+		if owner, taken := m.inUse[key]; taken {
+			// Cannot happen: the residual network excluded held channels.
+			return nil, fmt.Errorf("session: internal: channel (link %d, λ%d) already held by %d",
+				h.Link, h.Wavelength, owner)
+		}
+		m.inUse[key] = c.ID
+	}
+	m.active[c.ID] = c
+	m.stats.Admitted++
+	if len(m.active) > m.maxHeld {
+		m.maxHeld = len(m.active)
+	}
+	return c, nil
+}
+
+// Release tears the circuit down, freeing its channels. Releasing a
+// protected primary (see AdmitProtected) also releases its backup.
+func (m *Manager) Release(id ID) error {
+	c, ok := m.active[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	m.releasePaired(id)
+	for _, h := range c.Path.Hops {
+		delete(m.inUse, chanKey{link: h.Link, lam: h.Wavelength})
+	}
+	delete(m.active, id)
+	m.stats.Released++
+	return nil
+}
+
+// HolderOf reports which circuit holds the given channel, if any.
+func (m *Manager) HolderOf(link int, lam wdm.Wavelength) (ID, bool) {
+	id, ok := m.inUse[chanKey{link: link, lam: lam}]
+	return id, ok
+}

@@ -1,0 +1,277 @@
+package session
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lightpath/internal/topo"
+	"lightpath/internal/wdm"
+	"lightpath/internal/workload"
+)
+
+// twoPathNet: 0→1 on λ0 only, plus a detour 0→2→1 on λ1 only.
+func twoPathNet(t *testing.T) *wdm.Network {
+	t.Helper()
+	nw := wdm.NewNetwork(3, 2)
+	mustLink(t, nw, 0, 1, wdm.Channel{Lambda: 0, Weight: 1})
+	mustLink(t, nw, 0, 2, wdm.Channel{Lambda: 1, Weight: 1})
+	mustLink(t, nw, 2, 1, wdm.Channel{Lambda: 1, Weight: 1})
+	nw.SetConverter(wdm.UniformConversion{C: 0.1})
+	return nw
+}
+
+func mustLink(t *testing.T, nw *wdm.Network, u, v int, cs ...wdm.Channel) int {
+	t.Helper()
+	id, err := nw.AddLink(u, v, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestNewManagerNil(t *testing.T) {
+	if _, err := NewManager(nil); !errors.Is(err, ErrNilNetwork) {
+		t.Fatalf("nil: %v", err)
+	}
+}
+
+func TestAdmitClaimsChannels(t *testing.T) {
+	m, err := NewManager(twoPathNet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Admit(0, 1)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if c.Cost != 1 || c.Path.Len() != 1 {
+		t.Fatalf("first circuit should take the direct link: %+v", c)
+	}
+	if id, held := m.HolderOf(0, 0); !held || id != c.ID {
+		t.Fatal("direct channel not claimed")
+	}
+	if m.ActiveCircuits() != 1 {
+		t.Fatalf("active = %d", m.ActiveCircuits())
+	}
+	if got := m.Utilization(); got != 1.0/3.0 {
+		t.Fatalf("utilization = %v, want 1/3", got)
+	}
+
+	// Second circuit must detour: the direct channel is held.
+	c2, err := m.Admit(0, 1)
+	if err != nil {
+		t.Fatalf("second Admit: %v", err)
+	}
+	if c2.Path.Len() != 2 {
+		t.Fatalf("second circuit should detour via 2: %+v", c2.Path)
+	}
+
+	// Third is blocked: all channels held.
+	if _, err := m.Admit(0, 1); !errors.Is(err, ErrBlocked) {
+		t.Fatalf("third Admit: %v, want ErrBlocked", err)
+	}
+	st := m.Stats()
+	if st.Admitted != 2 || st.Blocked != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if bp := st.BlockingProbability(); bp < 0.333 || bp > 0.334 {
+		t.Fatalf("blocking probability = %v", bp)
+	}
+}
+
+func TestReleaseRestoresCapacity(t *testing.T) {
+	m, err := NewManager(twoPathNet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Admit(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(c.ID); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if m.ActiveCircuits() != 0 || m.Utilization() != 0 {
+		t.Fatal("release did not free channels")
+	}
+	// The direct path is available again.
+	c2, err := m.Admit(0, 1)
+	if err != nil || c2.Path.Len() != 1 {
+		t.Fatalf("re-admit after release: %+v %v", c2, err)
+	}
+	if err := m.Release(ID(999)); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("unknown release: %v", err)
+	}
+	if err := m.Release(c.ID); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("double release: %v", err)
+	}
+}
+
+func TestResidualKeepsLinkIDsAligned(t *testing.T) {
+	nw := twoPathNet(t)
+	m, err := NewManager(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Admit(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Residual()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumLinks() != nw.NumLinks() {
+		t.Fatalf("residual has %d links, want %d", res.NumLinks(), nw.NumLinks())
+	}
+	// Link 0's only channel is held: residual link 0 must be empty.
+	if got := len(res.Link(0).Channels); got != 0 {
+		t.Fatalf("residual link 0 has %d channels, want 0", got)
+	}
+	if got := len(res.Link(1).Channels); got != 1 {
+		t.Fatalf("residual link 1 has %d channels, want 1", got)
+	}
+}
+
+func TestStatsZeroTraffic(t *testing.T) {
+	if got := (Stats{}).BlockingProbability(); got != 0 {
+		t.Fatalf("empty blocking probability = %v", got)
+	}
+}
+
+func TestBlockingMonotoneInLoad(t *testing.T) {
+	// Classic sanity law: more offered load → no less blocking.
+	tp := topo.Ring(8)
+	rng := rand.New(rand.NewSource(4))
+	nw, err := workload.Build(tp, workload.Spec{K: 3, AvailProb: 0.7, Conv: workload.ConvUniform, ConvCost: 0.2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = -1
+	for _, load := range []float64{0.5, 4, 32} {
+		m, err := NewManager(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SimulateTraffic(m, TrafficConfig{Requests: 600, Load: load, Seed: 9})
+		if err != nil {
+			t.Fatalf("load %v: %v", load, err)
+		}
+		bp := res.Stats.BlockingProbability()
+		if bp < prev-0.02 { // small tolerance for stochastic noise
+			t.Fatalf("blocking decreased with load: %v after %v", bp, prev)
+		}
+		prev = bp
+		if m.ActiveCircuits() != 0 {
+			t.Fatal("simulation should drain all circuits")
+		}
+		if res.MeanUtilization < 0 || res.MeanUtilization > 1 {
+			t.Fatalf("utilization out of range: %v", res.MeanUtilization)
+		}
+	}
+	if prev <= 0 {
+		t.Fatal("heavy load should produce some blocking")
+	}
+}
+
+func TestSimulateTrafficValidation(t *testing.T) {
+	m, err := NewManager(twoPathNet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateTraffic(m, TrafficConfig{Requests: 0, Load: 1}); err == nil {
+		t.Fatal("zero requests must fail")
+	}
+	if _, err := SimulateTraffic(m, TrafficConfig{Requests: 10, Load: 0}); err == nil {
+		t.Fatal("zero load must fail")
+	}
+	one := wdm.NewNetwork(1, 1)
+	m1, err := NewManager(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateTraffic(m1, TrafficConfig{Requests: 10, Load: 1}); err == nil {
+		t.Fatal("1-node network must fail")
+	}
+}
+
+func TestSimulateTrafficDeterministic(t *testing.T) {
+	tp := topo.Grid(3, 3)
+	rng := rand.New(rand.NewSource(5))
+	nw, err := workload.Build(tp, workload.RestrictedSpec(3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *TrafficResult {
+		m, err := NewManager(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SimulateTraffic(m, TrafficConfig{Requests: 200, Load: 5, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Stats != b.Stats || a.PeakActive != b.PeakActive || a.MeanCost != b.MeanCost {
+		t.Fatalf("same seed produced different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestPeakActive(t *testing.T) {
+	m, err := NewManager(twoPathNet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.Admit(0, 1)
+	b, _ := m.Admit(0, 1)
+	if a == nil || b == nil {
+		t.Fatal("both admissions should succeed")
+	}
+	_ = m.Release(a.ID)
+	_ = m.Release(b.ID)
+	if m.PeakActiveCircuits() != 2 {
+		t.Fatalf("peak = %d, want 2", m.PeakActiveCircuits())
+	}
+}
+
+func BenchmarkAdmitRelease(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	nw, err := workload.Build(topo.NSFNET(), workload.RestrictedSpec(8), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewManager(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := m.Admit(0, 13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Release(c.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateTraffic(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	nw, err := workload.Build(topo.NSFNET(), workload.RestrictedSpec(6), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := NewManager(nw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := SimulateTraffic(m, TrafficConfig{Requests: 500, Load: 10, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

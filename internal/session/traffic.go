@@ -1,0 +1,148 @@
+package session
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TrafficConfig parameterizes a dynamic-traffic simulation in the
+// classic Erlang style: circuit requests arrive as a Poisson process,
+// hold for exponentially distributed times, and pick uniform random
+// (source, destination) pairs.
+type TrafficConfig struct {
+	// Requests is the number of connection requests to offer.
+	Requests int
+	// Load is the offered load in Erlangs: arrival rate × mean holding
+	// time. With mean holding fixed at 1, the arrival rate is Load.
+	Load float64
+	// Seed drives the simulation's randomness.
+	Seed int64
+	// Policy selects the admission algorithm; zero means PolicyOptimal.
+	Policy Policy
+}
+
+// TrafficResult summarizes one simulation run.
+type TrafficResult struct {
+	Stats           Stats
+	PeakActive      int
+	MeanActive      float64
+	MeanUtilization float64
+	MeanCost        float64 // mean admitted-circuit cost
+}
+
+// departure is a scheduled circuit teardown.
+type departure struct {
+	at time64
+	id ID
+}
+
+type time64 = float64
+
+// departureHeap is a min-heap on departure time.
+type departureHeap []departure
+
+func (h departureHeap) Len() int            { return len(h) }
+func (h departureHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h departureHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *departureHeap) Push(x interface{}) { *h = append(*h, x.(departure)) }
+func (h *departureHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// SimulateTraffic runs an event-driven admission simulation against m
+// (which should be freshly created). It returns aggregate statistics;
+// m's own counters reflect the same run afterwards.
+func SimulateTraffic(m *Manager, cfg TrafficConfig) (*TrafficResult, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("session: Requests must be positive, got %d", cfg.Requests)
+	}
+	if cfg.Load <= 0 {
+		return nil, fmt.Errorf("session: Load must be positive, got %v", cfg.Load)
+	}
+	n := m.base.NumNodes()
+	if n < 2 {
+		return nil, fmt.Errorf("session: need at least 2 nodes")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var (
+		deps        departureHeap
+		clock       float64
+		activeArea  float64 // ∫ active(t) dt
+		utilArea    float64 // ∫ utilization(t) dt
+		costSum     float64
+		lastEventAt float64
+	)
+	heap.Init(&deps)
+
+	advance := func(to float64) {
+		dt := to - lastEventAt
+		if dt > 0 {
+			activeArea += dt * float64(m.ActiveCircuits())
+			utilArea += dt * m.Utilization()
+		}
+		lastEventAt = to
+	}
+
+	res := &TrafficResult{}
+	for i := 0; i < cfg.Requests; i++ {
+		clock += rng.ExpFloat64() / cfg.Load // next arrival
+
+		// Tear down every circuit departing before this arrival.
+		for deps.Len() > 0 && deps[0].at <= clock {
+			d := heap.Pop(&deps).(departure)
+			advance(d.at)
+			if err := m.Release(d.id); err != nil {
+				return nil, err
+			}
+		}
+		advance(clock)
+
+		s := rng.Intn(n)
+		t := rng.Intn(n - 1)
+		if t >= s {
+			t++
+		}
+		c, err := m.AdmitPolicy(s, t, cfg.Policy)
+		switch {
+		case err == nil:
+			costSum += c.Cost
+			heap.Push(&deps, departure{at: clock + rng.ExpFloat64(), id: c.ID})
+		case isBlocked(err):
+			// counted by the manager
+		default:
+			return nil, err
+		}
+	}
+	// Drain remaining departures so the manager ends empty.
+	for deps.Len() > 0 {
+		d := heap.Pop(&deps).(departure)
+		advance(d.at)
+		if err := m.Release(d.id); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Stats = m.Stats()
+	res.PeakActive = m.PeakActiveCircuits()
+	if lastEventAt > 0 {
+		res.MeanActive = activeArea / lastEventAt
+		res.MeanUtilization = utilArea / lastEventAt
+	}
+	if res.Stats.Admitted > 0 {
+		res.MeanCost = costSum / float64(res.Stats.Admitted)
+	}
+	if math.IsNaN(res.MeanCost) {
+		res.MeanCost = 0
+	}
+	return res, nil
+}
+
+func isBlocked(err error) bool { return errors.Is(err, ErrBlocked) }

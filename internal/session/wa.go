@@ -1,0 +1,110 @@
+package session
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lightpath/internal/wdm"
+)
+
+// Additional wavelength-assignment heuristics on the fixed min-hop
+// route. All share first-fit's routing (and therefore its
+// wavelength-continuity blocking); they differ only in WHICH free
+// wavelength they pick, which shifts future blocking:
+//
+//	PolicyMostUsed   pack onto already-busy wavelengths, preserving
+//	                 whole idle wavelengths for long future circuits
+//	                 (the classic MU heuristic, usually the best WA)
+//	PolicyLeastUsed  spread across wavelengths (load balancing; usually
+//	                 WORSE blocking — kept as the counterexample)
+//	PolicyRandomFit  uniform random free wavelength (the null model)
+const (
+	PolicyMostUsed Policy = iota + 3 // continues the Policy enum
+	PolicyLeastUsed
+	PolicyRandomFit
+)
+
+// waRand is the deterministic source PolicyRandomFit draws from; the
+// manager owns one so repeated simulations with equal seeds agree.
+func (m *Manager) waRand() *rand.Rand {
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(1))
+	}
+	return m.rng
+}
+
+// SeedRandomFit reseeds the PolicyRandomFit wavelength picker.
+func (m *Manager) SeedRandomFit(seed int64) {
+	m.rng = rand.New(rand.NewSource(seed))
+}
+
+// admitWithAssignment routes min-hop and picks the free wavelength by
+// the given selection rule.
+func (m *Manager) admitWithAssignment(s, t int, pick func(free []wdm.Wavelength) wdm.Wavelength) (*Circuit, error) {
+	route, ok := m.minHopRoute(s, t)
+	if !ok {
+		m.stats.Blocked++
+		return nil, fmt.Errorf("%w: %d->%d (no physical route)", ErrBlocked, s, t)
+	}
+	var free []wdm.Wavelength
+	for lam := wdm.Wavelength(0); int(lam) < m.base.K(); lam++ {
+		if m.routeFreeOn(route, lam) {
+			free = append(free, lam)
+		}
+	}
+	if len(free) == 0 {
+		m.stats.Blocked++
+		return nil, fmt.Errorf("%w: %d->%d (no continuous wavelength on the fixed route)", ErrBlocked, s, t)
+	}
+	lam := pick(free)
+	hops := make([]wdm.Hop, len(route))
+	cost := 0.0
+	for i, linkID := range route {
+		hops[i] = wdm.Hop{Link: linkID, Wavelength: lam}
+		w, _ := m.base.Link(linkID).Has(lam)
+		cost += w
+	}
+	return m.claim(s, t, &wdm.Semilightpath{Hops: hops}, cost), nil
+}
+
+// usageByWavelength counts currently-held channels per wavelength.
+func (m *Manager) usageByWavelength() []int {
+	usage := make([]int, m.base.K())
+	for key := range m.inUse {
+		usage[key.lam]++
+	}
+	return usage
+}
+
+func (m *Manager) admitMostUsed(s, t int) (*Circuit, error) {
+	usage := m.usageByWavelength()
+	return m.admitWithAssignment(s, t, func(free []wdm.Wavelength) wdm.Wavelength {
+		best := free[0]
+		for _, l := range free[1:] {
+			if usage[l] > usage[best] {
+				best = l
+			}
+		}
+		return best
+	})
+}
+
+func (m *Manager) admitLeastUsed(s, t int) (*Circuit, error) {
+	usage := m.usageByWavelength()
+	return m.admitWithAssignment(s, t, func(free []wdm.Wavelength) wdm.Wavelength {
+		best := free[0]
+		for _, l := range free[1:] {
+			if usage[l] < usage[best] {
+				best = l
+			}
+		}
+		return best
+	})
+}
+
+func (m *Manager) admitRandomFit(s, t int) (*Circuit, error) {
+	rng := m.waRand()
+	return m.admitWithAssignment(s, t, func(free []wdm.Wavelength) wdm.Wavelength {
+		return free[rng.Intn(len(free))]
+	})
+}

@@ -1,0 +1,66 @@
+package topo
+
+// Reference wide-area topologies. Both are encoded as undirected edge
+// lists and expanded to two directed links per fiber, the convention of
+// the paper's Section II ("the undirected version of the network can be
+// modeled by replacing an undirected link with two oppositely directed
+// links").
+
+// nsfnetEdges is the classical 14-node, 21-fiber NSFNET T1 backbone
+// (node order: WA, CA1, CA2, UT, CO, TX, NE, IL, PA, GA, MI, NY, NJ, MD).
+var nsfnetEdges = [][2]int{
+	{0, 1}, {0, 2}, {0, 7},
+	{1, 2}, {1, 3},
+	{2, 5},
+	{3, 4}, {3, 10},
+	{4, 5}, {4, 6},
+	{5, 9}, {5, 12},
+	{6, 7}, {6, 13},
+	{7, 8},
+	{8, 9}, {8, 11}, {8, 13},
+	{10, 11}, {10, 13},
+	{11, 12},
+}
+
+// NSFNET returns the 14-node NSFNET backbone (42 directed links).
+func NSFNET() *Topology {
+	t := &Topology{Name: "nsfnet", N: 14}
+	for _, e := range nsfnetEdges {
+		t.Edges = addBoth(t.Edges, e[0], e[1])
+	}
+	return t
+}
+
+// arpanetEdges is a 20-node ARPANET-like continental backbone with 32
+// fibers, max nodal degree 4 — the sparse, approximately planar shape the
+// paper calls typical of large WANs.
+var arpanetEdges = [][2]int{
+	{0, 1}, {0, 2},
+	{1, 3}, {1, 4},
+	{2, 4}, {2, 5},
+	{3, 6}, {3, 7},
+	{4, 7}, {4, 8},
+	{5, 8}, {5, 9},
+	{6, 10},
+	{7, 10}, {7, 11},
+	{8, 11}, {8, 12},
+	{9, 12}, {9, 13},
+	{10, 14},
+	{11, 14}, {11, 15},
+	{12, 15}, {12, 16},
+	{13, 16},
+	{14, 17},
+	{15, 17}, {15, 18},
+	{16, 18}, {16, 19},
+	{17, 18},
+	{18, 19},
+}
+
+// ARPANET returns the 20-node ARPANET-like backbone (64 directed links).
+func ARPANET() *Topology {
+	t := &Topology{Name: "arpanet", N: 20}
+	for _, e := range arpanetEdges {
+		t.Edges = addBoth(t.Edges, e[0], e[1])
+	}
+	return t
+}

@@ -1,0 +1,43 @@
+package wdm
+
+// Leg is one step of a cost breakdown: the hop taken, what entering it
+// cost (conversion at the junction, if any, plus the link traversal),
+// and the running total. Produced by Semilightpath.Breakdown.
+type Leg struct {
+	Hop        Hop
+	From       int
+	To         int
+	ConvCost   float64 // conversion paid at From before this hop (0 on the first hop)
+	LinkCost   float64 // w(e, λ) for this hop
+	Cumulative float64 // total cost through this hop
+}
+
+// Breakdown itemizes Equation (1) hop by hop: which junction paid which
+// conversion, what each link traversal cost, and the running total. The
+// final leg's Cumulative equals Cost(nw). Invalid hops yield +Inf fields
+// rather than an error — mirroring Cost's behaviour — so callers can
+// still display partially-valid paths.
+func (p *Semilightpath) Breakdown(nw *Network) []Leg {
+	legs := make([]Leg, 0, len(p.Hops))
+	total := 0.0
+	for i, h := range p.Hops {
+		link := nw.Link(h.Link)
+		leg := Leg{Hop: h, From: link.From, To: link.To}
+		if w, ok := link.Has(h.Wavelength); ok {
+			leg.LinkCost = w
+		} else {
+			leg.LinkCost = Inf
+		}
+		if i > 0 && p.Hops[i-1].Wavelength != h.Wavelength {
+			if nw.conv == nil {
+				leg.ConvCost = Inf
+			} else {
+				leg.ConvCost = nw.conv.Cost(link.From, p.Hops[i-1].Wavelength, h.Wavelength)
+			}
+		}
+		total += leg.ConvCost + leg.LinkCost
+		leg.Cumulative = total
+		legs = append(legs, leg)
+	}
+	return legs
+}

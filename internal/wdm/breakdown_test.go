@@ -1,0 +1,81 @@
+package wdm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBreakdownItemizesEquation1(t *testing.T) {
+	nw := threeHopNet(t)
+	p := &Semilightpath{Hops: []Hop{
+		{Link: 0, Wavelength: 0}, // w=1
+		{Link: 1, Wavelength: 1}, // conv 0.5 at node 1, w=1
+		{Link: 2, Wavelength: 1}, // w=4
+	}}
+	legs := p.Breakdown(nw)
+	if len(legs) != 3 {
+		t.Fatalf("legs = %d, want 3", len(legs))
+	}
+	want := []Leg{
+		{From: 0, To: 1, ConvCost: 0, LinkCost: 1, Cumulative: 1},
+		{From: 1, To: 2, ConvCost: 0.5, LinkCost: 1, Cumulative: 2.5},
+		{From: 2, To: 3, ConvCost: 0, LinkCost: 4, Cumulative: 6.5},
+	}
+	for i, w := range want {
+		g := legs[i]
+		if g.From != w.From || g.To != w.To || g.ConvCost != w.ConvCost ||
+			g.LinkCost != w.LinkCost || g.Cumulative != w.Cumulative {
+			t.Fatalf("leg %d = %+v, want %+v", i, g, w)
+		}
+	}
+	if legs[2].Cumulative != p.Cost(nw) {
+		t.Fatalf("final cumulative %v != Cost %v", legs[2].Cumulative, p.Cost(nw))
+	}
+}
+
+func TestBreakdownInvalidHops(t *testing.T) {
+	nw := threeHopNet(t)
+	// λ0 not on link 2: infinite link cost.
+	p := &Semilightpath{Hops: []Hop{{Link: 2, Wavelength: 0}}}
+	legs := p.Breakdown(nw)
+	if !math.IsInf(legs[0].LinkCost, 1) || !math.IsInf(legs[0].Cumulative, 1) {
+		t.Fatalf("invalid hop should be +Inf: %+v", legs[0])
+	}
+	// Conversion without a converter: infinite conversion cost.
+	nw.SetConverter(nil)
+	q := &Semilightpath{Hops: []Hop{{Link: 0, Wavelength: 0}, {Link: 1, Wavelength: 1}}}
+	legs = q.Breakdown(nw)
+	if !math.IsInf(legs[1].ConvCost, 1) {
+		t.Fatalf("converter-less conversion should be +Inf: %+v", legs[1])
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	nw := threeHopNet(t)
+	if legs := (&Semilightpath{}).Breakdown(nw); len(legs) != 0 {
+		t.Fatalf("empty path breakdown = %+v", legs)
+	}
+}
+
+// TestQuickBreakdownMatchesCost property: on random valid paths the final
+// cumulative equals Cost exactly.
+func TestQuickBreakdownMatchesCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	nw := threeHopNet(t)
+	candidates := []*Semilightpath{
+		{Hops: []Hop{{Link: 0, Wavelength: 0}}},
+		{Hops: []Hop{{Link: 0, Wavelength: 1}, {Link: 1, Wavelength: 1}}},
+		{Hops: []Hop{{Link: 0, Wavelength: 0}, {Link: 1, Wavelength: 0}, {Link: 2, Wavelength: 1}}},
+	}
+	for trial := 0; trial < 50; trial++ {
+		p := candidates[rng.Intn(len(candidates))]
+		legs := p.Breakdown(nw)
+		if len(legs) == 0 {
+			continue
+		}
+		if got, want := legs[len(legs)-1].Cumulative, p.Cost(nw); got != want {
+			t.Fatalf("cumulative %v != cost %v for %+v", got, want, p)
+		}
+	}
+}

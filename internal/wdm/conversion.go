@@ -1,0 +1,152 @@
+package wdm
+
+import "math"
+
+// This file provides the Converter implementations used throughout the
+// repository. All honor the paper's convention c_v(λ,λ) = 0.
+
+// NoConversion is the converter of a network with no wavelength
+// converters installed: only lightpaths (single-wavelength paths) exist.
+type NoConversion struct{}
+
+// Cost implements Converter: 0 for the identity, Inf otherwise.
+func (NoConversion) Cost(_ int, from, to Wavelength) float64 {
+	if from == to {
+		return 0
+	}
+	return Inf
+}
+
+// UniformConversion allows any-to-any conversion at every node for a
+// fixed cost C. This is the "full conversion capability" corner of the
+// design space.
+type UniformConversion struct {
+	C float64
+}
+
+// Cost implements Converter.
+func (u UniformConversion) Cost(_ int, from, to Wavelength) float64 {
+	if from == to {
+		return 0
+	}
+	return u.C
+}
+
+// DistanceConversion models limited-range converters: switching from λp
+// to λq is possible only when |p−q| ≤ Radius, at cost PerStep·|p−q|.
+// Real wavelength converters have exactly this kind of tuning-range
+// limit, which is why the paper keeps c_v as a general partial function.
+type DistanceConversion struct {
+	Radius  int
+	PerStep float64
+}
+
+// Cost implements Converter.
+func (d DistanceConversion) Cost(_ int, from, to Wavelength) float64 {
+	if from == to {
+		return 0
+	}
+	delta := int(from) - int(to)
+	if delta < 0 {
+		delta = -delta
+	}
+	if d.Radius > 0 && delta > d.Radius {
+		return Inf
+	}
+	return d.PerStep * float64(delta)
+}
+
+// ConvKey identifies one (node, from, to) conversion entry of a
+// TableConversion.
+type ConvKey struct {
+	Node int
+	From Wavelength
+	To   Wavelength
+}
+
+// TableConversion is an explicit sparse table of permitted conversions,
+// the fully general c_v(λp,λq) of the paper. Absent entries cost Inf.
+type TableConversion struct {
+	costs map[ConvKey]float64
+}
+
+// NewTableConversion returns an empty table.
+func NewTableConversion() *TableConversion {
+	return &TableConversion{costs: make(map[ConvKey]float64)}
+}
+
+// Set records c_node(from,to) = cost. Setting an identity pair or a
+// negative/NaN cost is ignored (identity is always 0).
+func (t *TableConversion) Set(node int, from, to Wavelength, cost float64) {
+	if from == to || cost < 0 || math.IsNaN(cost) {
+		return
+	}
+	t.costs[ConvKey{Node: node, From: from, To: to}] = cost
+}
+
+// Len reports the number of explicit entries.
+func (t *TableConversion) Len() int { return len(t.costs) }
+
+// Entries returns a copy of the table contents.
+func (t *TableConversion) Entries() map[ConvKey]float64 {
+	out := make(map[ConvKey]float64, len(t.costs))
+	for k, v := range t.costs {
+		out[k] = v
+	}
+	return out
+}
+
+// Cost implements Converter.
+func (t *TableConversion) Cost(node int, from, to Wavelength) float64 {
+	if from == to {
+		return 0
+	}
+	if c, ok := t.costs[ConvKey{Node: node, From: from, To: to}]; ok {
+		return c
+	}
+	return Inf
+}
+
+// PerNodeConversion composes different converters per node; nodes without
+// an entry fall back to Default (NoConversion if nil). This models
+// networks where only some offices host converter banks.
+type PerNodeConversion struct {
+	Nodes   map[int]Converter
+	Default Converter
+}
+
+// Cost implements Converter.
+func (p PerNodeConversion) Cost(node int, from, to Wavelength) float64 {
+	if from == to {
+		return 0
+	}
+	if c, ok := p.Nodes[node]; ok {
+		return c.Cost(node, from, to)
+	}
+	if p.Default != nil {
+		return p.Default.Cost(node, from, to)
+	}
+	return Inf
+}
+
+// ConverterFunc adapts a plain function to the Converter interface.
+// The identity rule is enforced by the adapter.
+type ConverterFunc func(node int, from, to Wavelength) float64
+
+// Cost implements Converter.
+func (f ConverterFunc) Cost(node int, from, to Wavelength) float64 {
+	if from == to {
+		return 0
+	}
+	return f(node, from, to)
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Converter = NoConversion{}
+	_ Converter = UniformConversion{}
+	_ Converter = DistanceConversion{}
+	_ Converter = (*TableConversion)(nil)
+	_ Converter = PerNodeConversion{}
+	_ Converter = ConverterFunc(nil)
+)

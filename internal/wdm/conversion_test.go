@@ -1,0 +1,142 @@
+package wdm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoConversion(t *testing.T) {
+	var c NoConversion
+	if got := c.Cost(0, 1, 1); got != 0 {
+		t.Fatalf("identity cost = %v, want 0", got)
+	}
+	if got := c.Cost(0, 1, 2); !math.IsInf(got, 1) {
+		t.Fatalf("cross cost = %v, want +Inf", got)
+	}
+}
+
+func TestUniformConversion(t *testing.T) {
+	c := UniformConversion{C: 2.5}
+	if got := c.Cost(3, 0, 0); got != 0 {
+		t.Fatalf("identity cost = %v, want 0", got)
+	}
+	if got := c.Cost(3, 0, 5); got != 2.5 {
+		t.Fatalf("cost = %v, want 2.5", got)
+	}
+}
+
+func TestDistanceConversion(t *testing.T) {
+	c := DistanceConversion{Radius: 2, PerStep: 1.5}
+	cases := []struct {
+		from, to Wavelength
+		want     float64
+	}{
+		{0, 0, 0},
+		{0, 1, 1.5},
+		{3, 1, 3},
+		{0, 2, 3},
+		{0, 3, math.Inf(1)}, // beyond radius
+		{5, 2, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		if got := c.Cost(0, tc.from, tc.to); got != tc.want {
+			t.Errorf("Cost(λ%d→λ%d) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+	// Radius 0 means unlimited range.
+	unl := DistanceConversion{Radius: 0, PerStep: 1}
+	if got := unl.Cost(0, 0, 9); got != 9 {
+		t.Fatalf("unlimited radius cost = %v, want 9", got)
+	}
+}
+
+func TestTableConversion(t *testing.T) {
+	tab := NewTableConversion()
+	tab.Set(1, 0, 2, 4)
+	tab.Set(1, 2, 0, 6)
+	tab.Set(1, 0, 0, 99)         // identity: ignored
+	tab.Set(1, 0, 1, -1)         // negative: ignored
+	tab.Set(2, 0, 1, math.NaN()) // NaN: ignored
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	if got := tab.Cost(1, 0, 2); got != 4 {
+		t.Fatalf("Cost(1,0,2) = %v, want 4", got)
+	}
+	if got := tab.Cost(1, 0, 0); got != 0 {
+		t.Fatalf("identity = %v, want 0", got)
+	}
+	if got := tab.Cost(1, 2, 1); !math.IsInf(got, 1) {
+		t.Fatalf("absent entry = %v, want +Inf", got)
+	}
+	if got := tab.Cost(0, 0, 2); !math.IsInf(got, 1) {
+		t.Fatalf("other node = %v, want +Inf", got)
+	}
+	// Entries returns a copy.
+	entries := tab.Entries()
+	delete(entries, ConvKey{Node: 1, From: 0, To: 2})
+	if tab.Len() != 2 {
+		t.Fatal("Entries must return a copy")
+	}
+}
+
+func TestPerNodeConversion(t *testing.T) {
+	p := PerNodeConversion{
+		Nodes: map[int]Converter{
+			1: UniformConversion{C: 3},
+		},
+		Default: NoConversion{},
+	}
+	if got := p.Cost(1, 0, 2); got != 3 {
+		t.Fatalf("node 1 cost = %v, want 3", got)
+	}
+	if got := p.Cost(0, 0, 2); !math.IsInf(got, 1) {
+		t.Fatalf("default cost = %v, want +Inf", got)
+	}
+	if got := p.Cost(0, 2, 2); got != 0 {
+		t.Fatalf("identity = %v, want 0", got)
+	}
+	// Nil default behaves like NoConversion.
+	q := PerNodeConversion{}
+	if got := q.Cost(5, 0, 1); !math.IsInf(got, 1) {
+		t.Fatalf("nil default cost = %v, want +Inf", got)
+	}
+}
+
+func TestConverterFunc(t *testing.T) {
+	f := ConverterFunc(func(node int, from, to Wavelength) float64 {
+		return float64(node) + float64(to-from)
+	})
+	if got := f.Cost(2, 1, 3); got != 4 {
+		t.Fatalf("Cost = %v, want 4", got)
+	}
+	if got := f.Cost(2, 3, 3); got != 0 {
+		t.Fatalf("identity must be 0, got %v", got)
+	}
+}
+
+// TestQuickIdentityAlwaysZero property: every provided converter returns
+// exactly 0 for identity conversions at any node.
+func TestQuickIdentityAlwaysZero(t *testing.T) {
+	converters := []Converter{
+		NoConversion{},
+		UniformConversion{C: 7},
+		DistanceConversion{Radius: 3, PerStep: 2},
+		NewTableConversion(),
+		PerNodeConversion{Default: UniformConversion{C: 1}},
+		ConverterFunc(func(int, Wavelength, Wavelength) float64 { return 42 }),
+	}
+	prop := func(node int, l uint8) bool {
+		lam := Wavelength(l % 64)
+		for _, c := range converters {
+			if c.Cost(node, lam, lam) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package wdm
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalNetwork: the instance decoder must never panic, and any
+// network it accepts must be internally consistent and re-serializable
+// to a form that parses back to the same shape.
+func FuzzUnmarshalNetwork(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"nodes":2,"k":1}`,
+		`{"nodes":2,"k":1,"links":[{"id":0,"from":0,"to":1,"channels":[{"lambda":0,"weight":3}]}]}`,
+		`{"nodes":3,"k":2,"links":[{"from":0,"to":2,"channels":[{"lambda":1,"weight":0.5}]}],
+		  "converter":{"kind":"uniform","c":2}}`,
+		`{"nodes":1,"k":1,"converter":{"kind":"table","entries":[{"node":0,"from":0,"to":0,"cost":1}]}}`,
+		`{"nodes":-4,"k":1}`,
+		`{"nodes":2,"k":1,"links":[{"from":0,"to":9,"channels":[]}]}`,
+		`{"nodes":2,"k":1,"converter":{"kind":"warp"}}`,
+		`[1,2,3]`,
+		`{"nodes":1e9,"k":1}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nw, err := UnmarshalNetwork(data)
+		if err != nil {
+			return // rejection is always acceptable
+		}
+		// Accepted networks must be structurally sound.
+		if nw.NumNodes() < 0 || nw.K() < 0 {
+			t.Fatalf("accepted network with negative shape: n=%d k=%d", nw.NumNodes(), nw.K())
+		}
+		for _, l := range nw.Links() {
+			if l.From < 0 || l.From >= nw.NumNodes() || l.To < 0 || l.To >= nw.NumNodes() {
+				t.Fatalf("accepted out-of-range link %+v", l)
+			}
+			for _, c := range l.Channels {
+				if c.Lambda < 0 || int(c.Lambda) >= nw.K() || c.Weight < 0 {
+					t.Fatalf("accepted bad channel %+v", c)
+				}
+			}
+		}
+		// Round trip: marshal and re-parse to the same shape.
+		out, err := MarshalNetwork(nw)
+		if err != nil {
+			t.Fatalf("accepted network fails to marshal: %v", err)
+		}
+		back, err := UnmarshalNetwork(out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, out)
+		}
+		if back.NumNodes() != nw.NumNodes() || back.K() != nw.K() ||
+			back.NumLinks() != nw.NumLinks() || back.TotalChannels() != nw.TotalChannels() {
+			t.Fatalf("round trip changed shape: %d/%d/%d/%d vs %d/%d/%d/%d",
+				back.NumNodes(), back.K(), back.NumLinks(), back.TotalChannels(),
+				nw.NumNodes(), nw.K(), nw.NumLinks(), nw.TotalChannels())
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package wdm
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// threeHopNet builds 0 -> 1 -> 2 -> 3 with two wavelengths and a uniform
+// converter of cost 0.5.
+func threeHopNet(t *testing.T) *Network {
+	t.Helper()
+	nw := NewNetwork(4, 2)
+	mustLink(t, nw, 0, 1, chans(0, 1, 1, 2)) // link 0
+	mustLink(t, nw, 1, 2, chans(0, 3, 1, 1)) // link 1
+	mustLink(t, nw, 2, 3, chans(1, 4))       // link 2
+	nw.SetConverter(UniformConversion{C: 0.5})
+	return nw
+}
+
+func TestPathAccessors(t *testing.T) {
+	nw := threeHopNet(t)
+	p := &Semilightpath{Hops: []Hop{{Link: 0, Wavelength: 0}, {Link: 1, Wavelength: 1}, {Link: 2, Wavelength: 1}}}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if p.Source(nw) != 0 || p.Dest(nw) != 3 {
+		t.Fatalf("endpoints = %d,%d", p.Source(nw), p.Dest(nw))
+	}
+	nodes := p.Nodes(nw)
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("Nodes = %v, want %v", nodes, want)
+		}
+	}
+	if (&Semilightpath{}).Nodes(nw) != nil {
+		t.Fatal("empty path Nodes should be nil")
+	}
+}
+
+func TestPathCostEquation1(t *testing.T) {
+	nw := threeHopNet(t)
+	// λ0 on link0 (w=1), conversion 0→1 at node 1 (0.5), λ1 on link1
+	// (w=1), no conversion, λ1 on link2 (w=4). Total = 1+0.5+1+4 = 6.5.
+	p := &Semilightpath{Hops: []Hop{{Link: 0, Wavelength: 0}, {Link: 1, Wavelength: 1}, {Link: 2, Wavelength: 1}}}
+	if got := p.Cost(nw); got != 6.5 {
+		t.Fatalf("Cost = %v, want 6.5", got)
+	}
+	// Staying on λ1 throughout: 2+1+4 = 7 with zero conversions.
+	q := &Semilightpath{Hops: []Hop{{Link: 0, Wavelength: 1}, {Link: 1, Wavelength: 1}, {Link: 2, Wavelength: 1}}}
+	if got := q.Cost(nw); got != 7 {
+		t.Fatalf("Cost = %v, want 7", got)
+	}
+	if !q.IsLightpath() || p.IsLightpath() {
+		t.Fatal("lightpath detection wrong")
+	}
+	if got := (&Semilightpath{}).Cost(nw); got != 0 {
+		t.Fatalf("empty path cost = %v, want 0", got)
+	}
+}
+
+func TestPathCostInvalid(t *testing.T) {
+	nw := threeHopNet(t)
+	// λ0 not available on link 2.
+	p := &Semilightpath{Hops: []Hop{{Link: 2, Wavelength: 0}}}
+	if got := p.Cost(nw); !math.IsInf(got, 1) {
+		t.Fatalf("unavailable wavelength cost = %v, want +Inf", got)
+	}
+	// Conversion with no converter installed.
+	nw.SetConverter(nil)
+	q := &Semilightpath{Hops: []Hop{{Link: 0, Wavelength: 0}, {Link: 1, Wavelength: 1}}}
+	if got := q.Cost(nw); !math.IsInf(got, 1) {
+		t.Fatalf("no-converter conversion cost = %v, want +Inf", got)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	nw := threeHopNet(t)
+	p := &Semilightpath{Hops: []Hop{{Link: 0, Wavelength: 0}, {Link: 1, Wavelength: 1}, {Link: 2, Wavelength: 1}}}
+	convs := p.Conversions(nw)
+	if len(convs) != 1 {
+		t.Fatalf("Conversions = %+v, want 1", convs)
+	}
+	c := convs[0]
+	if c.Node != 1 || c.From != 0 || c.To != 1 || c.Cost != 0.5 {
+		t.Fatalf("conversion = %+v", c)
+	}
+	lightp := &Semilightpath{Hops: []Hop{{Link: 0, Wavelength: 1}, {Link: 1, Wavelength: 1}}}
+	if got := lightp.Conversions(nw); len(got) != 0 {
+		t.Fatalf("lightpath conversions = %+v, want none", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	nw := threeHopNet(t)
+	good := &Semilightpath{Hops: []Hop{{Link: 0, Wavelength: 0}, {Link: 1, Wavelength: 1}, {Link: 2, Wavelength: 1}}}
+	if err := good.Validate(nw, 0, 3); err != nil {
+		t.Fatalf("valid path rejected: %v", err)
+	}
+
+	if err := (&Semilightpath{}).Validate(nw, 0, 3); !errors.Is(err, ErrEmptyPath) {
+		t.Fatalf("empty: %v", err)
+	}
+	bad := &Semilightpath{Hops: []Hop{{Link: 0, Wavelength: 0}, {Link: 2, Wavelength: 1}}}
+	if err := bad.Validate(nw, 0, 3); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("disconnected: %v", err)
+	}
+	unavailable := &Semilightpath{Hops: []Hop{{Link: 2, Wavelength: 0}}}
+	if err := unavailable.Validate(nw, 2, 3); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("unavailable: %v", err)
+	}
+	wrongEnd := &Semilightpath{Hops: []Hop{{Link: 0, Wavelength: 0}}}
+	if err := wrongEnd.Validate(nw, 0, 3); !errors.Is(err, ErrWrongEndpoint) {
+		t.Fatalf("wrong endpoint: %v", err)
+	}
+	if err := wrongEnd.Validate(nw, 2, 1); !errors.Is(err, ErrWrongEndpoint) {
+		t.Fatalf("wrong start: %v", err)
+	}
+	outOfRange := &Semilightpath{Hops: []Hop{{Link: 99, Wavelength: 0}}}
+	if err := outOfRange.Validate(nw, 0, 1); err == nil {
+		t.Fatal("unknown link must be rejected")
+	}
+
+	nw.SetConverter(NoConversion{})
+	conv := &Semilightpath{Hops: []Hop{{Link: 0, Wavelength: 0}, {Link: 1, Wavelength: 1}, {Link: 2, Wavelength: 1}}}
+	if err := conv.Validate(nw, 0, 3); err == nil {
+		t.Fatal("forbidden conversion must be rejected")
+	}
+	nw.SetConverter(nil)
+	if err := conv.Validate(nw, 0, 3); !errors.Is(err, ErrNoConverter) {
+		t.Fatalf("nil converter: %v", err)
+	}
+}
+
+func TestRevisitsNode(t *testing.T) {
+	nw := NewNetwork(3, 2)
+	mustLink(t, nw, 0, 1, chans(0, 1)) // 0
+	mustLink(t, nw, 1, 2, chans(0, 1)) // 1
+	mustLink(t, nw, 2, 1, chans(1, 1)) // 2
+	nw.SetConverter(UniformConversion{C: 0.1})
+	simple := &Semilightpath{Hops: []Hop{{Link: 0, Wavelength: 0}, {Link: 1, Wavelength: 0}}}
+	if simple.RevisitsNode(nw) {
+		t.Fatal("simple path flagged as revisiting")
+	}
+	loopy := &Semilightpath{Hops: []Hop{
+		{Link: 0, Wavelength: 0}, {Link: 1, Wavelength: 0}, {Link: 2, Wavelength: 1},
+	}}
+	if !loopy.RevisitsNode(nw) {
+		t.Fatal("looping path not flagged")
+	}
+}
+
+func TestPathString(t *testing.T) {
+	nw := threeHopNet(t)
+	p := &Semilightpath{Hops: []Hop{{Link: 0, Wavelength: 0}, {Link: 1, Wavelength: 1}}}
+	s := p.String(nw)
+	// Wavelengths print 1-based to match the paper's λ1..λk naming.
+	if !strings.Contains(s, "0 -[λ1]-> 1") || !strings.Contains(s, "-[λ2]-> 2") {
+		t.Fatalf("String = %q", s)
+	}
+	if got := (&Semilightpath{}).String(nw); got != "(empty)" {
+		t.Fatalf("empty String = %q", got)
+	}
+}

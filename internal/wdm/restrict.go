@@ -1,0 +1,71 @@
+package wdm
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the two restrictions of Section III used by
+// Theorem 2: together they guarantee the optimal semilightpath visits
+// every node at most once.
+
+// CheckRestriction1 verifies Restriction 1: for every node v and every
+// λp ∈ Λ_in(G,v), λq ∈ Λ_out(G,v), the conversion c_v(λp,λq) is defined
+// (finite). It returns a descriptive error naming the first violation.
+func CheckRestriction1(nw *Network) error {
+	if nw.Converter() == nil {
+		return ErrNoConverter
+	}
+	for v := 0; v < nw.NumNodes(); v++ {
+		in := nw.LambdaIn(v)
+		out := nw.LambdaOut(v)
+		for _, p := range in {
+			for _, q := range out {
+				if c := nw.Converter().Cost(v, p, q); math.IsInf(c, 1) {
+					return fmt.Errorf("wdm: restriction 1 violated: c_%d(λ%d,λ%d) = ∞", v, p+1, q+1)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckRestriction2 verifies Restriction 2 (Equation 2): the maximum
+// finite conversion cost over all nodes and wavelength pairs drawn from
+// Λ_in(G,v) × Λ_out(G,v) is strictly less than the minimum link traversal
+// cost over all links and available wavelengths.
+func CheckRestriction2(nw *Network) error {
+	if nw.Converter() == nil {
+		return ErrNoConverter
+	}
+	maxConv := 0.0
+	maxAt := ""
+	for v := 0; v < nw.NumNodes(); v++ {
+		in := nw.LambdaIn(v)
+		out := nw.LambdaOut(v)
+		for _, p := range in {
+			for _, q := range out {
+				c := nw.Converter().Cost(v, p, q)
+				if math.IsInf(c, 1) {
+					continue // restriction 1's concern, not ours
+				}
+				if c > maxConv {
+					maxConv = c
+					maxAt = fmt.Sprintf("c_%d(λ%d,λ%d)", v, p+1, q+1)
+				}
+			}
+		}
+	}
+	minW := nw.MinLinkWeight()
+	if maxConv >= minW {
+		return fmt.Errorf("wdm: restriction 2 violated: max conversion cost %v (%s) >= min link weight %v",
+			maxConv, maxAt, minW)
+	}
+	return nil
+}
+
+// SatisfiesRestrictions reports whether both restrictions of Section III
+// hold, in which case Theorem 2 guarantees loop-free optima.
+func SatisfiesRestrictions(nw *Network) bool {
+	return CheckRestriction1(nw) == nil && CheckRestriction2(nw) == nil
+}

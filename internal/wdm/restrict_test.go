@@ -1,0 +1,95 @@
+package wdm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func restrictNet(t *testing.T) *Network {
+	t.Helper()
+	nw := NewNetwork(3, 2)
+	mustLink(t, nw, 0, 1, chans(0, 5, 1, 6))
+	mustLink(t, nw, 1, 2, chans(0, 5, 1, 7))
+	return nw
+}
+
+func TestRestriction1Holds(t *testing.T) {
+	nw := restrictNet(t)
+	nw.SetConverter(UniformConversion{C: 1})
+	if err := CheckRestriction1(nw); err != nil {
+		t.Fatalf("restriction 1 should hold: %v", err)
+	}
+}
+
+func TestRestriction1Violated(t *testing.T) {
+	nw := restrictNet(t)
+	nw.SetConverter(NoConversion{})
+	err := CheckRestriction1(nw)
+	if err == nil {
+		t.Fatal("restriction 1 should be violated by NoConversion")
+	}
+	if !strings.Contains(err.Error(), "restriction 1") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestRestriction1NilConverter(t *testing.T) {
+	nw := restrictNet(t)
+	if err := CheckRestriction1(nw); !errors.Is(err, ErrNoConverter) {
+		t.Fatalf("nil converter: %v", err)
+	}
+	if err := CheckRestriction2(nw); !errors.Is(err, ErrNoConverter) {
+		t.Fatalf("nil converter: %v", err)
+	}
+}
+
+func TestRestriction1OnlyIncidentWavelengthsMatter(t *testing.T) {
+	// A converter that forbids λ0→λ1 at node 0 is fine if node 0 has no
+	// incoming λ0 — restriction 1 quantifies over Λ_in × Λ_out only.
+	nw := NewNetwork(2, 2)
+	mustLink(t, nw, 0, 1, chans(0, 5)) // node 0 has out λ0, no in at all
+	tab := NewTableConversion()
+	nw.SetConverter(tab)
+	if err := CheckRestriction1(nw); err != nil {
+		t.Fatalf("no Λ_in anywhere except node 1 (no Λ_out): %v", err)
+	}
+}
+
+func TestRestriction2Holds(t *testing.T) {
+	nw := restrictNet(t)
+	nw.SetConverter(UniformConversion{C: 4.9}) // min link weight is 5
+	if err := CheckRestriction2(nw); err != nil {
+		t.Fatalf("restriction 2 should hold: %v", err)
+	}
+	if !SatisfiesRestrictions(nw) {
+		t.Fatal("SatisfiesRestrictions should be true")
+	}
+}
+
+func TestRestriction2Violated(t *testing.T) {
+	nw := restrictNet(t)
+	nw.SetConverter(UniformConversion{C: 5}) // equal is not strictly less
+	err := CheckRestriction2(nw)
+	if err == nil {
+		t.Fatal("restriction 2 should be violated")
+	}
+	if !strings.Contains(err.Error(), "restriction 2") {
+		t.Fatalf("error = %v", err)
+	}
+	if SatisfiesRestrictions(nw) {
+		t.Fatal("SatisfiesRestrictions should be false")
+	}
+}
+
+func TestRestriction2IgnoresInfiniteConversions(t *testing.T) {
+	// Infinite (unsupported) conversions are restriction 1's concern;
+	// restriction 2 only compares finite conversion costs.
+	nw := restrictNet(t)
+	tab := NewTableConversion()
+	tab.Set(1, 0, 1, 2) // only one conversion defined, cost 2 < 5
+	nw.SetConverter(tab)
+	if err := CheckRestriction2(nw); err != nil {
+		t.Fatalf("restriction 2 should hold: %v", err)
+	}
+}

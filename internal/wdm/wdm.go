@@ -1,0 +1,246 @@
+// Package wdm models the optical network of the reproduced paper's
+// Section II: a directed graph G=(V,E) whose links carry sets of available
+// wavelengths Λ(e) ⊆ Λ with per-wavelength traversal costs w(e,λ), and
+// whose nodes carry wavelength-conversion cost functions c_v(λp,λq).
+//
+// The package also defines the Semilightpath type together with the cost
+// function of the paper's Equation (1) and the two restrictions of
+// Section III (used by Theorem 2's loop-freedom guarantee).
+package wdm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wavelength identifies one wavelength λ ∈ Λ as a 0-based index.
+// The paper's λ_i corresponds to Wavelength(i-1).
+type Wavelength int32
+
+// Inf is the cost of an unavailable wavelength or forbidden conversion,
+// matching the paper's convention of infinite weight.
+var Inf = math.Inf(1)
+
+// Errors returned by network construction and path validation.
+var (
+	// ErrNodeRange is returned for an out-of-range node ID.
+	ErrNodeRange = errors.New("wdm: node out of range")
+	// ErrWavelengthRange is returned for an out-of-range wavelength.
+	ErrWavelengthRange = errors.New("wdm: wavelength out of range")
+	// ErrBadWeight is returned for a negative or NaN link weight.
+	ErrBadWeight = errors.New("wdm: link weight must be non-negative")
+	// ErrEmptyPath is returned when validating a path with no hops.
+	ErrEmptyPath = errors.New("wdm: empty semilightpath")
+	// ErrDisconnected is returned when consecutive hops do not chain.
+	ErrDisconnected = errors.New("wdm: semilightpath hops do not chain")
+	// ErrUnavailable is returned when a hop uses a wavelength not in Λ(e).
+	ErrUnavailable = errors.New("wdm: wavelength not available on link")
+	// ErrNoConverter is returned when a network has no conversion function.
+	ErrNoConverter = errors.New("wdm: network has no converter")
+	// ErrWrongEndpoint is returned when a path does not start/end at s/t.
+	ErrWrongEndpoint = errors.New("wdm: semilightpath endpoints mismatch")
+)
+
+// Channel is one (wavelength, cost) entry of a link's availability set.
+type Channel struct {
+	Lambda Wavelength `json:"lambda"`
+	Weight float64    `json:"weight"`
+}
+
+// Link is a directed optical fiber ⟨From,To⟩ with its available
+// wavelength set Λ(e) and per-wavelength costs w(e,λ).
+type Link struct {
+	ID       int       `json:"id"`
+	From     int       `json:"from"`
+	To       int       `json:"to"`
+	Channels []Channel `json:"channels"`
+}
+
+// Has reports whether λ ∈ Λ(e) and returns its traversal cost.
+func (l *Link) Has(lambda Wavelength) (float64, bool) {
+	for _, c := range l.Channels {
+		if c.Lambda == lambda {
+			return c.Weight, true
+		}
+	}
+	return Inf, false
+}
+
+// Converter is the wavelength-conversion cost function family
+// {c_v(λp,λq)}. Implementations must return 0 when from == to and a
+// non-negative cost (possibly Inf for "not supported") otherwise.
+type Converter interface {
+	// Cost returns c_node(from, to).
+	Cost(node int, from, to Wavelength) float64
+}
+
+// Network is the WDM network G=(V,E) with wavelength set Λ = {0..K-1}.
+// Construct with NewNetwork, then AddLink / SetConverter.
+// A Network is immutable once built and safe for concurrent readers.
+type Network struct {
+	n     int
+	k     int
+	links []Link
+	out   [][]int32 // link IDs leaving each node
+	in    [][]int32 // link IDs entering each node
+	conv  Converter
+}
+
+// NewNetwork returns an empty network with n nodes and k wavelengths and
+// no conversion capability (use SetConverter).
+func NewNetwork(n, k int) *Network {
+	return &Network{
+		n:   n,
+		k:   k,
+		out: make([][]int32, n),
+		in:  make([][]int32, n),
+	}
+}
+
+// NumNodes reports n = |V|.
+func (nw *Network) NumNodes() int { return nw.n }
+
+// NumLinks reports m = |E|.
+func (nw *Network) NumLinks() int { return len(nw.links) }
+
+// K reports k = |Λ|, the number of wavelengths in the network.
+func (nw *Network) K() int { return nw.k }
+
+// Converter returns the network's conversion cost function (may be nil).
+func (nw *Network) Converter() Converter { return nw.conv }
+
+// SetConverter installs the wavelength-conversion cost function.
+func (nw *Network) SetConverter(c Converter) { nw.conv = c }
+
+// AddLink inserts a directed link from u to v with the given channels
+// (Λ(e) entries) and returns its link ID. Channels with infinite weight
+// are dropped — an infinite w(e,λ) means λ ∉ Λ(e).
+func (nw *Network) AddLink(u, v int, channels []Channel) (int, error) {
+	if u < 0 || u >= nw.n || v < 0 || v >= nw.n {
+		return 0, fmt.Errorf("%w: link %d->%d in network of %d nodes", ErrNodeRange, u, v, nw.n)
+	}
+	kept := make([]Channel, 0, len(channels))
+	seen := make(map[Wavelength]bool, len(channels))
+	for _, c := range channels {
+		if c.Lambda < 0 || int(c.Lambda) >= nw.k {
+			return 0, fmt.Errorf("%w: λ%d with k=%d", ErrWavelengthRange, c.Lambda, nw.k)
+		}
+		if math.IsInf(c.Weight, 1) {
+			continue
+		}
+		if c.Weight < 0 || math.IsNaN(c.Weight) {
+			return 0, fmt.Errorf("%w: w(e,λ%d) = %v", ErrBadWeight, c.Lambda, c.Weight)
+		}
+		if seen[c.Lambda] {
+			return 0, fmt.Errorf("wdm: duplicate wavelength λ%d on link %d->%d", c.Lambda, u, v)
+		}
+		seen[c.Lambda] = true
+		kept = append(kept, c)
+	}
+	id := len(nw.links)
+	nw.links = append(nw.links, Link{ID: id, From: u, To: v, Channels: kept})
+	nw.out[u] = append(nw.out[u], int32(id))
+	nw.in[v] = append(nw.in[v], int32(id))
+	return id, nil
+}
+
+// Link returns the link with the given ID.
+func (nw *Network) Link(id int) *Link { return &nw.links[id] }
+
+// Links returns all links. The slice is owned by the network; callers
+// must not modify it.
+func (nw *Network) Links() []Link { return nw.links }
+
+// Out returns the IDs of links leaving node v (E_out(G,v)).
+func (nw *Network) Out(v int) []int32 { return nw.out[v] }
+
+// In returns the IDs of links entering node v (E_in(G,v)).
+func (nw *Network) In(v int) []int32 { return nw.in[v] }
+
+// OutDegree reports d_out(G,v).
+func (nw *Network) OutDegree(v int) int { return len(nw.out[v]) }
+
+// InDegree reports d_in(G,v).
+func (nw *Network) InDegree(v int) int { return len(nw.in[v]) }
+
+// MaxDegree reports d = max over v of max(d_in(G,v), d_out(G,v)).
+func (nw *Network) MaxDegree() int {
+	d := 0
+	for v := 0; v < nw.n; v++ {
+		if len(nw.out[v]) > d {
+			d = len(nw.out[v])
+		}
+		if len(nw.in[v]) > d {
+			d = len(nw.in[v])
+		}
+	}
+	return d
+}
+
+// MaxChannelsPerLink reports k0 = max over e of |Λ(e)|, the parameter of
+// the restricted problem of Section IV.
+func (nw *Network) MaxChannelsPerLink() int {
+	k0 := 0
+	for i := range nw.links {
+		if c := len(nw.links[i].Channels); c > k0 {
+			k0 = c
+		}
+	}
+	return k0
+}
+
+// TotalChannels reports Σ_e |Λ(e)| = |E_M|, the multigraph arc count.
+func (nw *Network) TotalChannels() int {
+	total := 0
+	for i := range nw.links {
+		total += len(nw.links[i].Channels)
+	}
+	return total
+}
+
+// LambdaIn returns Λ_in(G,v): the union of Λ(e) over incoming links,
+// in ascending wavelength order.
+func (nw *Network) LambdaIn(v int) []Wavelength {
+	return nw.lambdaUnion(nw.in[v])
+}
+
+// LambdaOut returns Λ_out(G,v): the union of Λ(e) over outgoing links,
+// in ascending wavelength order.
+func (nw *Network) LambdaOut(v int) []Wavelength {
+	return nw.lambdaUnion(nw.out[v])
+}
+
+func (nw *Network) lambdaUnion(linkIDs []int32) []Wavelength {
+	present := make([]bool, nw.k)
+	count := 0
+	for _, id := range linkIDs {
+		for _, c := range nw.links[id].Channels {
+			if !present[c.Lambda] {
+				present[c.Lambda] = true
+				count++
+			}
+		}
+	}
+	res := make([]Wavelength, 0, count)
+	for l, ok := range present {
+		if ok {
+			res = append(res, Wavelength(l))
+		}
+	}
+	return res
+}
+
+// MinLinkWeight reports min over e, λ∈Λ(e) of w(e,λ), or +Inf for a
+// network with no channels. Used by Restriction 2.
+func (nw *Network) MinLinkWeight() float64 {
+	minW := Inf
+	for i := range nw.links {
+		for _, c := range nw.links[i].Channels {
+			if c.Weight < minW {
+				minW = c.Weight
+			}
+		}
+	}
+	return minW
+}

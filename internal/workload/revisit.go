@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+
+	"lightpath/internal/wdm"
+)
+
+// RevisitInstance constructs the Fig. 5 scenario: a network whose unique
+// (hence optimal) semilightpath from s to t passes through node w more
+// than once, using different wavelengths on each visit.
+//
+// Layout (4 nodes, 3 wavelengths):
+//
+//	s ──λ1──▶ w ──λ1──▶ x
+//	          ▲ ◀──λ2────┘
+//	          └──λ3──▶ t
+//
+// Conversions: λ1→λ2 at x and λ2→λ3 at w are permitted; crucially,
+// λ1→λ3 at w is NOT — violating Restriction 1 — so the path cannot
+// shortcut and must detour s→w→x→w→t, entering w twice. Theorem 2 says
+// this cannot happen when both restrictions hold; this instance is the
+// witness that dropping Restriction 1 breaks the guarantee.
+//
+// Returns the network and the (s, t) query endpoints.
+func RevisitInstance() (*wdm.Network, int, int, error) {
+	const (
+		s = 0
+		w = 1
+		x = 2
+		t = 3
+	)
+	nw := wdm.NewNetwork(4, 3)
+	links := []struct {
+		from, to int
+		lambda   wdm.Wavelength
+	}{
+		{s, w, 0}, // λ1
+		{w, x, 0}, // λ1
+		{x, w, 1}, // λ2
+		{w, t, 2}, // λ3
+	}
+	for _, l := range links {
+		if _, err := nw.AddLink(l.from, l.to, []wdm.Channel{{Lambda: l.lambda, Weight: 1}}); err != nil {
+			return nil, 0, 0, fmt.Errorf("workload: revisit instance: %w", err)
+		}
+	}
+	tab := wdm.NewTableConversion()
+	tab.Set(x, 0, 1, 0.25) // λ1→λ2 at x
+	tab.Set(w, 1, 2, 0.25) // λ2→λ3 at w
+	// deliberately NO (w, λ1→λ3) entry
+	nw.SetConverter(tab)
+	return nw, s, t, nil
+}
+
+// RevisitOptimalCost is the cost of the unique s→t semilightpath of
+// RevisitInstance: four unit links plus two 0.25 conversions.
+const RevisitOptimalCost = 4.5

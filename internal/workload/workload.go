@@ -1,0 +1,207 @@
+// Package workload dresses bare topologies (package topo) with the cost
+// structure of the paper's model: per-link wavelength availability sets
+// Λ(e), per-channel weights w(e,λ), and node conversion functions
+// c_v(λp,λq). It is the instance generator behind every experiment.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"lightpath/internal/topo"
+	"lightpath/internal/wdm"
+)
+
+// Errors returned by instance generation.
+var (
+	// ErrBadSpec is returned when a Spec is internally inconsistent.
+	ErrBadSpec = errors.New("workload: invalid spec")
+)
+
+// ConvKind selects the conversion-cost family of an instance.
+type ConvKind int
+
+// Conversion families.
+const (
+	// ConvUniform: any-to-any conversion at cost Spec.ConvCost — the
+	// full-conversion regime; satisfies Restriction 1 by construction.
+	ConvUniform ConvKind = iota + 1
+	// ConvDistance: limited-range converters (|p−q| ≤ Radius) at
+	// ConvCost per wavelength step.
+	ConvDistance
+	// ConvNone: no converters — pure lightpath routing.
+	ConvNone
+	// ConvSparseTable: each (node, λp, λq) pair is permitted independently
+	// with probability ConvProb at cost ConvCost; models partial
+	// converter banks.
+	ConvSparseTable
+)
+
+// Spec describes the workload of one instance.
+type Spec struct {
+	// K is the number of wavelengths in the network, |Λ|.
+	K int
+	// K0 bounds |Λ(e)| per link (Section IV's restricted problem).
+	// K0 <= 0 means unbounded (any subset of Λ).
+	K0 int
+	// AvailProb is the probability each wavelength is available on a
+	// link before the K0 cap is applied. Every link is guaranteed at
+	// least one channel. Zero defaults to 0.5.
+	AvailProb float64
+	// MinWeight/MaxWeight bound the uniform channel weight distribution.
+	// Zero values default to [1, 10].
+	MinWeight, MaxWeight float64
+	// Conv selects the conversion family; zero defaults to ConvUniform.
+	Conv ConvKind
+	// ConvCost is the conversion cost parameter. For the restrictions of
+	// Theorem 2 to hold it must be < MinWeight.
+	ConvCost float64
+	// ConvRadius applies to ConvDistance.
+	ConvRadius int
+	// ConvProb applies to ConvSparseTable.
+	ConvProb float64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.AvailProb <= 0 {
+		s.AvailProb = 0.5
+	}
+	if s.MinWeight <= 0 && s.MaxWeight <= 0 {
+		s.MinWeight, s.MaxWeight = 1, 10
+	}
+	if s.Conv == 0 {
+		s.Conv = ConvUniform
+	}
+	if s.ConvCost == 0 && s.Conv != ConvNone {
+		s.ConvCost = s.MinWeight / 2
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if s.K <= 0 {
+		return fmt.Errorf("%w: K = %d", ErrBadSpec, s.K)
+	}
+	if s.K0 > s.K {
+		return fmt.Errorf("%w: K0 = %d > K = %d", ErrBadSpec, s.K0, s.K)
+	}
+	if s.MinWeight > s.MaxWeight {
+		return fmt.Errorf("%w: MinWeight %v > MaxWeight %v", ErrBadSpec, s.MinWeight, s.MaxWeight)
+	}
+	if s.MinWeight < 0 {
+		return fmt.Errorf("%w: negative MinWeight", ErrBadSpec)
+	}
+	if s.AvailProb < 0 || s.AvailProb > 1 {
+		return fmt.Errorf("%w: AvailProb %v", ErrBadSpec, s.AvailProb)
+	}
+	return nil
+}
+
+// Build instantiates a wdm.Network over t with the workload of spec,
+// drawing randomness from rng (pass a seeded *rand.Rand for
+// reproducibility).
+func Build(t *topo.Topology, spec Spec, rng *rand.Rand) (*wdm.Network, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	nw := wdm.NewNetwork(t.N, spec.K)
+	weight := func() float64 {
+		return spec.MinWeight + rng.Float64()*(spec.MaxWeight-spec.MinWeight)
+	}
+
+	for _, e := range t.Edges {
+		chans := drawChannels(spec, rng, weight)
+		if _, err := nw.AddLink(e[0], e[1], chans); err != nil {
+			return nil, fmt.Errorf("workload: link %d->%d: %w", e[0], e[1], err)
+		}
+	}
+
+	conv, err := buildConverter(nw, spec, rng)
+	if err != nil {
+		return nil, err
+	}
+	nw.SetConverter(conv)
+	return nw, nil
+}
+
+// drawChannels samples Λ(e): each wavelength independently with
+// probability AvailProb, capped at K0 (when set) by uniform subsampling,
+// and padded to at least one channel.
+func drawChannels(spec Spec, rng *rand.Rand, weight func() float64) []wdm.Channel {
+	picked := make([]wdm.Wavelength, 0, spec.K)
+	for l := 0; l < spec.K; l++ {
+		if rng.Float64() < spec.AvailProb {
+			picked = append(picked, wdm.Wavelength(l))
+		}
+	}
+	if spec.K0 > 0 && len(picked) > spec.K0 {
+		rng.Shuffle(len(picked), func(i, j int) { picked[i], picked[j] = picked[j], picked[i] })
+		picked = picked[:spec.K0]
+		sortWavelengths(picked)
+	}
+	if len(picked) == 0 {
+		picked = append(picked, wdm.Wavelength(rng.Intn(spec.K)))
+	}
+	chans := make([]wdm.Channel, len(picked))
+	for i, l := range picked {
+		chans[i] = wdm.Channel{Lambda: l, Weight: weight()}
+	}
+	return chans
+}
+
+func buildConverter(nw *wdm.Network, spec Spec, rng *rand.Rand) (wdm.Converter, error) {
+	switch spec.Conv {
+	case ConvNone:
+		return wdm.NoConversion{}, nil
+	case ConvUniform:
+		return wdm.UniformConversion{C: spec.ConvCost}, nil
+	case ConvDistance:
+		return wdm.DistanceConversion{Radius: spec.ConvRadius, PerStep: spec.ConvCost}, nil
+	case ConvSparseTable:
+		tab := wdm.NewTableConversion()
+		p := spec.ConvProb
+		if p <= 0 {
+			p = 0.5
+		}
+		for v := 0; v < nw.NumNodes(); v++ {
+			for _, from := range nw.LambdaIn(v) {
+				for _, to := range nw.LambdaOut(v) {
+					if from != to && rng.Float64() < p {
+						tab.Set(v, from, to, spec.ConvCost)
+					}
+				}
+			}
+		}
+		return tab, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown conversion kind %d", ErrBadSpec, int(spec.Conv))
+	}
+}
+
+func sortWavelengths(ls []wdm.Wavelength) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j] < ls[j-1]; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}
+
+// RestrictedSpec returns a Spec that satisfies Restrictions 1 and 2 by
+// construction: uniform full conversion at a cost strictly below the
+// minimum link weight. Instances built from it are inputs to the
+// Theorem 2 loop-freedom property tests.
+func RestrictedSpec(k int) Spec {
+	return Spec{
+		K:         k,
+		AvailProb: 0.6,
+		MinWeight: 2,
+		MaxWeight: 10,
+		Conv:      ConvUniform,
+		ConvCost:  1, // < MinWeight ⇒ Restriction 2
+	}
+}

@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lightpath/internal/topo"
+	"lightpath/internal/wdm"
+)
+
+func TestBuildBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tp := topo.Ring(8)
+	nw, err := Build(tp, Spec{K: 4}, rng)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if nw.NumNodes() != 8 || nw.NumLinks() != tp.M() || nw.K() != 4 {
+		t.Fatalf("shape: n=%d m=%d k=%d", nw.NumNodes(), nw.NumLinks(), nw.K())
+	}
+	// Every link has at least one channel and weights in the default range.
+	for _, l := range nw.Links() {
+		if len(l.Channels) == 0 {
+			t.Fatalf("link %d has no channels", l.ID)
+		}
+		for _, c := range l.Channels {
+			if c.Weight < 1 || c.Weight > 10 {
+				t.Fatalf("weight %v outside default [1,10]", c.Weight)
+			}
+		}
+	}
+	if nw.Converter() == nil {
+		t.Fatal("default converter missing")
+	}
+}
+
+func TestBuildK0Cap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tp := topo.Grid(4, 4)
+	nw, err := Build(tp, Spec{K: 16, K0: 3, AvailProb: 0.9}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.MaxChannelsPerLink(); got > 3 {
+		t.Fatalf("k0 = %d, want ≤ 3", got)
+	}
+	// Channels must stay sorted after subsampling.
+	for _, l := range nw.Links() {
+		for i := 1; i < len(l.Channels); i++ {
+			if l.Channels[i-1].Lambda >= l.Channels[i].Lambda {
+				t.Fatalf("link %d channels not sorted: %+v", l.ID, l.Channels)
+			}
+		}
+	}
+}
+
+func TestBuildConvFamilies(t *testing.T) {
+	tp := topo.Ring(5)
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{K: 3, Conv: ConvNone}, "wdm.NoConversion"},
+		{Spec{K: 3, Conv: ConvUniform, ConvCost: 0.5}, "wdm.UniformConversion"},
+		{Spec{K: 3, Conv: ConvDistance, ConvCost: 0.5, ConvRadius: 1}, "wdm.DistanceConversion"},
+		{Spec{K: 3, Conv: ConvSparseTable, ConvCost: 0.5, ConvProb: 0.7}, "*wdm.TableConversion"},
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(3))
+		nw, err := Build(tp, tc.spec, rng)
+		if err != nil {
+			t.Fatalf("Build(%+v): %v", tc.spec, err)
+		}
+		if got := typeName(nw.Converter()); got != tc.want {
+			t.Fatalf("converter = %s, want %s", got, tc.want)
+		}
+	}
+}
+
+func typeName(v interface{}) string {
+	switch v.(type) {
+	case wdm.NoConversion:
+		return "wdm.NoConversion"
+	case wdm.UniformConversion:
+		return "wdm.UniformConversion"
+	case wdm.DistanceConversion:
+		return "wdm.DistanceConversion"
+	case *wdm.TableConversion:
+		return "*wdm.TableConversion"
+	default:
+		return "unknown"
+	}
+}
+
+func TestBuildSparseTableRespectsShores(t *testing.T) {
+	// Sparse tables must only contain (v, p, q) with p ∈ Λ_in(v), q ∈ Λ_out(v).
+	rng := rand.New(rand.NewSource(4))
+	tp := topo.Grid(3, 3)
+	nw, err := Build(tp, Spec{K: 5, Conv: ConvSparseTable, ConvCost: 0.5, ConvProb: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, ok := nw.Converter().(*wdm.TableConversion)
+	if !ok {
+		t.Fatal("expected table converter")
+	}
+	for key := range tab.Entries() {
+		if !containsLambda(nw.LambdaIn(key.Node), key.From) {
+			t.Fatalf("entry %+v: from-λ not in Λ_in", key)
+		}
+		if !containsLambda(nw.LambdaOut(key.Node), key.To) {
+			t.Fatalf("entry %+v: to-λ not in Λ_out", key)
+		}
+	}
+}
+
+func containsLambda(ls []wdm.Wavelength, l wdm.Wavelength) bool {
+	for _, x := range ls {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSpecValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tp := topo.Ring(4)
+	bad := []Spec{
+		{K: 0},
+		{K: 2, K0: 3},
+		{K: 2, MinWeight: 5, MaxWeight: 1},
+		{K: 2, MinWeight: -1, MaxWeight: 3},
+		{K: 2, AvailProb: 1.5},
+		{K: 2, Conv: ConvKind(99)},
+	}
+	for _, spec := range bad {
+		if _, err := Build(tp, spec, rng); !errors.Is(err, ErrBadSpec) {
+			t.Fatalf("spec %+v: err = %v, want ErrBadSpec", spec, err)
+		}
+	}
+	badTopo := &topo.Topology{N: 1, Edges: [][2]int{{0, 5}}}
+	if _, err := Build(badTopo, Spec{K: 1}, rng); err == nil {
+		t.Fatal("invalid topology must fail")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	tp := topo.Grid(3, 4)
+	spec := Spec{K: 6, K0: 2, AvailProb: 0.5}
+	a, err := Build(tp, spec, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(tp, spec, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := wdm.MarshalNetwork(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := wdm.MarshalNetwork(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Fatal("same seed must produce identical instances")
+	}
+}
+
+func TestRestrictedSpecSatisfiesRestrictions(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		tp := topo.RandomSparse(10, 3, 5, rng)
+		nw, err := Build(tp, RestrictedSpec(4), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wdm.CheckRestriction1(nw); err != nil {
+			t.Fatalf("restriction 1: %v", err)
+		}
+		if err := wdm.CheckRestriction2(nw); err != nil {
+			t.Fatalf("restriction 2: %v", err)
+		}
+	}
+}
+
+func TestRevisitInstance(t *testing.T) {
+	nw, s, d, err := RevisitInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumNodes() != 4 || nw.NumLinks() != 4 || nw.K() != 3 {
+		t.Fatalf("shape: n=%d m=%d k=%d", nw.NumNodes(), nw.NumLinks(), nw.K())
+	}
+	if s == d {
+		t.Fatal("endpoints must differ")
+	}
+	// The instance must violate Restriction 1 (that is its point).
+	if err := wdm.CheckRestriction1(nw); err == nil {
+		t.Fatal("revisit instance should violate restriction 1")
+	}
+	// The intended path must be valid and cost RevisitOptimalCost.
+	p := &wdm.Semilightpath{Hops: []wdm.Hop{
+		{Link: 0, Wavelength: 0},
+		{Link: 1, Wavelength: 0},
+		{Link: 2, Wavelength: 1},
+		{Link: 3, Wavelength: 2},
+	}}
+	if err := p.Validate(nw, s, d); err != nil {
+		t.Fatalf("intended path invalid: %v", err)
+	}
+	if got := p.Cost(nw); got != RevisitOptimalCost {
+		t.Fatalf("intended path cost = %v, want %v", got, RevisitOptimalCost)
+	}
+	if !p.RevisitsNode(nw) {
+		t.Fatal("intended path should revisit node w")
+	}
+}
+
+// TestQuickBuildAlwaysValid property: for any seed and size, Build
+// produces networks whose every link has ≥1 channel, all within [0,K).
+func TestQuickBuildAlwaysValid(t *testing.T) {
+	prop := func(seed int64, rawK, rawN uint8) bool {
+		k := 1 + int(rawK%10)
+		n := 3 + int(rawN%30)
+		rng := rand.New(rand.NewSource(seed))
+		tp := topo.RandomSparse(n, 3, 5, rng)
+		nw, err := Build(tp, Spec{K: k, AvailProb: 0.4}, rng)
+		if err != nil {
+			return false
+		}
+		for _, l := range nw.Links() {
+			if len(l.Channels) == 0 {
+				return false
+			}
+			for _, c := range l.Channels {
+				if c.Lambda < 0 || int(c.Lambda) >= k || c.Weight < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
