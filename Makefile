@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test race vet verify bench-engine
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine/session concurrency layer is only considered verified under
+# the race detector; `verify` is the gate CI and pre-commit should run.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+verify: build vet test race
+
+# Regenerate the committed engine benchmark record.
+bench-engine:
+	$(GO) run ./cmd/wdmbench -experiment "" -engine-json BENCH_engine.json

@@ -11,6 +11,7 @@
 //	wdmbench -experiment compare   # one experiment
 //	wdmbench -scale 0.25 -reps 1   # quick pass
 //	wdmbench -list
+//	wdmbench -experiment engine -engine-json BENCH_engine.json
 package main
 
 import (
@@ -36,6 +37,8 @@ func run(args []string, w io.Writer) error {
 	reps := fs.Int("reps", 3, "timing repetitions per point (median kept)")
 	seed := fs.Int64("seed", 1998, "instance generation seed")
 	format := fs.String("format", "text", "table output format: text|csv")
+	engineJSON := fs.String("engine-json", "",
+		"write the engine benchmark as machine-readable JSON to this path (e.g. BENCH_engine.json)")
 	list := fs.Bool("list", false, "list experiment names and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +60,20 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("unknown format %q", *format)
 	}
 	cfg := bench.Config{Seed: *seed, Scale: *scale, Reps: *reps}
+	if *engineJSON != "" {
+		report, err := bench.EngineReport(cfg)
+		if err != nil {
+			return fmt.Errorf("engine benchmark: %w", err)
+		}
+		if err := report.WriteJSON(*engineJSON); err != nil {
+			return fmt.Errorf("write %s: %w", *engineJSON, err)
+		}
+		fmt.Fprintf(w, "engine benchmark written to %s (speedup %.1fx, hit rate %.3f, %.0f epochs/sec)\n",
+			*engineJSON, report.Speedup, report.CacheHitRate, report.EpochsPerSec)
+		if *experiment == "" {
+			return nil
+		}
+	}
 	if *experiment == "all" {
 		return bench.RunAll(w, cfg)
 	}

@@ -1,0 +1,276 @@
+// Command wdmserve runs the concurrent routing engine as an
+// interactive service over a line protocol: it loads (or generates) a
+// WDM network, publishes the epoch-0 snapshot, and then executes
+// commands from standard input (or a -script file), one per line —
+// routing queries against the current snapshot and allocate/release/
+// fail/repair mutations that advance the epoch.
+//
+// Usage:
+//
+//	wdmserve -topo nsfnet -k 8              # REPL on stdin
+//	echo "route 0 9" | wdmserve -topo nsfnet
+//	wdmserve -net instance.json -script cmds.txt
+//
+// Protocol (one command per line, '#' starts a comment):
+//
+//	route S T          optimal semilightpath S->T on the current snapshot
+//	routefrom S        optimal costs S->* (served from the SourceTree cache)
+//	kshortest S T K    up to K alternate paths in cost order
+//	protect S T        1+1 protected pair (primary + link-disjoint backup)
+//	batch S1 T1 S2 T2 ...   route many pairs against ONE pinned snapshot
+//	alloc S T          route S->T and claim the channels; prints the lease ID
+//	release L          free lease L
+//	fail LINK          take a link out of service (lists riding leases)
+//	repair LINK        return a link to service
+//	epoch              print the current epoch
+//	stats              engine + cache counters
+//	quit               exit
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"lightpath/internal/cli"
+	"lightpath/internal/core"
+	"lightpath/internal/engine"
+	"lightpath/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wdmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, w io.Writer) error {
+	fs := flag.NewFlagSet("wdmserve", flag.ContinueOnError)
+	var nf cli.NetFlags
+	nf.Register(fs)
+	queue := fs.String("queue", "binary", "dijkstra queue: fibonacci|binary|pairing|linear")
+	cacheSize := fs.Int("cache", engine.DefaultCacheSize, "SourceTree cache capacity (<0 disables)")
+	workers := fs.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	script := fs.String("script", "", "read commands from this file instead of stdin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var kind graph.QueueKind
+	switch *queue {
+	case "fibonacci":
+		kind = graph.QueueFibonacci
+	case "binary":
+		kind = graph.QueueBinary
+	case "pairing":
+		kind = graph.QueuePairing
+	case "linear":
+		kind = graph.QueueLinear
+	default:
+		return fmt.Errorf("unknown queue %q", *queue)
+	}
+
+	nw, err := nf.Build()
+	if err != nil {
+		return err
+	}
+	eng, err := engine.New(nw, &engine.Options{Queue: kind, CacheSize: *cacheSize})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "serving %d nodes, %d links, k=%d (epoch %d)\n",
+		nw.NumNodes(), nw.NumLinks(), nw.K(), eng.Epoch())
+
+	input := stdin
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			return fmt.Errorf("open script: %w", err)
+		}
+		defer f.Close()
+		input = f
+	}
+
+	srv := &server{eng: eng, w: w, workers: *workers}
+	scanner := bufio.NewScanner(input)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		quit, err := srv.exec(line)
+		if err != nil {
+			// Command errors are part of the protocol (blocked requests,
+			// bad leases); they do not terminate the service.
+			fmt.Fprintf(w, "error: %v\n", err)
+		}
+		if quit {
+			return nil
+		}
+	}
+	return scanner.Err()
+}
+
+// server executes protocol commands against one engine.
+type server struct {
+	eng       *engine.Engine
+	w         io.Writer
+	workers   int
+	nextLease int64
+}
+
+// exec runs one command line; the bool result requests shutdown.
+func (s *server) exec(line string) (bool, error) {
+	fields := strings.Fields(line)
+	cmd, rest := fields[0], fields[1:]
+	ints := make([]int, len(rest))
+	for i, f := range rest {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return false, fmt.Errorf("%s: bad argument %q", cmd, f)
+		}
+		ints[i] = v
+	}
+	argc := func(want int) error {
+		if len(ints) != want {
+			return fmt.Errorf("%s: want %d arguments, got %d", cmd, want, len(ints))
+		}
+		return nil
+	}
+
+	switch cmd {
+	case "route":
+		if err := argc(2); err != nil {
+			return false, err
+		}
+		res, err := s.eng.Route(ints[0], ints[1])
+		if err != nil {
+			return false, err
+		}
+		s.printResult(res)
+	case "routefrom":
+		if err := argc(1); err != nil {
+			return false, err
+		}
+		st, err := s.eng.RouteFrom(ints[0])
+		if err != nil {
+			return false, err
+		}
+		n := s.eng.Base().NumNodes()
+		for t := 0; t < n; t++ {
+			if !st.Reachable(t) {
+				fmt.Fprintf(s.w, "  %d -> %d: unreachable\n", ints[0], t)
+				continue
+			}
+			fmt.Fprintf(s.w, "  %d -> %d: cost %g\n", ints[0], t, st.Dist(t))
+		}
+	case "kshortest":
+		if err := argc(3); err != nil {
+			return false, err
+		}
+		paths, err := s.eng.KShortest(ints[0], ints[1], ints[2])
+		if err != nil {
+			return false, err
+		}
+		for i, p := range paths {
+			fmt.Fprintf(s.w, "  #%d cost %g  %s\n", i+1, p.Cost, p.Path.String(s.eng.Base()))
+		}
+	case "protect":
+		if err := argc(2); err != nil {
+			return false, err
+		}
+		pair, err := s.eng.RouteProtected(ints[0], ints[1], nil)
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(s.w, "  primary cost %g  %s\n", pair.Primary.Cost, pair.Primary.Path.String(s.eng.Base()))
+		fmt.Fprintf(s.w, "  backup  cost %g  %s\n", pair.Backup.Cost, pair.Backup.Path.String(s.eng.Base()))
+	case "batch":
+		if len(ints) == 0 || len(ints)%2 != 0 {
+			return false, fmt.Errorf("batch: want an even number of endpoints")
+		}
+		reqs := make([]engine.Request, 0, len(ints)/2)
+		for i := 0; i < len(ints); i += 2 {
+			reqs = append(reqs, engine.Request{From: ints[i], To: ints[i+1]})
+		}
+		snap := s.eng.Snapshot()
+		out := snap.RouteBatch(reqs, s.workers)
+		fmt.Fprintf(s.w, "batch of %d at epoch %d:\n", len(reqs), snap.Epoch())
+		for _, r := range out {
+			switch {
+			case errors.Is(r.Err, core.ErrNoRoute):
+				fmt.Fprintf(s.w, "  %d -> %d: blocked\n", r.From, r.To)
+			case r.Err != nil:
+				fmt.Fprintf(s.w, "  %d -> %d: error: %v\n", r.From, r.To, r.Err)
+			default:
+				fmt.Fprintf(s.w, "  %d -> %d: cost %g\n", r.From, r.To, r.Result.Cost)
+			}
+		}
+	case "alloc":
+		if err := argc(2); err != nil {
+			return false, err
+		}
+		lease := s.nextLease + 1
+		res, err := s.eng.RouteAndAllocate(lease, ints[0], ints[1])
+		if err != nil {
+			return false, err
+		}
+		s.nextLease = lease
+		fmt.Fprintf(s.w, "lease %d (epoch %d): ", lease, s.eng.Epoch())
+		s.printResult(res)
+	case "release":
+		if err := argc(1); err != nil {
+			return false, err
+		}
+		if err := s.eng.Release(int64(ints[0])); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(s.w, "released %d (epoch %d)\n", ints[0], s.eng.Epoch())
+	case "fail":
+		if err := argc(1); err != nil {
+			return false, err
+		}
+		riders, err := s.eng.FailLink(ints[0])
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(s.w, "failed link %d (epoch %d), riding leases: %v\n", ints[0], s.eng.Epoch(), riders)
+	case "repair":
+		if err := argc(1); err != nil {
+			return false, err
+		}
+		if err := s.eng.RepairLink(ints[0]); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(s.w, "repaired link %d (epoch %d)\n", ints[0], s.eng.Epoch())
+	case "epoch":
+		fmt.Fprintf(s.w, "epoch %d\n", s.eng.Epoch())
+	case "stats":
+		st := s.eng.Stats()
+		cs := s.eng.CacheStats()
+		fmt.Fprintf(s.w, "epoch %d  allocs %d  releases %d  conflicts %d  owners %d  held %d  util %.3f\n",
+			st.Epoch, st.Allocations, st.Releases, st.Conflicts, st.ActiveOwners, st.HeldChannels,
+			s.eng.Utilization())
+		fmt.Fprintf(s.w, "cache: %d/%d entries  hits %d  misses %d  evictions %d  hit rate %.3f\n",
+			cs.Size, cs.Capacity, cs.Hits, cs.Misses, cs.Evictions, cs.HitRate())
+	case "quit", "exit":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown command %q", cmd)
+	}
+	return false, nil
+}
+
+// printResult renders one routing answer.
+func (s *server) printResult(res *core.Result) {
+	fmt.Fprintf(s.w, "cost %g  %s\n", res.Cost, res.Path.String(s.eng.Base()))
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// serve runs the binary against a command script and returns its output.
+func serve(t *testing.T, flags []string, script string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(flags, strings.NewReader(script), &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestServeRouteOnPaperExample(t *testing.T) {
+	out := serve(t, []string{"-topo", "paper"}, "route 0 6\nquit\n")
+	if !strings.Contains(out, "cost 20") {
+		t.Fatalf("paper example route wrong:\n%s", out)
+	}
+}
+
+func TestServeAllocReleaseLifecycle(t *testing.T) {
+	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+		"epoch\nalloc 0 9\nepoch\nstats\nrelease 1\nepoch\nquit\n")
+	for _, want := range []string{"epoch 0", "lease 1 (epoch 1)", "released 1 (epoch 2)", "allocs 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeReleaseRestoresRouting(t *testing.T) {
+	out := serve(t, []string{"-topo", "nsfnet", "-k", "2", "-seed", "5"},
+		"route 0 9\nalloc 0 9\nrelease 1\nroute 0 9\nquit\n")
+	var routes []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "cost ") {
+			routes = append(routes, line)
+		}
+	}
+	if len(routes) != 2 || routes[0] != routes[1] {
+		t.Fatalf("route after release differs from before alloc:\n%s", out)
+	}
+}
+
+func TestServeBatchAndRoutefrom(t *testing.T) {
+	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+		"batch 0 9 0 13 9 0\nroutefrom 0\nstats\nquit\n")
+	if !strings.Contains(out, "batch of 3 at epoch 0") {
+		t.Fatalf("batch header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0 -> 9: cost") {
+		t.Fatalf("batch results missing:\n%s", out)
+	}
+	if !strings.Contains(out, "hit rate") {
+		t.Fatalf("cache stats missing:\n%s", out)
+	}
+}
+
+func TestServeFailRepair(t *testing.T) {
+	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+		"alloc 0 1\nfail 0\nrepair 0\nquit\n")
+	if !strings.Contains(out, "failed link 0") || !strings.Contains(out, "repaired link 0") {
+		t.Fatalf("fail/repair missing:\n%s", out)
+	}
+}
+
+func TestServeKShortestAndProtect(t *testing.T) {
+	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+		"kshortest 0 9 3\nprotect 0 9\nquit\n")
+	if !strings.Contains(out, "#1 cost") || !strings.Contains(out, "#2 cost") {
+		t.Fatalf("kshortest output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "primary cost") || !strings.Contains(out, "backup  cost") {
+		t.Fatalf("protect output missing:\n%s", out)
+	}
+}
+
+func TestServeProtocolErrorsAreNonFatal(t *testing.T) {
+	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+		"warp 1 2\nroute 0\nrelease 99\nroute 0 9\nquit\n")
+	if got := strings.Count(out, "error:"); got != 3 {
+		t.Fatalf("want 3 protocol errors, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "cost ") {
+		t.Fatalf("service died after protocol error:\n%s", out)
+	}
+}
+
+func TestServeScriptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/cmds.txt"
+	script := "# comment line\nroute 0 6  # trailing comment\nquit\n"
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-topo", "paper", "-script", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "cost 20") {
+		t.Fatalf("script route wrong:\n%s", out.String())
+	}
+}
+
+func TestServeFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-queue", "warp"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("unknown queue must fail")
+	}
+	if err := run([]string{"-topo", "warp"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("unknown topology must fail")
+	}
+	if err := run([]string{"-script", "/definitely/not/here"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing script must fail")
+	}
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"lightpath/internal/core"
+	"lightpath/internal/engine"
+	"lightpath/internal/topo"
+	"lightpath/internal/workload"
+)
+
+// EngineBenchResult is the machine-readable record of the engine
+// benchmark (written to BENCH_engine.json by cmd/wdmbench) so the
+// performance trajectory of the concurrent routing layer is tracked
+// across revisions, not just eyeballed.
+type EngineBenchResult struct {
+	Topology string `json:"topology"`
+	Nodes    int    `json:"nodes"`
+	Links    int    `json:"links"`
+	K        int    `json:"k"`
+	Requests int    `json:"requests"`
+
+	// CachedNsPerOp times Snapshot.RouteFrom with a warm (source,epoch)
+	// SourceTree cache; UncachedNsPerOp times the pre-engine behaviour —
+	// recompile core.NewAux from the residual network and run RouteFrom —
+	// once per request.
+	CachedNsPerOp   int64   `json:"cached_ns_per_op"`
+	UncachedNsPerOp int64   `json:"uncached_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+
+	// EpochsPerSec measures mutation throughput: RouteAndAllocate +
+	// Release pairs, each op publishing one snapshot rebuild.
+	EpochsPerSec float64 `json:"epochs_per_sec"`
+	Epochs       uint64  `json:"epochs"`
+
+	GeneratedAt string `json:"generated_at"`
+}
+
+// EngineReport measures the engine benchmark on NSFNET and returns the
+// machine-readable result. cfg.Scale shrinks the request counts so the
+// test suite can drive the same code cheaply.
+func EngineReport(cfg Config) (*EngineBenchResult, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 31))
+	tp := topo.NSFNET()
+	nw, err := workload.Build(tp, workload.Spec{
+		K:         8,
+		AvailProb: 0.6,
+		Conv:      workload.ConvUniform,
+		ConvCost:  0.3,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	n := nw.NumNodes()
+	requests := cfg.scaled(400)
+	churnOps := cfg.scaled(200)
+
+	eng, err := engine.New(nw, &engine.Options{CacheSize: n})
+	if err != nil {
+		return nil, err
+	}
+	// Light occupancy so the residual differs from the base network.
+	for owner := int64(1); owner <= 4; owner++ {
+		s, d := rng.Intn(n), rng.Intn(n)
+		for d == s {
+			d = rng.Intn(n)
+		}
+		if _, err := eng.RouteAndAllocate(owner, s, d); err != nil {
+			return nil, fmt.Errorf("bench: seed occupancy: %w", err)
+		}
+	}
+
+	sources := make([]int, requests)
+	for i := range sources {
+		sources[i] = rng.Intn(n)
+	}
+
+	// Uncached: the pre-engine session behaviour — rebuild the auxiliary
+	// graph from the residual for every request.
+	residual := eng.Snapshot().Network()
+	uncachedTotal := time.Duration(0)
+	for rep := 0; rep < cfg.reps(); rep++ {
+		start := time.Now()
+		for _, s := range sources {
+			aux, err := core.NewAux(residual)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := aux.RouteFrom(s, nil); err != nil {
+				return nil, err
+			}
+		}
+		if d := time.Since(start); rep == 0 || d < uncachedTotal {
+			uncachedTotal = d // keep the best rep (least scheduler noise)
+		}
+	}
+
+	// Cached: the engine path. Warm the cache with one pass, then time.
+	snap := eng.Snapshot()
+	for _, s := range sources {
+		if _, err := snap.RouteFrom(s); err != nil {
+			return nil, err
+		}
+	}
+	cachedTotal := time.Duration(0)
+	for rep := 0; rep < cfg.reps(); rep++ {
+		start := time.Now()
+		for _, s := range sources {
+			if _, err := snap.RouteFrom(s); err != nil {
+				return nil, err
+			}
+		}
+		if d := time.Since(start); rep == 0 || d < cachedTotal {
+			cachedTotal = d
+		}
+	}
+	cacheStats := eng.CacheStats()
+
+	// Epoch throughput: allocate/release churn, two snapshot publishes
+	// per cycle.
+	pairs := make([][2]int, churnOps)
+	for i := range pairs {
+		s, d := rng.Intn(n), rng.Intn(n)
+		for d == s {
+			d = rng.Intn(n)
+		}
+		pairs[i] = [2]int{s, d}
+	}
+	epochStart := eng.Epoch()
+	owner := int64(1000)
+	churnBegan := time.Now()
+	for _, p := range pairs {
+		owner++
+		if _, err := eng.RouteAndAllocate(owner, p[0], p[1]); err != nil {
+			continue // blocked under churn: still bumps no epoch, fine
+		}
+		if err := eng.Release(owner); err != nil {
+			return nil, err
+		}
+	}
+	churnTook := time.Since(churnBegan)
+	epochs := eng.Epoch() - epochStart
+
+	res := &EngineBenchResult{
+		Topology:        "nsfnet",
+		Nodes:           n,
+		Links:           nw.NumLinks(),
+		K:               nw.K(),
+		Requests:        requests,
+		CachedNsPerOp:   cachedTotal.Nanoseconds() / int64(requests),
+		UncachedNsPerOp: uncachedTotal.Nanoseconds() / int64(requests),
+		CacheHitRate:    cacheStats.HitRate(),
+		CacheHits:       cacheStats.Hits,
+		CacheMisses:     cacheStats.Misses,
+		CacheEvictions:  cacheStats.Evictions,
+		Epochs:          epochs,
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+	}
+	if res.CachedNsPerOp > 0 {
+		res.Speedup = float64(res.UncachedNsPerOp) / float64(res.CachedNsPerOp)
+	}
+	if churnTook > 0 {
+		res.EpochsPerSec = float64(epochs) / churnTook.Seconds()
+	}
+	return res, nil
+}
+
+// WriteJSON records the result at path (pretty-printed, trailing
+// newline) for downstream tooling.
+func (r *EngineBenchResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RunEngine (E18) benchmarks the concurrent routing engine: cached vs
+// rebuild-per-request single-source routing and epoch (mutation)
+// throughput on NSFNET.
+func RunEngine(w io.Writer, cfg Config) error {
+	r, err := EngineReport(cfg)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title: "Engine — epoch-snapshot routing vs rebuild-per-request (NSFNET, k=8)",
+		Note: "cached = Snapshot.RouteFrom via (source,epoch) LRU; uncached = NewAux+RouteFrom per request\n" +
+			"(cmd/wdmbench -engine-json writes this as BENCH_engine.json)",
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("requests", r.Requests)
+	t.AddRow("cached ns/op", r.CachedNsPerOp)
+	t.AddRow("uncached ns/op", r.UncachedNsPerOp)
+	t.AddRow("speedup", fmt.Sprintf("%.1fx", r.Speedup))
+	t.AddRow("cache hit rate", fmt.Sprintf("%.3f", r.CacheHitRate))
+	t.AddRow("cache evictions", r.CacheEvictions)
+	t.AddRow("epochs/sec", fmt.Sprintf("%.0f", r.EpochsPerSec))
+	t.render(w)
+	return nil
+}

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lightpath/internal/core"
+)
+
+// Request is one point-to-point routing request in a batch.
+type Request struct {
+	From int
+	To   int
+}
+
+// BatchResult pairs a request with its answer. Exactly one of Result
+// and Err is non-nil.
+type BatchResult struct {
+	Request
+	Result *core.Result
+	Err    error
+}
+
+// RouteBatch answers every request against ONE pinned snapshot using a
+// pool of worker goroutines (the AllPairsParallel fan-out shape: shared
+// atomic cursor, no per-item goroutine). All answers therefore observe
+// the same epoch, even if mutators publish newer snapshots mid-batch.
+//
+// Requests sharing a source are answered from one SourceTree via the
+// engine's LRU cache; unique sources fall back to targeted Route calls,
+// which stop at the destination instead of exhausting the graph.
+// workers ≤ 0 selects GOMAXPROCS.
+func (e *Engine) RouteBatch(reqs []Request, workers int) []BatchResult {
+	snap := e.Snapshot()
+	return snap.RouteBatch(reqs, workers)
+}
+
+// RouteBatch is Engine.RouteBatch against this specific snapshot.
+func (s *Snapshot) RouteBatch(reqs []Request, workers int) []BatchResult {
+	n := len(reqs)
+	out := make([]BatchResult, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Sources appearing more than once amortize a full single-source
+	// pass (and seed the cache for future batches at this epoch).
+	perSource := make(map[int]int, n)
+	for _, r := range reqs {
+		perSource[r.From]++
+	}
+
+	var (
+		wg     sync.WaitGroup
+		cursor atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				req := reqs[i]
+				var (
+					res *core.Result
+					err error
+				)
+				if perSource[req.From] > 1 {
+					res, err = s.RouteVia(req.From, req.To)
+				} else {
+					res, err = s.Route(req.From, req.To)
+				}
+				out[i] = BatchResult{Request: req, Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

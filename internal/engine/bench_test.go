@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"lightpath/internal/core"
+	"lightpath/internal/topo"
+	"lightpath/internal/wdm"
+	"lightpath/internal/workload"
+)
+
+func benchNet(b *testing.B) *wdm.Network {
+	b.Helper()
+	nw, err := workload.Build(topo.NSFNET(), workload.Spec{
+		K:         8,
+		AvailProb: 0.6,
+		Conv:      workload.ConvUniform,
+		ConvCost:  0.3,
+	}, rand.New(rand.NewSource(1998)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw
+}
+
+// BenchmarkRouteFromCached measures the engine's hot path: a
+// single-source query answered from the (source, epoch) SourceTree
+// cache at a stable epoch.
+func BenchmarkRouteFromCached(b *testing.B) {
+	nw := benchNet(b)
+	e, err := New(nw, &Options{CacheSize: nw.NumNodes()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := e.Snapshot()
+	n := nw.NumNodes()
+	for s := 0; s < n; s++ { // warm every source
+		if _, err := snap.RouteFrom(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.RouteFrom(i % n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteFromRebuild measures the pre-engine behaviour the cache
+// replaces: recompile the auxiliary graph from the residual network and
+// run the single-source pass, once per request.
+func BenchmarkRouteFromRebuild(b *testing.B) {
+	nw := benchNet(b)
+	e, err := New(nw, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	residual := e.Snapshot().Network()
+	n := nw.NumNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aux, err := core.NewAux(residual)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := aux.RouteFrom(i%n, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteFromColdCache measures a cache miss (Dijkstra pass on
+// the prebuilt snapshot Aux, no recompilation) — the cost a reader pays
+// on the first query per (source, epoch).
+func BenchmarkRouteFromColdCache(b *testing.B) {
+	nw := benchNet(b)
+	e, err := New(nw, &Options{CacheSize: -1}) // disabled: every call computes
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := e.Snapshot()
+	n := nw.NumNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.RouteFrom(i % n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocateRelease measures mutation throughput: each iteration
+// publishes two epochs (allocate + release), each with a full snapshot
+// rebuild.
+func BenchmarkAllocateRelease(b *testing.B) {
+	nw := benchNet(b)
+	e, err := New(nw, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := e.Route(0, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Allocate(1, res.Path); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Release(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteBatch measures batch fan-out over the worker pool.
+func BenchmarkRouteBatch(b *testing.B) {
+	nw := benchNet(b)
+	e, err := New(nw, &Options{CacheSize: nw.NumNodes()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := nw.NumNodes()
+	var reqs []Request
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s != t {
+				reqs = append(reqs, Request{From: s, To: t})
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := e.RouteBatch(reqs, 0)
+		for _, r := range out {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}

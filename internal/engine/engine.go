@@ -1,0 +1,446 @@
+// Package engine is the concurrent routing layer: it serves
+// Route/RouteFrom/KShortest/RouteProtected queries against a *mutable*
+// WDM network using epoch-based copy-on-write snapshots.
+//
+// The problem it solves: package core compiles a network into an
+// immutable auxiliary graph (core.Aux), which is perfect for a static
+// network but wrong for online circuit switching — every wavelength
+// allocation changes the residual capacity, and the naive fix (rebuild
+// the Aux inside every request, as internal/session originally did)
+// puts the full O(k²n + km) construction on the latency path of every
+// query and forbids concurrency.
+//
+// The engine inverts that: mutators (Allocate/Release/FailLink/
+// RepairLink) pay for the rebuild, bumping a monotone epoch counter and
+// atomically publishing a fresh immutable Snapshot {epoch, residual
+// network, compiled Aux}. Readers never rebuild anything — they pin the
+// current snapshot with one atomic load and route against it for as
+// long as they like, even while later writers publish newer epochs.
+// Any number of readers run concurrently with each other and with
+// writers; writers are serialized among themselves.
+//
+// On top of the snapshots sit two throughput features:
+//
+//   - a bounded LRU cache of core.SourceTree results keyed by
+//     (source, epoch), so repeated single-source queries at a stable
+//     epoch cost one tree lookup instead of a Dijkstra pass; and
+//   - batched request execution over a worker pool (RouteBatch), which
+//     pins one snapshot for the whole batch and shares SourceTrees
+//     between requests with a common source.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"lightpath/internal/core"
+	"lightpath/internal/graph"
+	"lightpath/internal/wdm"
+)
+
+// Errors returned by the engine.
+var (
+	// ErrNilNetwork is returned for a nil base network.
+	ErrNilNetwork = errors.New("engine: nil network")
+	// ErrConflict is returned when Allocate finds a requested channel
+	// already held (or its link failed) — typically because the path was
+	// routed on an older epoch's snapshot. Route again and retry.
+	ErrConflict = errors.New("engine: channel conflict")
+	// ErrUnknownOwner is returned when releasing an owner holding nothing.
+	ErrUnknownOwner = errors.New("engine: unknown owner")
+	// ErrDuplicateOwner is returned when an owner ID already holds a lease.
+	ErrDuplicateOwner = errors.New("engine: owner already holds a lease")
+	// ErrLinkRange is returned for an out-of-range link ID.
+	ErrLinkRange = errors.New("engine: link out of range")
+)
+
+// Channel identifies one (link, wavelength) resource unit.
+type Channel struct {
+	Link   int
+	Lambda wdm.Wavelength
+}
+
+// Options configures a new engine.
+type Options struct {
+	// Queue selects the Dijkstra priority structure for all queries.
+	// Zero means graph.QueueBinary, the practical default for repeated
+	// small queries.
+	Queue graph.QueueKind
+	// CacheSize bounds the SourceTree LRU cache (entries). Zero means
+	// DefaultCacheSize; negative disables caching.
+	CacheSize int
+}
+
+// DefaultCacheSize is the SourceTree cache capacity when Options.CacheSize
+// is zero.
+const DefaultCacheSize = 64
+
+// Stats are the engine's lifetime counters.
+type Stats struct {
+	Epoch       uint64 // current epoch (number of mutations applied)
+	Allocations uint64
+	Releases    uint64
+	Conflicts   uint64 // Allocate calls rejected with ErrConflict
+	Rebuilds    uint64 // snapshots compiled (== Epoch with sync rebuild)
+	ActiveOwners int
+	HeldChannels int
+}
+
+// Engine owns the mutable occupancy state of one WDM network and
+// publishes immutable routing snapshots. All methods are safe for
+// concurrent use.
+type Engine struct {
+	base  *wdm.Network
+	queue graph.QueueKind
+	cache *treeCache
+
+	// mu guards the mutable occupancy state below and serializes
+	// mutators; readers of occupancy take it in read mode. Routing never
+	// takes it — routing reads the atomic snapshot.
+	mu     sync.RWMutex
+	inUse  map[Channel]int64 // channel -> owner
+	owners map[int64][]Channel
+	failed map[int]bool
+
+	snap atomic.Pointer[Snapshot]
+
+	allocations atomic.Uint64
+	releases    atomic.Uint64
+	conflicts   atomic.Uint64
+	rebuilds    atomic.Uint64
+}
+
+// New builds an engine over the installed network nw and publishes the
+// epoch-0 snapshot (the full network: nothing allocated, nothing
+// failed). The engine never mutates nw.
+func New(nw *wdm.Network, opts *Options) (*Engine, error) {
+	if nw == nil {
+		return nil, ErrNilNetwork
+	}
+	e := &Engine{
+		base:   nw,
+		queue:  graph.QueueBinary,
+		inUse:  make(map[Channel]int64),
+		owners: make(map[int64][]Channel),
+		failed: make(map[int]bool),
+	}
+	cacheSize := DefaultCacheSize
+	if opts != nil {
+		if opts.Queue != 0 {
+			e.queue = opts.Queue
+		}
+		if opts.CacheSize != 0 {
+			cacheSize = opts.CacheSize
+		}
+	}
+	if cacheSize > 0 {
+		e.cache = newTreeCache(cacheSize)
+	}
+	if err := e.rebuild(0); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Base returns the installed (non-residual) network.
+func (e *Engine) Base() *wdm.Network { return e.base }
+
+// SetQueue overrides the Dijkstra queue for subsequent snapshots. The
+// current snapshot keeps its queue until the next mutation republishes.
+func (e *Engine) SetQueue(kind graph.QueueKind) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queue = kind
+	// Republish so the change takes effect without waiting for churn.
+	_ = e.rebuild(e.Epoch() + 1)
+}
+
+// Epoch reports the current epoch: 0 at construction, +1 per mutation.
+func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
+
+// Snapshot pins the current routing snapshot. The returned value is
+// immutable and remains valid (and consistent) forever; it simply goes
+// stale as later mutations publish newer epochs.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// rebuild compiles and publishes the snapshot for the given epoch from
+// the current occupancy state. Callers must hold mu (or be the
+// constructor, before the engine escapes).
+func (e *Engine) rebuild(epoch uint64) error {
+	res := wdm.NewNetwork(e.base.NumNodes(), e.base.K())
+	for _, l := range e.base.Links() {
+		var free []wdm.Channel
+		if !e.failed[l.ID] {
+			free = make([]wdm.Channel, 0, len(l.Channels))
+			for _, ch := range l.Channels {
+				if _, taken := e.inUse[Channel{Link: l.ID, Lambda: ch.Lambda}]; !taken {
+					free = append(free, ch)
+				}
+			}
+		}
+		// Fully-occupied and failed links are added channel-less so link
+		// IDs stay aligned with the base network.
+		if _, err := res.AddLink(l.From, l.To, free); err != nil {
+			return fmt.Errorf("engine: residual link %d: %w", l.ID, err)
+		}
+	}
+	res.SetConverter(e.base.Converter())
+	aux, err := core.NewAux(res)
+	if err != nil {
+		return fmt.Errorf("engine: compile snapshot: %w", err)
+	}
+	e.snap.Store(&Snapshot{epoch: epoch, net: res, aux: aux, eng: e, queue: e.queue})
+	e.rebuilds.Add(1)
+	return nil
+}
+
+// Allocate claims every channel of path for owner, bumps the epoch and
+// publishes the new snapshot. It is all-or-nothing: on ErrConflict (a
+// channel already held, or a hop on a failed link) nothing is claimed.
+// Each owner ID may hold at most one lease at a time.
+func (e *Engine) Allocate(owner int64, path *wdm.Semilightpath) error {
+	if path == nil {
+		return errors.New("engine: nil path")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.owners[owner]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateOwner, owner)
+	}
+	chans := make([]Channel, 0, len(path.Hops))
+	for _, h := range path.Hops {
+		if h.Link < 0 || h.Link >= e.base.NumLinks() {
+			return fmt.Errorf("%w: %d", ErrLinkRange, h.Link)
+		}
+		if _, installed := e.base.Link(h.Link).Has(h.Wavelength); !installed {
+			return fmt.Errorf("engine: λ%d not installed on link %d", h.Wavelength, h.Link)
+		}
+		c := Channel{Link: h.Link, Lambda: h.Wavelength}
+		if holder, taken := e.inUse[c]; taken {
+			e.conflicts.Add(1)
+			return fmt.Errorf("%w: (link %d, λ%d) held by %d", ErrConflict, c.Link, c.Lambda, holder)
+		}
+		if e.failed[h.Link] {
+			e.conflicts.Add(1)
+			return fmt.Errorf("%w: link %d is failed", ErrConflict, h.Link)
+		}
+		chans = append(chans, c)
+	}
+	// A path may not use one channel twice (wdm.Semilightpath.Validate
+	// enforces chaining, not channel-distinctness across revisits of the
+	// same link — guard here since channels are a claimable resource).
+	seen := make(map[Channel]bool, len(chans))
+	for _, c := range chans {
+		if seen[c] {
+			e.conflicts.Add(1)
+			return fmt.Errorf("%w: path uses (link %d, λ%d) twice", ErrConflict, c.Link, c.Lambda)
+		}
+		seen[c] = true
+	}
+	for _, c := range chans {
+		e.inUse[c] = owner
+	}
+	e.owners[owner] = chans
+	e.allocations.Add(1)
+	return e.rebuild(e.Epoch() + 1)
+}
+
+// Release frees every channel owner holds, bumps the epoch and
+// publishes the new snapshot.
+func (e *Engine) Release(owner int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	chans, ok := e.owners[owner]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownOwner, owner)
+	}
+	for _, c := range chans {
+		delete(e.inUse, c)
+	}
+	delete(e.owners, owner)
+	e.releases.Add(1)
+	return e.rebuild(e.Epoch() + 1)
+}
+
+// RouteAndAllocate routes s→t on the current snapshot and immediately
+// claims the resulting path for owner. Because routing reads a pinned
+// snapshot while other writers may land first, the claim can conflict;
+// the engine then re-routes on the fresh snapshot and retries, up to
+// maxRetries times, before giving up with ErrConflict. A core.ErrNoRoute
+// from any attempt is returned as-is (the request is blocked).
+func (e *Engine) RouteAndAllocate(owner int64, s, t int) (*core.Result, error) {
+	const maxRetries = 8
+	var lastErr error
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		res, err := e.Snapshot().Route(s, t)
+		if err != nil {
+			return nil, err
+		}
+		err = e.Allocate(owner, res.Path)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, ErrConflict) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("engine: route-and-allocate gave up after retries: %w", lastErr)
+}
+
+// FailLink takes a physical link out of service: its channels stop
+// appearing in snapshots until RepairLink. Channels already held on the
+// link stay held (teardown policy belongs to the caller); the returned
+// slice lists the owners riding the link, ascending, so callers can
+// decide what to drop. Failing an already-failed link is a no-op.
+func (e *Engine) FailLink(link int) ([]int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if link < 0 || link >= e.base.NumLinks() {
+		return nil, fmt.Errorf("%w: %d", ErrLinkRange, link)
+	}
+	if e.failed[link] {
+		return nil, nil
+	}
+	e.failed[link] = true
+	var riders []int64
+	seen := make(map[int64]bool)
+	for c, owner := range e.inUse {
+		if c.Link == link && !seen[owner] {
+			seen[owner] = true
+			riders = append(riders, owner)
+		}
+	}
+	sort.Slice(riders, func(i, j int) bool { return riders[i] < riders[j] })
+	if err := e.rebuild(e.Epoch() + 1); err != nil {
+		return nil, err
+	}
+	return riders, nil
+}
+
+// RepairLink returns a failed link to service. Healthy or out-of-range
+// links are a no-op.
+func (e *Engine) RepairLink(link int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.failed[link] {
+		return nil
+	}
+	delete(e.failed, link)
+	return e.rebuild(e.Epoch() + 1)
+}
+
+// LinkFailed reports whether the link is currently out of service.
+func (e *Engine) LinkFailed(link int) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.failed[link]
+}
+
+// FailedLinks lists the links currently out of service, ascending.
+func (e *Engine) FailedLinks() []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]int, 0, len(e.failed))
+	for l := range e.failed {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HolderOf reports which owner holds the given channel, if any.
+func (e *Engine) HolderOf(link int, lam wdm.Wavelength) (int64, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	owner, ok := e.inUse[Channel{Link: link, Lambda: lam}]
+	return owner, ok
+}
+
+// ChannelFree reports whether (link, λ) is installed, in service and
+// unheld — i.e. whether it appears in the current snapshot.
+func (e *Engine) ChannelFree(link int, lam wdm.Wavelength) bool {
+	if link < 0 || link >= e.base.NumLinks() {
+		return false
+	}
+	if _, installed := e.base.Link(link).Has(lam); !installed {
+		return false
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.failed[link] {
+		return false
+	}
+	_, taken := e.inUse[Channel{Link: link, Lambda: lam}]
+	return !taken
+}
+
+// OwnerChannels returns the channels the owner currently holds (nil for
+// unknown owners). The slice is a copy.
+func (e *Engine) OwnerChannels(owner int64) []Channel {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	chans, ok := e.owners[owner]
+	if !ok {
+		return nil
+	}
+	out := make([]Channel, len(chans))
+	copy(out, chans)
+	return out
+}
+
+// HeldByWavelength counts currently-held channels per wavelength index
+// (length K). Wavelength-assignment heuristics use it to rank colors.
+func (e *Engine) HeldByWavelength() []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	usage := make([]int, e.base.K())
+	for c := range e.inUse {
+		usage[c.Lambda]++
+	}
+	return usage
+}
+
+// HeldChannels reports the number of currently-claimed channels.
+func (e *Engine) HeldChannels() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.inUse)
+}
+
+// Utilization is the fraction of installed channels currently held.
+func (e *Engine) Utilization() float64 {
+	total := e.base.TotalChannels()
+	if total == 0 {
+		return 0
+	}
+	return float64(e.HeldChannels()) / float64(total)
+}
+
+// Stats snapshots the engine's lifetime counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	owners, held := len(e.owners), len(e.inUse)
+	e.mu.RUnlock()
+	return Stats{
+		Epoch:        e.Epoch(),
+		Allocations:  e.allocations.Load(),
+		Releases:     e.releases.Load(),
+		Conflicts:    e.conflicts.Load(),
+		Rebuilds:     e.rebuilds.Load(),
+		ActiveOwners: owners,
+		HeldChannels: held,
+	}
+}
+
+// CacheStats reports the SourceTree cache counters (zero value when
+// caching is disabled).
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
+}

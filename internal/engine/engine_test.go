@@ -1,0 +1,366 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lightpath/internal/core"
+	"lightpath/internal/topo"
+	"lightpath/internal/wdm"
+	"lightpath/internal/workload"
+)
+
+// buildNet instantiates a deterministic test network over t.
+func buildNet(t *testing.T, tp *topo.Topology, k int, seed int64) *wdm.Network {
+	t.Helper()
+	nw, err := workload.Build(tp, workload.Spec{
+		K:         k,
+		AvailProb: 0.7,
+		Conv:      workload.ConvUniform,
+		ConvCost:  0.3,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("build network: %v", err)
+	}
+	return nw
+}
+
+func TestNewRejectsNil(t *testing.T) {
+	if _, err := New(nil, nil); !errors.Is(err, ErrNilNetwork) {
+		t.Fatalf("want ErrNilNetwork, got %v", err)
+	}
+}
+
+func TestEpochZeroSnapshotIsFullNetwork(t *testing.T) {
+	nw := buildNet(t, topo.NSFNET(), 4, 1)
+	e, err := New(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	if snap.Epoch() != 0 {
+		t.Fatalf("fresh engine epoch = %d, want 0", snap.Epoch())
+	}
+	if got, want := snap.Network().TotalChannels(), nw.TotalChannels(); got != want {
+		t.Fatalf("epoch-0 residual has %d channels, want %d", got, want)
+	}
+}
+
+func TestAllocateReleaseRoundTrip(t *testing.T) {
+	nw := buildNet(t, topo.NSFNET(), 4, 1)
+	e, err := New(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RouteAndAllocate(7, 0, 9)
+	if err != nil {
+		t.Fatalf("route-and-allocate: %v", err)
+	}
+	if res.Path.Len() == 0 {
+		t.Fatal("expected a nonempty path")
+	}
+	if e.Epoch() != 1 {
+		t.Fatalf("epoch after one allocation = %d, want 1", e.Epoch())
+	}
+	// Every hop channel must now be held by owner 7 and gone from the
+	// residual snapshot.
+	snap := e.Snapshot()
+	for _, h := range res.Path.Hops {
+		owner, held := e.HolderOf(h.Link, h.Wavelength)
+		if !held || owner != 7 {
+			t.Fatalf("channel (link %d, λ%d): owner=%d held=%v", h.Link, h.Wavelength, owner, held)
+		}
+		if _, free := snap.Network().Link(h.Link).Has(h.Wavelength); free {
+			t.Fatalf("allocated channel (link %d, λ%d) still in residual", h.Link, h.Wavelength)
+		}
+		if e.ChannelFree(h.Link, h.Wavelength) {
+			t.Fatalf("ChannelFree true for held channel (link %d, λ%d)", h.Link, h.Wavelength)
+		}
+	}
+	if got, want := e.HeldChannels(), res.Path.Len(); got != want {
+		t.Fatalf("held channels = %d, want %d", got, want)
+	}
+
+	// Double allocation under the same owner is rejected.
+	if err := e.Allocate(7, res.Path); !errors.Is(err, ErrDuplicateOwner) {
+		t.Fatalf("duplicate owner: got %v", err)
+	}
+	// Claiming a held channel conflicts.
+	if err := e.Allocate(8, res.Path); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting allocate: got %v", err)
+	}
+
+	if err := e.Release(7); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if err := e.Release(7); !errors.Is(err, ErrUnknownOwner) {
+		t.Fatalf("double release: got %v", err)
+	}
+	if e.HeldChannels() != 0 {
+		t.Fatalf("held channels after release = %d, want 0", e.HeldChannels())
+	}
+	if got, want := e.Snapshot().Network().TotalChannels(), nw.TotalChannels(); got != want {
+		t.Fatalf("residual after release has %d channels, want %d", got, want)
+	}
+}
+
+func TestPinnedSnapshotSurvivesChurn(t *testing.T) {
+	nw := buildNet(t, topo.NSFNET(), 4, 1)
+	e, err := New(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := e.Snapshot()
+	before, err := pinned.Route(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn the engine: allocate three circuits.
+	for i := int64(0); i < 3; i++ {
+		if _, err := e.RouteAndAllocate(i, int(i), 13); err != nil {
+			t.Fatalf("churn alloc %d: %v", i, err)
+		}
+	}
+	if e.Epoch() != 3 {
+		t.Fatalf("epoch = %d, want 3", e.Epoch())
+	}
+	// The pinned snapshot must answer identically to its own epoch.
+	after, err := pinned.Route(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Cost != after.Cost {
+		t.Fatalf("pinned snapshot answer changed under churn: %v -> %v", before.Cost, after.Cost)
+	}
+	if pinned.Epoch() != 0 || e.Snapshot().Epoch() != 3 {
+		t.Fatalf("epochs: pinned %d (want 0), current %d (want 3)", pinned.Epoch(), e.Snapshot().Epoch())
+	}
+}
+
+func TestSourceTreeCacheCounters(t *testing.T) {
+	nw := buildNet(t, topo.NSFNET(), 4, 1)
+	e, err := New(nw, &Options{CacheSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RouteFrom(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RouteFrom(0); err != nil {
+		t.Fatal(err)
+	}
+	cs := e.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Fatalf("after repeat lookup: hits=%d misses=%d, want 1/1", cs.Hits, cs.Misses)
+	}
+	// Fill beyond capacity 2 to force an eviction.
+	if _, err := e.RouteFrom(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RouteFrom(2); err != nil {
+		t.Fatal(err)
+	}
+	cs = e.CacheStats()
+	if cs.Evictions == 0 {
+		t.Fatalf("no evictions after overfilling capacity-2 cache: %+v", cs)
+	}
+	if cs.Size > cs.Capacity {
+		t.Fatalf("cache size %d exceeds capacity %d", cs.Size, cs.Capacity)
+	}
+	// A new epoch makes old keys unreachable: same source misses again.
+	if _, err := e.RouteAndAllocate(1, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	before := e.CacheStats().Misses
+	if _, err := e.RouteFrom(2); err != nil {
+		t.Fatal(err)
+	}
+	if e.CacheStats().Misses != before+1 {
+		t.Fatal("lookup at a new epoch must miss the cache")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	nw := buildNet(t, topo.NSFNET(), 4, 1)
+	e, err := New(nw, &Options{CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RouteFrom(0); err != nil {
+		t.Fatal(err)
+	}
+	if cs := e.CacheStats(); cs != (CacheStats{}) {
+		t.Fatalf("disabled cache reported stats %+v", cs)
+	}
+}
+
+func TestFailRepairLink(t *testing.T) {
+	nw := buildNet(t, topo.NSFNET(), 4, 1)
+	e, err := New(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RouteAndAllocate(1, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := res.Path.Hops[0].Link
+	riders, err := e.FailLink(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(riders) != 1 || riders[0] != 1 {
+		t.Fatalf("riders of failed link = %v, want [1]", riders)
+	}
+	if !e.LinkFailed(cut) {
+		t.Fatal("LinkFailed false after FailLink")
+	}
+	if got := e.FailedLinks(); len(got) != 1 || got[0] != cut {
+		t.Fatalf("FailedLinks = %v, want [%d]", got, cut)
+	}
+	// The failed link's channels are gone from the snapshot.
+	if got := len(e.Snapshot().Network().Link(cut).Channels); got != 0 {
+		t.Fatalf("failed link still offers %d channels", got)
+	}
+	// Allocating over the failed link conflicts.
+	if err := e.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Allocate(2, res.Path); !errors.Is(err, ErrConflict) {
+		t.Fatalf("allocate across failed link: got %v", err)
+	}
+	// Failing again is a no-op; repairing restores the channels.
+	if riders, err := e.FailLink(cut); err != nil || riders != nil {
+		t.Fatalf("re-fail: riders=%v err=%v", riders, err)
+	}
+	if err := e.RepairLink(cut); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.Snapshot().Network().TotalChannels(), nw.TotalChannels(); got != want {
+		t.Fatalf("residual after repair has %d channels, want %d", got, want)
+	}
+	if err := e.Allocate(2, res.Path); err != nil {
+		t.Fatalf("allocate after repair: %v", err)
+	}
+}
+
+func TestAllocateRejectsBadPaths(t *testing.T) {
+	nw := buildNet(t, topo.NSFNET(), 4, 1)
+	e, err := New(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Allocate(1, nil); err == nil {
+		t.Fatal("nil path accepted")
+	}
+	if err := e.Allocate(1, &wdm.Semilightpath{Hops: []wdm.Hop{{Link: 9999, Wavelength: 0}}}); !errors.Is(err, ErrLinkRange) {
+		t.Fatalf("out-of-range link: got %v", err)
+	}
+	// A path claiming the same channel twice must be rejected whole.
+	res, err := e.Route(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Path.Hops[0]
+	dup := &wdm.Semilightpath{Hops: []wdm.Hop{h, h}}
+	if err := e.Allocate(1, dup); !errors.Is(err, ErrConflict) {
+		t.Fatalf("duplicate-channel path: got %v", err)
+	}
+	if e.HeldChannels() != 0 {
+		t.Fatal("rejected allocation leaked claims")
+	}
+}
+
+func TestRouteBatchPinsOneEpoch(t *testing.T) {
+	nw := buildNet(t, topo.NSFNET(), 4, 1)
+	e, err := New(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []Request
+	for tgt := 1; tgt < nw.NumNodes(); tgt++ {
+		reqs = append(reqs, Request{From: 0, To: tgt}) // shared source: exercises the tree cache
+		reqs = append(reqs, Request{From: tgt, To: 0}) // unique sources: targeted Route
+	}
+	out := e.RouteBatch(reqs, 4)
+	if len(out) != len(reqs) {
+		t.Fatalf("got %d results for %d requests", len(out), len(reqs))
+	}
+	// Cross-check every answer against a direct query on the same epoch.
+	snap := e.Snapshot()
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("request %d (%d->%d): %v", i, r.From, r.To, r.Err)
+		}
+		want, err := snap.Route(r.From, r.To)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Result.Cost != want.Cost {
+			t.Fatalf("batch answer %d->%d cost %v, direct %v", r.From, r.To, r.Result.Cost, want.Cost)
+		}
+		if err := r.Result.Path.Validate(snap.Network(), r.From, r.To); r.From != r.To && err != nil {
+			t.Fatalf("batch path %d->%d invalid: %v", r.From, r.To, err)
+		}
+	}
+	if cs := e.CacheStats(); cs.Hits == 0 {
+		t.Fatalf("shared-source batch produced no cache hits: %+v", cs)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	nw := buildNet(t, topo.NSFNET(), 4, 1)
+	e, err := New(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RouteAndAllocate(1, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RouteAndAllocate(2, 3, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Allocations != 2 || s.Releases != 1 || s.ActiveOwners != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Epoch != 3 || s.Rebuilds != 4 { // +1: the epoch-0 build
+		t.Fatalf("epoch/rebuilds = %d/%d, want 3/4", s.Epoch, s.Rebuilds)
+	}
+}
+
+// TestProtectedAndKShortestOnSnapshot smoke-tests the remaining query
+// surface against a residual snapshot.
+func TestProtectedAndKShortestOnSnapshot(t *testing.T) {
+	nw := buildNet(t, topo.NSFNET(), 4, 1)
+	e, err := New(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RouteAndAllocate(1, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	paths, err := e.KShortest(0, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := snap.Route(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paths[0].Cost != best.Cost {
+		t.Fatalf("KShortest[0] cost %v != Route cost %v", paths[0].Cost, best.Cost)
+	}
+	pair, err := e.RouteProtected(0, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.LinkDisjoint(pair.Primary.Path, pair.Backup.Path) {
+		t.Fatal("protected pair shares a link")
+	}
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"fmt"
+
+	"lightpath/internal/core"
+	"lightpath/internal/graph"
+	"lightpath/internal/wdm"
+)
+
+// Snapshot is one immutable routing view of the network: the residual
+// capacity at a fixed epoch plus its compiled auxiliary graph. A
+// snapshot never changes after publication, so any number of goroutines
+// may route on it concurrently — including long after newer epochs have
+// superseded it (readers "pin" their epoch simply by holding the
+// pointer).
+type Snapshot struct {
+	epoch uint64
+	net   *wdm.Network
+	aux   *core.Aux
+	eng   *Engine
+	queue graph.QueueKind
+}
+
+// Epoch reports which mutation generation this snapshot reflects.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Network returns the residual network (free channels only). Callers
+// must not mutate it.
+func (s *Snapshot) Network() *wdm.Network { return s.net }
+
+// Aux returns the compiled auxiliary graph of the residual network.
+func (s *Snapshot) Aux() *core.Aux { return s.aux }
+
+// opts builds the core options for this snapshot's configured queue.
+func (s *Snapshot) opts() *core.Options { return &core.Options{Queue: s.queue} }
+
+// Route finds an optimal semilightpath from src to dst over this
+// snapshot's residual capacity.
+func (s *Snapshot) Route(src, dst int) (*core.Result, error) {
+	return s.aux.Route(src, dst, s.opts())
+}
+
+// RouteFrom computes (or fetches from the engine's LRU cache) the
+// single-source shortest semilightpath tree from src at this snapshot's
+// epoch. Trees are cached per (source, epoch): a hit costs one map
+// lookup instead of a Dijkstra pass over the auxiliary graph.
+func (s *Snapshot) RouteFrom(src int) (*core.SourceTree, error) {
+	cache := s.eng.cache
+	if cache == nil {
+		return s.aux.RouteFrom(src, s.opts())
+	}
+	if st, ok := cache.get(treeKey{source: src, epoch: s.epoch}); ok {
+		return st, nil
+	}
+	// Compute outside the cache lock; concurrent misses on the same key
+	// may duplicate the work, and the last insert wins — both trees are
+	// equally correct, so this is only a transient inefficiency.
+	st, err := s.aux.RouteFrom(src, s.opts())
+	if err != nil {
+		return nil, err
+	}
+	cache.put(treeKey{source: src, epoch: s.epoch}, st)
+	return st, nil
+}
+
+// RouteVia answers a point-to-point query through the SourceTree cache:
+// useful when many requests share a source at a stable epoch. The
+// returned result carries no per-query search stats (the tree is
+// shared).
+func (s *Snapshot) RouteVia(src, dst int) (*core.Result, error) {
+	st, err := s.RouteFrom(src)
+	if err != nil {
+		return nil, err
+	}
+	path, err := st.PathTo(dst)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Result{Path: path, Cost: st.Dist(dst), Source: src, Dest: dst}, nil
+}
+
+// KShortest enumerates up to count lowest-cost semilightpaths src→dst
+// on this snapshot.
+func (s *Snapshot) KShortest(src, dst, count int) ([]*core.Result, error) {
+	return s.aux.KShortest(src, dst, count, s.opts())
+}
+
+// RouteProtected finds a 1+1 protection pair (primary + link-disjoint
+// backup) on this snapshot.
+func (s *Snapshot) RouteProtected(src, dst int, po *core.ProtectOptions) (*core.ProtectedPair, error) {
+	if po == nil {
+		po = &core.ProtectOptions{}
+	}
+	if po.Route == nil {
+		po.Route = s.opts()
+	}
+	return s.aux.RouteProtected(src, dst, po)
+}
+
+// Engine-level query forwarders: each pins the instantaneous current
+// snapshot for exactly one call. Use Snapshot() directly when several
+// queries must observe the same epoch.
+
+// Route answers one optimal-semilightpath query on the current snapshot.
+func (e *Engine) Route(src, dst int) (*core.Result, error) {
+	return e.Snapshot().Route(src, dst)
+}
+
+// RouteFrom answers one single-source query on the current snapshot,
+// through the SourceTree cache.
+func (e *Engine) RouteFrom(src int) (*core.SourceTree, error) {
+	return e.Snapshot().RouteFrom(src)
+}
+
+// KShortest answers one K-shortest-paths query on the current snapshot.
+func (e *Engine) KShortest(src, dst, count int) ([]*core.Result, error) {
+	return e.Snapshot().KShortest(src, dst, count)
+}
+
+// RouteProtected answers one protected-pair query on the current
+// snapshot.
+func (e *Engine) RouteProtected(src, dst int, po *core.ProtectOptions) (*core.ProtectedPair, error) {
+	return e.Snapshot().RouteProtected(src, dst, po)
+}
+
+// String identifies the snapshot for logs.
+func (s *Snapshot) String() string {
+	return fmt.Sprintf("snapshot{epoch %d, %d nodes, %d free channels}",
+		s.epoch, s.net.NumNodes(), s.net.TotalChannels())
+}

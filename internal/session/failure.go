@@ -2,7 +2,6 @@ package session
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Fiber-cut handling: FailLink takes a physical link out of service,
@@ -24,34 +23,25 @@ type FailureReport struct {
 
 // FailLink marks the physical link out of service and tears down every
 // affected circuit. Failed links carry no traffic until RepairLink; the
-// residual network and the fixed-route heuristics both treat them as
+// residual snapshot and the fixed-route heuristics both treat them as
 // channel-less.
 func (m *Manager) FailLink(link int) (*FailureReport, error) {
 	if link < 0 || link >= m.base.NumLinks() {
 		return nil, fmt.Errorf("session: link %d out of range", link)
 	}
-	if m.failed == nil {
-		m.failed = make(map[int]bool)
+	alreadyDown := m.eng.LinkFailed(link)
+	riders, err := m.eng.FailLink(link)
+	if err != nil {
+		return nil, fmt.Errorf("session: fail link %d: %w", link, err)
 	}
-	if m.failed[link] {
-		return &FailureReport{Link: link}, nil // already down: no new damage
-	}
-	m.failed[link] = true
-
 	report := &FailureReport{Link: link}
-	// Find circuits riding the link. Collect first: Release mutates.
-	var hit []ID
-	for id, c := range m.active {
-		for _, h := range c.Path.Hops {
-			if h.Link == link {
-				hit = append(hit, id)
-				break
-			}
-		}
+	if alreadyDown {
+		return report, nil // already down: no new damage
 	}
-	sort.Slice(hit, func(i, j int) bool { return hit[i] < hit[j] })
 
-	for _, id := range hit {
+	// riders come back ascending, so teardown order is deterministic.
+	for _, owner := range riders {
+		id := ID(owner)
 		if _, stillActive := m.active[id]; !stillActive {
 			continue // already cascaded away by an earlier teardown
 		}
@@ -61,9 +51,8 @@ func (m *Manager) FailLink(link int) (*FailureReport, error) {
 				// The backup is intact: the circuit survives the cut.
 				// The primary's channels are freed (they are dark now),
 				// and the backup is promoted to stand-alone.
-				primary := m.active[id]
-				for _, h := range primary.Path.Hops {
-					delete(m.inUse, chanKey{link: h.Link, lam: h.Wavelength})
+				if err := m.eng.Release(owner); err != nil {
+					return nil, fmt.Errorf("session: free dark primary %d: %w", id, err)
 				}
 				delete(m.active, id)
 				delete(m.pairedBackup, id)
@@ -83,18 +72,11 @@ func (m *Manager) FailLink(link int) (*FailureReport, error) {
 // RepairLink returns a failed link to service. Unknown or healthy links
 // are a no-op.
 func (m *Manager) RepairLink(link int) {
-	delete(m.failed, link)
+	_ = m.eng.RepairLink(link)
 }
 
 // FailedLinks lists the links currently out of service, ascending.
-func (m *Manager) FailedLinks() []int {
-	out := make([]int, 0, len(m.failed))
-	for l := range m.failed {
-		out = append(out, l)
-	}
-	sort.Ints(out)
-	return out
-}
+func (m *Manager) FailedLinks() []int { return m.eng.FailedLinks() }
 
 func (m *Manager) pathUsesLink(c *Circuit, link int) bool {
 	for _, h := range c.Path.Hops {

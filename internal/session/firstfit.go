@@ -111,7 +111,7 @@ func (m *Manager) minHopRoute(s, t int) ([]int, bool) {
 		}
 		for _, linkID := range m.base.Out(u) {
 			l := m.base.Link(int(linkID))
-			if len(l.Channels) == 0 || visited[l.To] || m.failed[l.ID] {
+			if len(l.Channels) == 0 || visited[l.To] || m.eng.LinkFailed(l.ID) {
 				continue
 			}
 			visited[l.To] = true
@@ -134,17 +134,11 @@ func (m *Manager) minHopRoute(s, t int) ([]int, bool) {
 	return rev, true
 }
 
-// routeFreeOn reports whether lam is installed and currently unheld on
-// every link of the route.
+// routeFreeOn reports whether lam is installed, in service and
+// currently unheld on every link of the route.
 func (m *Manager) routeFreeOn(route []int, lam wdm.Wavelength) bool {
 	for _, linkID := range route {
-		if m.failed[linkID] {
-			return false
-		}
-		if _, installed := m.base.Link(linkID).Has(lam); !installed {
-			return false
-		}
-		if _, taken := m.inUse[chanKey{link: linkID, lam: lam}]; taken {
+		if !m.eng.ChannelFree(linkID, lam) {
 			return false
 		}
 	}
@@ -152,17 +146,14 @@ func (m *Manager) routeFreeOn(route []int, lam wdm.Wavelength) bool {
 }
 
 // claim registers a circuit holding the path's channels. The channels
-// are known-free (the caller checked), so this cannot conflict.
+// are known-free (the caller checked), so the engine claim cannot
+// conflict — a conflict here means manager bookkeeping is corrupt.
 func (m *Manager) claim(s, t int, path *wdm.Semilightpath, cost float64) *Circuit {
 	m.nextID++
 	c := &Circuit{ID: m.nextID, From: s, To: t, Path: path, Cost: cost}
-	for _, h := range path.Hops {
-		m.inUse[chanKey{link: h.Link, lam: h.Wavelength}] = c.ID
+	if err := m.eng.Allocate(int64(c.ID), path); err != nil {
+		panic(fmt.Sprintf("session: claim of checked-free channels failed: %v", err))
 	}
-	m.active[c.ID] = c
-	m.stats.Admitted++
-	if len(m.active) > m.maxHeld {
-		m.maxHeld = len(m.active)
-	}
+	m.register(c)
 	return c
 }

@@ -16,15 +16,7 @@ import (
 // Protection admission blocks when either path cannot be provisioned;
 // nothing is claimed on failure (all-or-nothing).
 func (m *Manager) AdmitProtected(s, t int) (primary, backup *Circuit, err error) {
-	res, err := m.Residual()
-	if err != nil {
-		return nil, nil, err
-	}
-	aux, err := core.NewAux(res)
-	if err != nil {
-		return nil, nil, err
-	}
-	pair, err := aux.RouteProtected(s, t, &core.ProtectOptions{
+	pair, err := m.eng.RouteProtected(s, t, &core.ProtectOptions{
 		Route:             &core.Options{Queue: m.queue},
 		PrimaryCandidates: 4, // modest anti-trap effort per admission
 	})
@@ -56,9 +48,9 @@ func (m *Manager) releasePaired(id ID) {
 		return
 	}
 	delete(m.pairedBackup, id)
-	if c, active := m.active[backupID]; active {
-		for _, h := range c.Path.Hops {
-			delete(m.inUse, chanKey{link: h.Link, lam: h.Wavelength})
+	if _, active := m.active[backupID]; active {
+		if err := m.eng.Release(int64(backupID)); err != nil {
+			panic(fmt.Sprintf("session: cascade release of backup %d failed: %v", backupID, err))
 		}
 		delete(m.active, backupID)
 		m.stats.Released++

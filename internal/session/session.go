@@ -1,11 +1,16 @@
 // Package session implements the application the paper's introduction
-// motivates: online circuit switching. A Manager owns the live
-// wavelength occupancy of a WDM network, admits connection requests by
-// routing an optimal semilightpath over the *residual* capacity (the
-// channels no active circuit holds), claims the chosen channels, and
-// releases them at teardown. Blocking statistics fall out naturally,
-// enabling the classic blocking-probability-vs-offered-load experiments
-// of the WDM literature.
+// motivates: online circuit switching. A Manager admits connection
+// requests by routing an optimal semilightpath over the *residual*
+// capacity (the channels no active circuit holds), claims the chosen
+// channels, and releases them at teardown. Blocking statistics fall out
+// naturally, enabling the classic blocking-probability-vs-offered-load
+// experiments of the WDM literature.
+//
+// Occupancy tracking and residual routing are delegated to
+// internal/engine: the engine owns the (link, λ) claim table and keeps
+// a compiled routing snapshot current across allocations and releases,
+// so admission routes against a prebuilt auxiliary graph instead of
+// recompiling one per request (the manager's original behaviour).
 package session
 
 import (
@@ -14,6 +19,7 @@ import (
 	"math/rand"
 
 	"lightpath/internal/core"
+	"lightpath/internal/engine"
 	"lightpath/internal/graph"
 	"lightpath/internal/wdm"
 )
@@ -41,11 +47,6 @@ type Circuit struct {
 	Cost float64
 }
 
-type chanKey struct {
-	link int
-	lam  wdm.Wavelength
-}
-
 // Stats counts the manager's admission outcomes.
 type Stats struct {
 	Admitted int
@@ -63,11 +64,13 @@ func (s Stats) BlockingProbability() float64 {
 	return float64(s.Blocked) / float64(offered)
 }
 
-// Manager owns wavelength occupancy and admits/releases circuits.
-// Manager is not safe for concurrent use; wrap it if needed.
+// Manager admits and releases circuits. Channel occupancy lives in the
+// embedded routing engine (circuit IDs double as engine owner IDs).
+// Manager is not safe for concurrent use; the engine underneath is, so
+// wrap only the Manager's own bookkeeping if needed.
 type Manager struct {
 	base    *wdm.Network
-	inUse   map[chanKey]ID
+	eng     *engine.Engine
 	active  map[ID]*Circuit
 	nextID  ID
 	queue   graph.QueueKind
@@ -77,27 +80,36 @@ type Manager struct {
 	// pairedBackup maps a protected primary to its backup circuit so
 	// releasing the primary cascades.
 	pairedBackup map[ID]ID
-	// failed marks links out of service (fiber cuts); they contribute no
-	// channels until RepairLink.
-	failed map[int]bool
 }
 
 // NewManager wraps the installed network nw. The manager never mutates
-// nw; it tracks occupancy separately and routes over residual copies.
+// nw; the engine tracks occupancy separately and routes over residual
+// snapshots.
 func NewManager(nw *wdm.Network) (*Manager, error) {
 	if nw == nil {
 		return nil, ErrNilNetwork
 	}
+	eng, err := engine.New(nw, &engine.Options{Queue: graph.QueueBinary})
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
 	return &Manager{
 		base:   nw,
-		inUse:  make(map[chanKey]ID),
+		eng:    eng,
 		active: make(map[ID]*Circuit),
 		queue:  graph.QueueBinary, // practical default for repeated small queries
 	}, nil
 }
 
+// Engine exposes the underlying routing engine (for concurrent
+// read-only queries, cache statistics, and batch routing).
+func (m *Manager) Engine() *engine.Engine { return m.eng }
+
 // SetQueue overrides the Dijkstra queue used for admission routing.
-func (m *Manager) SetQueue(kind graph.QueueKind) { m.queue = kind }
+func (m *Manager) SetQueue(kind graph.QueueKind) {
+	m.queue = kind
+	m.eng.SetQueue(kind)
+}
 
 // Stats returns the admission counters so far.
 func (m *Manager) Stats() Stats { return m.stats }
@@ -112,47 +124,20 @@ func (m *Manager) PeakActiveCircuits() int { return m.maxHeld }
 
 // Utilization is the fraction of installed (link, wavelength) channels
 // currently held by circuits.
-func (m *Manager) Utilization() float64 {
-	total := m.base.TotalChannels()
-	if total == 0 {
-		return 0
-	}
-	return float64(len(m.inUse)) / float64(total)
-}
+func (m *Manager) Utilization() float64 { return m.eng.Utilization() }
 
-// Residual builds the network of currently-free channels. Converters
-// are shared with the base network (converter banks are not a per-
-// circuit resource in this model).
+// Residual returns the network of currently-free channels — the
+// engine's current snapshot, maintained incrementally across
+// allocations rather than rebuilt per call. Callers must not mutate it.
 func (m *Manager) Residual() (*wdm.Network, error) {
-	res := wdm.NewNetwork(m.base.NumNodes(), m.base.K())
-	for _, l := range m.base.Links() {
-		free := make([]wdm.Channel, 0, len(l.Channels))
-		if !m.failed[l.ID] {
-			for _, ch := range l.Channels {
-				if _, taken := m.inUse[chanKey{link: l.ID, lam: ch.Lambda}]; !taken {
-					free = append(free, ch)
-				}
-			}
-		}
-		// Links are added even when fully occupied so link IDs stay
-		// aligned with the base network for claiming.
-		if _, err := res.AddLink(l.From, l.To, free); err != nil {
-			return nil, fmt.Errorf("session: residual link %d: %w", l.ID, err)
-		}
-	}
-	res.SetConverter(m.base.Converter())
-	return res, nil
+	return m.eng.Snapshot().Network(), nil
 }
 
 // Admit routes a circuit from s to t over the residual capacity and, on
 // success, claims its channels. A nil error means the circuit is active
 // until Release.
 func (m *Manager) Admit(s, t int) (*Circuit, error) {
-	res, err := m.Residual()
-	if err != nil {
-		return nil, err
-	}
-	result, err := core.FindSemilightpath(res, s, t, &core.Options{Queue: m.queue})
+	result, err := m.eng.RouteAndAllocate(int64(m.nextID+1), s, t)
 	if errors.Is(err, core.ErrNoRoute) {
 		m.stats.Blocked++
 		return nil, fmt.Errorf("%w: %d->%d", ErrBlocked, s, t)
@@ -160,36 +145,32 @@ func (m *Manager) Admit(s, t int) (*Circuit, error) {
 	if err != nil {
 		return nil, err
 	}
-
 	m.nextID++
 	c := &Circuit{ID: m.nextID, From: s, To: t, Path: result.Path, Cost: result.Cost}
-	for _, h := range result.Path.Hops {
-		key := chanKey{link: h.Link, lam: h.Wavelength}
-		if owner, taken := m.inUse[key]; taken {
-			// Cannot happen: the residual network excluded held channels.
-			return nil, fmt.Errorf("session: internal: channel (link %d, λ%d) already held by %d",
-				h.Link, h.Wavelength, owner)
-		}
-		m.inUse[key] = c.ID
-	}
+	m.register(c)
+	return c, nil
+}
+
+// register books an admitted circuit whose channels the engine already
+// holds under int64(c.ID).
+func (m *Manager) register(c *Circuit) {
 	m.active[c.ID] = c
 	m.stats.Admitted++
 	if len(m.active) > m.maxHeld {
 		m.maxHeld = len(m.active)
 	}
-	return c, nil
 }
 
 // Release tears the circuit down, freeing its channels. Releasing a
 // protected primary (see AdmitProtected) also releases its backup.
 func (m *Manager) Release(id ID) error {
-	c, ok := m.active[id]
+	_, ok := m.active[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
 	}
 	m.releasePaired(id)
-	for _, h := range c.Path.Hops {
-		delete(m.inUse, chanKey{link: h.Link, lam: h.Wavelength})
+	if err := m.eng.Release(int64(id)); err != nil {
+		return fmt.Errorf("session: release %d: %w", id, err)
 	}
 	delete(m.active, id)
 	m.stats.Released++
@@ -198,6 +179,6 @@ func (m *Manager) Release(id ID) error {
 
 // HolderOf reports which circuit holds the given channel, if any.
 func (m *Manager) HolderOf(link int, lam wdm.Wavelength) (ID, bool) {
-	id, ok := m.inUse[chanKey{link: link, lam: lam}]
-	return id, ok
+	owner, ok := m.eng.HolderOf(link, lam)
+	return ID(owner), ok
 }

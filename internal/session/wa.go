@@ -68,13 +68,7 @@ func (m *Manager) admitWithAssignment(s, t int, pick func(free []wdm.Wavelength)
 }
 
 // usageByWavelength counts currently-held channels per wavelength.
-func (m *Manager) usageByWavelength() []int {
-	usage := make([]int, m.base.K())
-	for key := range m.inUse {
-		usage[key.lam]++
-	}
-	return usage
-}
+func (m *Manager) usageByWavelength() []int { return m.eng.HeldByWavelength() }
 
 func (m *Manager) admitMostUsed(s, t int) (*Circuit, error) {
 	usage := m.usageByWavelength()

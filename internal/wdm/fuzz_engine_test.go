@@ -1,0 +1,208 @@
+package wdm_test
+
+// Fuzz target for the routing engine's allocate/release bookkeeping
+// (companion to fuzz_test.go's decoder target; it lives in the external
+// wdm_test package because internal/engine imports wdm).
+//
+// The fuzzer drives an engine with an arbitrary byte-derived sequence
+// of route-and-allocate / raw-allocate / release / fail / repair
+// operations against an independent shadow model, asserting after
+// every op that
+//
+//   - no channel is ever double-allocated (a raw claim succeeds exactly
+//     when the shadow model says the channel is free and in service),
+//   - the published snapshot's channel count matches the shadow model,
+//
+// and at the end — after releasing every lease and repairing every
+// link — that the snapshot residual equals the base network
+// channel-for-channel: release restores Λ(e) exactly.
+
+import (
+	"errors"
+	"testing"
+
+	"lightpath/internal/core"
+	"lightpath/internal/engine"
+	"lightpath/internal/wdm"
+)
+
+// fuzzEngineNet builds the fixed instance the fuzzer churns: a 5-node
+// bidirectional ring, k=3, every wavelength installed with small
+// distinct weights, uniform conversion.
+func fuzzEngineNet(t *testing.T) *wdm.Network {
+	t.Helper()
+	const n, k = 5, 3
+	nw := wdm.NewNetwork(n, k)
+	for v := 0; v < n; v++ {
+		for _, u := range []int{(v + 1) % n, (v + n - 1) % n} {
+			chans := make([]wdm.Channel, k)
+			for lam := 0; lam < k; lam++ {
+				chans[lam] = wdm.Channel{Lambda: wdm.Wavelength(lam), Weight: float64(1 + (v+lam)%3)}
+			}
+			if _, err := nw.AddLink(v, u, chans); err != nil {
+				t.Fatalf("build fuzz net: %v", err)
+			}
+		}
+	}
+	nw.SetConverter(wdm.UniformConversion{C: 0.5})
+	return nw
+}
+
+func FuzzEngineAllocateRelease(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x12})                                     // one routed allocation
+	f.Add([]byte{0x00, 0x12, 0x01, 0x00})                         // allocate then release
+	f.Add([]byte{0x02, 0x07, 0x02, 0x07})                         // raw claim, then the conflicting re-claim
+	f.Add([]byte{0x03, 0x04, 0x00, 0x21, 0x03, 0x04})             // fail, route around, repair
+	f.Add([]byte{0x00, 0x01, 0x00, 0x23, 0x02, 0x33, 0x01, 0x01}) // mixed churn
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nw := fuzzEngineNet(t)
+		eng, err := engine.New(nw, &engine.Options{CacheSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := nw.NumNodes()
+		m := nw.NumLinks()
+		k := nw.K()
+
+		held := make(map[engine.Channel]int64)   // shadow occupancy
+		leases := make(map[int64][]engine.Channel)
+		failed := make(map[int]bool)
+		var active []int64
+		var nextOwner int64
+
+		claimShadow := func(owner int64, hops []wdm.Hop) {
+			var cs []engine.Channel
+			for _, h := range hops {
+				c := engine.Channel{Link: h.Link, Lambda: h.Wavelength}
+				held[c] = owner
+				cs = append(cs, c)
+			}
+			leases[owner] = cs
+			active = append(active, owner)
+		}
+		releaseShadow := func(i int) int64 {
+			owner := active[i]
+			active[i] = active[len(active)-1]
+			active = active[:len(active)-1]
+			for _, c := range leases[owner] {
+				delete(held, c)
+			}
+			delete(leases, owner)
+			return owner
+		}
+
+		for i := 0; i+1 < len(data) && i < 400; i += 2 {
+			op, arg := data[i], data[i+1]
+			switch op % 4 {
+			case 0: // route on the live snapshot, then allocate
+				s := int(arg>>4) % n
+				d := int(arg) % n
+				if s == d {
+					continue
+				}
+				nextOwner++
+				res, err := eng.RouteAndAllocate(nextOwner, s, d)
+				if errors.Is(err, core.ErrNoRoute) {
+					nextOwner--
+					continue
+				}
+				if err != nil {
+					t.Fatalf("route-and-allocate %d->%d: %v", s, d, err)
+				}
+				claimShadow(nextOwner, res.Path.Hops)
+			case 1: // release a random active lease
+				if len(active) == 0 {
+					continue
+				}
+				owner := releaseShadow(int(arg) % len(active))
+				if err := eng.Release(owner); err != nil {
+					t.Fatalf("release %d: %v", owner, err)
+				}
+			case 2: // raw single-channel claim: probes double-allocation
+				link := int(arg) % m
+				lam := wdm.Wavelength(int(arg/16) % k)
+				ch := engine.Channel{Link: link, Lambda: lam}
+				_, takenBefore := held[ch]
+				wantOK := !takenBefore && !failed[link]
+				nextOwner++
+				err := eng.Allocate(nextOwner, &wdm.Semilightpath{
+					Hops: []wdm.Hop{{Link: link, Wavelength: lam}},
+				})
+				if wantOK && err != nil {
+					t.Fatalf("claim of free channel (link %d, λ%d) failed: %v", link, lam, err)
+				}
+				if !wantOK {
+					if !errors.Is(err, engine.ErrConflict) {
+						t.Fatalf("double/failed claim of (link %d, λ%d) returned %v, want ErrConflict",
+							link, lam, err)
+					}
+					nextOwner--
+					continue
+				}
+				claimShadow(nextOwner, []wdm.Hop{{Link: link, Wavelength: lam}})
+			default: // toggle link failure
+				link := int(arg) % m
+				if failed[link] {
+					if err := eng.RepairLink(link); err != nil {
+						t.Fatalf("repair %d: %v", link, err)
+					}
+					delete(failed, link)
+				} else {
+					if _, err := eng.FailLink(link); err != nil {
+						t.Fatalf("fail %d: %v", link, err)
+					}
+					failed[link] = true
+				}
+			}
+
+			// Per-op invariants against the shadow model.
+			if got, want := eng.HeldChannels(), len(held); got != want {
+				t.Fatalf("engine holds %d channels, shadow %d", got, want)
+			}
+			wantFree := 0
+			for _, l := range nw.Links() {
+				if failed[l.ID] {
+					continue
+				}
+				for _, c := range l.Channels {
+					if _, taken := held[engine.Channel{Link: l.ID, Lambda: c.Lambda}]; !taken {
+						wantFree++
+					}
+				}
+			}
+			if got := eng.Snapshot().Network().TotalChannels(); got != wantFree {
+				t.Fatalf("snapshot offers %d channels, shadow %d", got, wantFree)
+			}
+		}
+
+		// Drain and repair: Λ(e) must be restored exactly.
+		for len(active) > 0 {
+			owner := releaseShadow(0)
+			if err := eng.Release(owner); err != nil {
+				t.Fatalf("drain release %d: %v", owner, err)
+			}
+		}
+		for link := range failed {
+			if err := eng.RepairLink(link); err != nil {
+				t.Fatalf("drain repair %d: %v", link, err)
+			}
+		}
+		final := eng.Snapshot().Network()
+		for _, l := range nw.Links() {
+			got := final.Link(l.ID)
+			if len(got.Channels) != len(l.Channels) {
+				t.Fatalf("link %d: %d channels after drain, want %d", l.ID, len(got.Channels), len(l.Channels))
+			}
+			for i, c := range l.Channels {
+				if got.Channels[i] != c {
+					t.Fatalf("link %d channel %d = %+v after drain, want %+v", l.ID, i, got.Channels[i], c)
+				}
+			}
+		}
+		if eng.HeldChannels() != 0 {
+			t.Fatalf("%d channels still held after drain", eng.HeldChannels())
+		}
+	})
+}
