@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet verify bench-engine
+.PHONY: all build test race race-hot vet verify bench-engine bench-obs
 
 all: verify
 
@@ -15,11 +15,26 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the packages with lock-free hot paths (the obs
+# atomics and the engine's snapshot/cache machinery) — cheap enough to
+# run on every edit, unlike the full `race` sweep.
+race-hot:
+	$(GO) test -race ./internal/obs ./internal/engine
+
+# vet also fails on unformatted files: gofmt -l prints offenders, and
+# any output is an error.
 vet:
 	$(GO) vet ./...
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 
-verify: build vet test race
+verify: build vet test race-hot race
 
 # Regenerate the committed engine benchmark record.
 bench-engine:
 	$(GO) run ./cmd/wdmbench -experiment "" -engine-json BENCH_engine.json
+
+# Regenerate the committed telemetry overhead record (tracer off/on vs
+# the uninstrumented core route).
+bench-obs:
+	$(GO) run ./cmd/wdmbench -experiment "" -reps 7 -obs-json BENCH_obs.json

@@ -39,6 +39,8 @@ func run(args []string, w io.Writer) error {
 	format := fs.String("format", "text", "table output format: text|csv")
 	engineJSON := fs.String("engine-json", "",
 		"write the engine benchmark as machine-readable JSON to this path (e.g. BENCH_engine.json)")
+	obsJSON := fs.String("obs-json", "",
+		"write the telemetry overhead benchmark as machine-readable JSON to this path (e.g. BENCH_obs.json)")
 	list := fs.Bool("list", false, "list experiment names and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +72,20 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "engine benchmark written to %s (speedup %.1fx, hit rate %.3f, %.0f epochs/sec)\n",
 			*engineJSON, report.Speedup, report.CacheHitRate, report.EpochsPerSec)
+		if *experiment == "" {
+			return nil
+		}
+	}
+	if *obsJSON != "" {
+		report, err := bench.ObsReport(cfg)
+		if err != nil {
+			return fmt.Errorf("obs benchmark: %w", err)
+		}
+		if err := report.WriteJSON(*obsJSON); err != nil {
+			return fmt.Errorf("write %s: %w", *obsJSON, err)
+		}
+		fmt.Fprintf(w, "obs benchmark written to %s (tracer off %+.2f%%, tracer on %+.2f%%)\n",
+			*obsJSON, report.TracerOffOverheadPct, report.TracerOnOverheadPct)
 		if *experiment == "" {
 			return nil
 		}

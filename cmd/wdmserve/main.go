@@ -23,24 +23,37 @@
 //	fail LINK          take a link out of service (lists riding leases)
 //	repair LINK        return a link to service
 //	epoch              print the current epoch
-//	stats              engine + cache counters
+//	stats              engine + cache counters and routing latency quantiles
+//	explain S T        route S->T and print the per-hop Eq. (1) cost breakdown
+//	trace on|off       attach a trace summary to every route/alloc answer
+//	metrics            full telemetry registry as JSON
 //	quit               exit
+//
+// With -debug-addr HOST:PORT the service also runs an HTTP debug
+// endpoint exposing /metrics (the telemetry registry as JSON),
+// /debug/vars (expvar) and /debug/pprof.
 package main
 
 import (
 	"bufio"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"lightpath/internal/cli"
 	"lightpath/internal/core"
 	"lightpath/internal/engine"
 	"lightpath/internal/graph"
+	"lightpath/internal/obs"
 )
 
 func main() {
@@ -58,6 +71,8 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 	cacheSize := fs.Int("cache", engine.DefaultCacheSize, "SourceTree cache capacity (<0 disables)")
 	workers := fs.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	script := fs.String("script", "", "read commands from this file instead of stdin")
+	debugAddr := fs.String("debug-addr", "",
+		"serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,6 +101,16 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "serving %d nodes, %d links, k=%d (epoch %d)\n",
 		nw.NumNodes(), nw.NumLinks(), nw.K(), eng.Epoch())
+
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, debugMux(eng)) }()
+		fmt.Fprintf(w, "debug server on %s (/metrics, /debug/vars, /debug/pprof)\n", ln.Addr())
+	}
 
 	input := stdin
 	if *script != "" {
@@ -120,18 +145,41 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 	return scanner.Err()
 }
 
+// debugMux assembles the HTTP debug surface: the engine's telemetry
+// registry as JSON at /metrics, the same registry through expvar at
+// /debug/vars, and the standard pprof handlers. The registry is also
+// published under the expvar name "lightpath" (first engine in the
+// process wins — expvar's namespace is global).
+func debugMux(eng *engine.Engine) *http.ServeMux {
+	obs.PublishExpvar("lightpath", eng.Metrics())
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", eng.Metrics())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // server executes protocol commands against one engine.
 type server struct {
 	eng       *engine.Engine
 	w         io.Writer
 	workers   int
 	nextLease int64
+	tracing   bool // trace on: append a trace summary to route/alloc answers
 }
 
 // exec runs one command line; the bool result requests shutdown.
 func (s *server) exec(line string) (bool, error) {
 	fields := strings.Fields(line)
 	cmd, rest := fields[0], fields[1:]
+	// trace takes a keyword argument, every other verb integers.
+	if cmd == "trace" {
+		return false, s.execTrace(rest)
+	}
 	ints := make([]int, len(rest))
 	for i, f := range rest {
 		v, err := strconv.Atoi(f)
@@ -152,11 +200,36 @@ func (s *server) exec(line string) (bool, error) {
 		if err := argc(2); err != nil {
 			return false, err
 		}
+		if s.tracing {
+			res, tr, err := s.eng.TraceRoute(ints[0], ints[1])
+			if err != nil {
+				if tr != nil {
+					fmt.Fprintf(s.w, "  %s\n", tr)
+				}
+				return false, err
+			}
+			s.printResult(res)
+			fmt.Fprintf(s.w, "  %s\n", tr)
+			return false, nil
+		}
 		res, err := s.eng.Route(ints[0], ints[1])
 		if err != nil {
 			return false, err
 		}
 		s.printResult(res)
+	case "explain":
+		if err := argc(2); err != nil {
+			return false, err
+		}
+		res, tr, err := s.eng.TraceRoute(ints[0], ints[1])
+		if err != nil {
+			if tr != nil {
+				fmt.Fprintf(s.w, "explain %d -> %d: blocked after settling %d of %d aux nodes\n",
+					ints[0], ints[1], tr.Settled, tr.AuxNodes)
+			}
+			return false, err
+		}
+		s.printExplain(res, tr)
 	case "routefrom":
 		if err := argc(1); err != nil {
 			return false, err
@@ -220,13 +293,25 @@ func (s *server) exec(line string) (bool, error) {
 			return false, err
 		}
 		lease := s.nextLease + 1
-		res, err := s.eng.RouteAndAllocate(lease, ints[0], ints[1])
+		var (
+			res *core.Result
+			tr  *obs.RouteTrace
+			err error
+		)
+		if s.tracing {
+			res, tr, err = s.eng.RouteAndAllocateTraced(lease, ints[0], ints[1])
+		} else {
+			res, err = s.eng.RouteAndAllocate(lease, ints[0], ints[1])
+		}
 		if err != nil {
 			return false, err
 		}
 		s.nextLease = lease
 		fmt.Fprintf(s.w, "lease %d (epoch %d): ", lease, s.eng.Epoch())
 		s.printResult(res)
+		if tr != nil {
+			fmt.Fprintf(s.w, "  %s\n", tr)
+		}
 	case "release":
 		if err := argc(1); err != nil {
 			return false, err
@@ -257,17 +342,82 @@ func (s *server) exec(line string) (bool, error) {
 	case "stats":
 		st := s.eng.Stats()
 		cs := s.eng.CacheStats()
+		snap := s.eng.Metrics().Snapshot()
 		fmt.Fprintf(s.w, "epoch %d  allocs %d  releases %d  conflicts %d  owners %d  held %d  util %.3f\n",
 			st.Epoch, st.Allocations, st.Releases, st.Conflicts, st.ActiveOwners, st.HeldChannels,
 			s.eng.Utilization())
-		fmt.Fprintf(s.w, "cache: %d/%d entries  hits %d  misses %d  evictions %d  hit rate %.3f\n",
-			cs.Size, cs.Capacity, cs.Hits, cs.Misses, cs.Evictions, cs.HitRate())
+		fmt.Fprintf(s.w, "cache: %d/%d entries  lookups %d  hits %d  misses %d  evictions %d  hit rate %.3f\n",
+			cs.Size, cs.Capacity, cs.Lookups, cs.Hits, cs.Misses, cs.Evictions, cs.HitRate())
+		lat := snap["engine_route_latency_ns"].(obs.HistogramSnapshot)
+		fmt.Fprintf(s.w, "routes %d (blocked %d, traced %d)  retries %d  rebuilds %d\n",
+			snap["engine_routes_total"], snap["engine_routes_blocked_total"],
+			snap["engine_traced_routes_total"], snap["engine_alloc_retries_total"], st.Rebuilds)
+		fmt.Fprintf(s.w, "route latency: p50 %s  p95 %s  p99 %s  (n=%d, max %s)\n",
+			nsDuration(lat.P50), nsDuration(lat.P95), nsDuration(lat.P99), lat.Count, nsDuration(lat.Max))
+	case "metrics":
+		if err := s.eng.Metrics().WriteJSON(s.w); err != nil {
+			return false, err
+		}
 	case "quit", "exit":
 		return true, nil
 	default:
 		return false, fmt.Errorf("unknown command %q", cmd)
 	}
 	return false, nil
+}
+
+// execTrace toggles (or reports) per-answer trace summaries.
+func (s *server) execTrace(args []string) error {
+	switch {
+	case len(args) == 0:
+		state := "off"
+		if s.tracing {
+			state = "on"
+		}
+		fmt.Fprintf(s.w, "trace %s\n", state)
+		return nil
+	case len(args) == 1 && args[0] == "on":
+		s.tracing = true
+		fmt.Fprintln(s.w, "trace on")
+		return nil
+	case len(args) == 1 && args[0] == "off":
+		s.tracing = false
+		fmt.Fprintln(s.w, "trace off")
+		return nil
+	default:
+		return fmt.Errorf("trace: want on|off, got %q", strings.Join(args, " "))
+	}
+}
+
+// printExplain renders the per-hop Eq. (1) cost anatomy of a traced
+// route: which junction paid which conversion, what each link
+// traversal cost, and the totals that reconcile to the route cost.
+func (s *server) printExplain(res *core.Result, tr *obs.RouteTrace) {
+	cacheState := "cache miss"
+	if tr.CacheHit {
+		cacheState = "cache hit"
+	}
+	fmt.Fprintf(s.w, "explain %d -> %d (epoch %d, %s, %s)\n",
+		tr.Source, tr.Dest, tr.Epoch, cacheState, tr.Elapsed)
+	if len(tr.Hops) == 0 {
+		fmt.Fprintln(s.w, "  trivial path (source == destination)")
+		return
+	}
+	for i, h := range tr.Hops {
+		fmt.Fprintf(s.w, "  hop %d: %d -[λ%d]-> %d  conv %g + link %g  (cum %g)\n",
+			i+1, h.From, h.Wavelength+1, h.To, h.ConvCost, h.LinkCost, h.Cumulative)
+	}
+	fmt.Fprintf(s.w, "  totals: links %g + conversions %g = %g\n",
+		tr.LinkCostTotal(), tr.ConvCostTotal(), tr.LinkCostTotal()+tr.ConvCostTotal())
+	fmt.Fprintf(s.w, "  cost %g  %s\n", res.Cost, res.Path.String(s.eng.Base()))
+	fmt.Fprintf(s.w, "  search: aux %d nodes / %d arcs, settled %d, relaxed %d, conversions %d/%d taken/available\n",
+		tr.AuxNodes, tr.AuxArcs, tr.Settled, tr.Relaxed, tr.ConversionsTaken, tr.ConversionsAvailable)
+}
+
+// nsDuration renders a nanosecond quantity from a histogram as a
+// human-readable duration.
+func nsDuration(ns float64) time.Duration {
+	return time.Duration(ns) * time.Nanosecond
 }
 
 // printResult renders one routing answer.

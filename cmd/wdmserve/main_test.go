@@ -2,9 +2,20 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
+
+	"lightpath/internal/cli"
+	"lightpath/internal/engine"
+	"lightpath/internal/wdm"
 )
 
 // serve runs the binary against a command script and returns its output.
@@ -119,4 +130,172 @@ func TestServeFlagErrors(t *testing.T) {
 	if err := run([]string{"-script", "/definitely/not/here"}, strings.NewReader(""), &out); err == nil {
 		t.Fatal("missing script must fail")
 	}
+}
+
+// parseExplain pulls the totals and cost lines out of explain output.
+func parseExplain(t *testing.T, out string) (links, convs, total, cost float64) {
+	t.Helper()
+	foundTotals, foundCost := false, false
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "totals: links ") {
+			if _, err := fmt.Sscanf(line, "totals: links %g + conversions %g = %g", &links, &convs, &total); err != nil {
+				t.Fatalf("unparseable totals line %q: %v", line, err)
+			}
+			foundTotals = true
+		}
+		if foundTotals && !foundCost && strings.HasPrefix(line, "cost ") {
+			if _, err := fmt.Sscanf(line, "cost %g", &cost); err != nil {
+				t.Fatalf("unparseable cost line %q: %v", line, err)
+			}
+			foundCost = true
+		}
+	}
+	if !foundTotals || !foundCost {
+		t.Fatalf("explain output missing totals/cost lines:\n%s", out)
+	}
+	return links, convs, total, cost
+}
+
+// TestServeExplainBreakdownSumsToCost is the acceptance check for the
+// explain verb: summed per-hop link weights plus conversion costs must
+// equal the reported route cost.
+func TestServeExplainBreakdownSumsToCost(t *testing.T) {
+	// The paper topology (deterministic) and a generated NSFNET with
+	// conversions enabled, several pairs each.
+	cases := []struct {
+		flags  []string
+		script string
+	}{
+		{[]string{"-topo", "paper"}, "explain 0 6\nquit\n"},
+		{[]string{"-topo", "nsfnet", "-k", "6", "-seed", "3"}, "explain 0 9\nquit\n"},
+		{[]string{"-topo", "nsfnet", "-k", "4", "-seed", "17"}, "explain 2 12\nquit\n"},
+	}
+	for _, tc := range cases {
+		out := serve(t, tc.flags, tc.script)
+		links, convs, total, cost := parseExplain(t, out)
+		if diff := math.Abs(links + convs - cost); diff > 1e-9 {
+			t.Errorf("explain: links %g + conversions %g = %g != cost %g\n%s", links, convs, total, cost, out)
+		}
+		if math.Abs(total-cost) > 1e-9 {
+			t.Errorf("explain totals %g disagree with cost %g\n%s", total, cost, out)
+		}
+		if !strings.Contains(out, "search: aux ") {
+			t.Errorf("explain missing search anatomy:\n%s", out)
+		}
+	}
+}
+
+func TestServeExplainAfterAllocReflectsResidual(t *testing.T) {
+	// Exhaust capacity on a tiny-k network; a blocked explain must say
+	// how much of the graph it searched rather than print a path.
+	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+		"alloc 0 9\nexplain 0 9\nquit\n")
+	if !strings.Contains(out, "explain 0 -> 9 (epoch 1") {
+		t.Fatalf("explain did not pin post-alloc epoch:\n%s", out)
+	}
+	_, _, _, cost := parseExplain(t, out)
+	if cost <= 0 {
+		t.Fatalf("explain after alloc returned cost %g:\n%s", cost, out)
+	}
+}
+
+func TestServeTraceToggle(t *testing.T) {
+	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+		"trace\ntrace on\nroute 0 9\nalloc 0 13\ntrace off\nroute 0 9\nquit\n")
+	if !strings.Contains(out, "trace off\n") || !strings.Contains(out, "trace on\n") {
+		t.Fatalf("trace toggle answers missing:\n%s", out)
+	}
+	if got := strings.Count(out, "  trace "); got != 2 {
+		t.Fatalf("want exactly 2 trace summaries (traced route + traced alloc), got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "attempts") && !strings.Contains(out, "cache-") {
+		t.Fatalf("trace summary missing detail:\n%s", out)
+	}
+	out = serve(t, []string{"-topo", "paper"}, "trace sideways\nquit\n")
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("bad trace argument must be a protocol error:\n%s", out)
+	}
+}
+
+func TestServeStatsIncludesHitRateEpochAndLatency(t *testing.T) {
+	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+		"routefrom 0\nroutefrom 0\nalloc 0 9\nstats\nquit\n")
+	for _, want := range []string{"epoch 1", "hit rate", "lookups 2", "hits 1", "route latency: p50", "p95", "p99", "rebuilds 2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeMetricsJSON(t *testing.T) {
+	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+		"route 0 9\nmetrics\nquit\n")
+	start := strings.Index(out, "{")
+	if start < 0 {
+		t.Fatalf("no JSON in metrics output:\n%s", out)
+	}
+	end := strings.LastIndex(out, "}")
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out[start:end+1]), &decoded); err != nil {
+		t.Fatalf("metrics JSON invalid: %v\n%s", err, out)
+	}
+	for _, key := range []string{"engine_routes_total", "engine_route_latency_ns", "engine_epoch", "cache_hit_rate", "wavelength_0_held"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("metrics JSON missing %q", key)
+		}
+	}
+}
+
+func TestServeDebugAddrFlagAndMux(t *testing.T) {
+	// Flag wiring: the service reports the bound address.
+	out := serve(t, []string{"-topo", "paper", "-debug-addr", "127.0.0.1:0"}, "quit\n")
+	if !strings.Contains(out, "debug server on 127.0.0.1:") {
+		t.Fatalf("debug server banner missing:\n%s", out)
+	}
+
+	// Handler surface: /metrics serves the registry, /debug/vars expvar,
+	// /debug/pprof/ the profile index.
+	nw, err := cliBuildPaper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Route(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(debugMux(eng))
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/metrics":      "engine_routes_total",
+		"/debug/vars":   "lightpath",
+		"/debug/pprof/": "profile",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: body missing %q:\n%.400s", path, want, body)
+		}
+	}
+}
+
+// cliBuildPaper builds the paper example network the way run() does.
+func cliBuildPaper() (*wdm.Network, error) {
+	var nf cli.NetFlags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	nf.Register(fs)
+	if err := fs.Parse([]string{"-topo", "paper"}); err != nil {
+		return nil, err
+	}
+	return nf.Build()
 }

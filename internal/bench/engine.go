@@ -33,10 +33,10 @@ type EngineBenchResult struct {
 	UncachedNsPerOp int64   `json:"uncached_ns_per_op"`
 	Speedup         float64 `json:"speedup"`
 
-	CacheHitRate  float64 `json:"cache_hit_rate"`
-	CacheHits     uint64  `json:"cache_hits"`
-	CacheMisses   uint64  `json:"cache_misses"`
-	CacheEvictions uint64 `json:"cache_evictions"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheEvictions uint64  `json:"cache_evictions"`
 
 	// EpochsPerSec measures mutation throughput: RouteAndAllocate +
 	// Release pairs, each op publishing one snapshot rebuild.

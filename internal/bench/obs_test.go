@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestObsReportMeasures drives the telemetry benchmark at reduced scale
+// and checks it produces sane measurements: all three variants timed,
+// latency quantiles populated and ordered. Overhead percentages are NOT
+// asserted here — at test scale they are noise; the committed
+// BENCH_obs.json records the full-scale figures.
+func TestObsReportMeasures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	r, err := ObsReport(Config{Seed: 1998, Scale: 0.1, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BaselineNsPerOp <= 0 || r.TracerOffNsPerOp <= 0 || r.TracerOnNsPerOp <= 0 {
+		t.Fatalf("unmeasured variant: %+v", r)
+	}
+	if r.RouteLatencyP50Ns <= 0 {
+		t.Fatalf("route latency histogram empty: %+v", r)
+	}
+	if r.RouteLatencyP50Ns > r.RouteLatencyP95Ns || r.RouteLatencyP95Ns > r.RouteLatencyP99Ns {
+		t.Fatalf("latency quantiles out of order: p50 %v p95 %v p99 %v",
+			r.RouteLatencyP50Ns, r.RouteLatencyP95Ns, r.RouteLatencyP99Ns)
+	}
+}
+
+// TestObsReportJSONRoundTrips checks the BENCH_obs.json writer produces
+// a parseable record with the fields downstream tooling keys on.
+func TestObsReportJSONRoundTrips(t *testing.T) {
+	r := &ObsBenchResult{
+		Topology: "nsfnet", Nodes: 14, Links: 42, K: 8, Requests: 2000,
+		BaselineNsPerOp: 5000, TracerOffNsPerOp: 5050, TracerOnNsPerOp: 5600,
+		TracerOffOverheadPct: 1.0, TracerOnOverheadPct: 12.0,
+		RouteLatencyP50Ns: 5000, RouteLatencyP95Ns: 9000, RouteLatencyP99Ns: 12000,
+		GeneratedAt: "2026-08-06T00:00:00Z",
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_obs.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ObsBenchResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != *r {
+		t.Fatalf("round trip changed the record:\n got %+v\nwant %+v", back, *r)
+	}
+	var loose map[string]any
+	if err := json.Unmarshal(data, &loose); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"baseline_ns_per_op", "tracer_off_ns_per_op", "tracer_on_ns_per_op",
+		"tracer_off_overhead_pct", "tracer_on_overhead_pct", "route_latency_p50_ns",
+	} {
+		if _, ok := loose[key]; !ok {
+			t.Fatalf("JSON record missing %q: %s", key, data)
+		}
+	}
+}

@@ -76,6 +76,13 @@ func (a *Aux) RouteFrom(s int, opts *Options) (*SourceTree, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: dijkstra: %w", err)
 	}
+	if tr := opts.trace(); tr != nil {
+		tr.Source = s
+		tr.AuxNodes = a.NumAuxNodes() + 1 // plus the virtual super source
+		tr.AuxArcs = a.g.NumArcs()
+		tr.Settled = tree.Settled
+		tr.Relaxed = tree.Relaxed
+	}
 	st := &SourceTree{
 		aux:    a,
 		source: s,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lightpath/internal/graph"
+	"lightpath/internal/obs"
 	"lightpath/internal/wdm"
 )
 
@@ -12,6 +13,15 @@ type Options struct {
 	// Queue selects the priority structure for Dijkstra. The zero value
 	// means graph.QueueFibonacci, the structure Theorem 1's bound cites.
 	Queue graph.QueueKind
+
+	// Trace, when non-nil, is filled in with the query's search anatomy:
+	// auxiliary graph size, Dijkstra work counters, the per-hop cost
+	// breakdown of the winning path and its conversion economics. The
+	// caller owns the record; Route only writes fields it knows about
+	// (internal/engine layers epoch/cache/retry context on top). Tracing
+	// costs one Breakdown pass over the result path — leave nil on hot
+	// paths that don't need it.
+	Trace *obs.RouteTrace
 }
 
 func (o *Options) queue() graph.QueueKind {
@@ -19,6 +29,13 @@ func (o *Options) queue() graph.QueueKind {
 		return graph.QueueFibonacci
 	}
 	return o.Queue
+}
+
+func (o *Options) trace() *obs.RouteTrace {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
 }
 
 // SearchStats reports work counters of one shortest-path query.
@@ -60,6 +77,10 @@ func (a *Aux) Route(s, t int, opts *Options) (*Result, error) {
 	if t < 0 || t >= a.nw.NumNodes() {
 		return nil, fmt.Errorf("%w: dest %d", ErrNodeRange, t)
 	}
+	tr := opts.trace()
+	if tr != nil {
+		tr.Source, tr.Dest = s, t
+	}
 	if s == t {
 		// The trivial semilightpath: no links, no conversions, cost 0.
 		return &Result{Path: &wdm.Semilightpath{}, Source: s, Dest: t}, nil
@@ -67,6 +88,9 @@ func (a *Aux) Route(s, t int, opts *Options) (*Result, error) {
 
 	seeds := a.sourceSeeds(s)
 	if len(seeds) == 0 {
+		if tr != nil {
+			tr.Blocked = true
+		}
 		return nil, fmt.Errorf("%w: from %d to %d (no outgoing channels at source)", ErrNoRoute, s, t)
 	}
 	// Early termination: stop once every X_t shore node is settled (the
@@ -97,7 +121,14 @@ func (a *Aux) Route(s, t int, opts *Options) (*Result, error) {
 		Settled:  tree.Settled,
 		Relaxed:  tree.Relaxed,
 	}
+	if tr != nil {
+		tr.AuxNodes, tr.AuxArcs = stats.AuxNodes, stats.AuxArcs
+		tr.Settled, tr.Relaxed = stats.Settled, stats.Relaxed
+	}
 	if bestNode < 0 {
+		if tr != nil {
+			tr.Blocked = true
+		}
 		return nil, fmt.Errorf("%w: from %d to %d", ErrNoRoute, s, t)
 	}
 
@@ -105,7 +136,57 @@ func (a *Aux) Route(s, t int, opts *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if tr != nil {
+		a.fillPathTrace(tr, path, bestDist)
+	}
 	return &Result{Path: path, Cost: bestDist, Source: s, Dest: t, Stats: stats}, nil
+}
+
+// fillPathTrace records the winning path's per-hop Eq. (1) breakdown
+// and conversion economics into tr.
+func (a *Aux) fillPathTrace(tr *obs.RouteTrace, path *wdm.Semilightpath, cost float64) {
+	tr.Cost = cost
+	legs := path.Breakdown(a.nw)
+	tr.Hops = make([]obs.TraceHop, len(legs))
+	for i, leg := range legs {
+		tr.Hops[i] = obs.TraceHop{
+			Link:       leg.Hop.Link,
+			From:       leg.From,
+			To:         leg.To,
+			Wavelength: int32(leg.Hop.Wavelength),
+			ConvCost:   leg.ConvCost,
+			LinkCost:   leg.LinkCost,
+			Cumulative: leg.Cumulative,
+		}
+	}
+	// Conversions available: at each intermediate node, the distinct
+	// different-wavelength switches the arrival wavelength could have
+	// made (gadget arcs out of its X-shore entry). A conversion is
+	// "taken" whenever the wavelength changes, even on a free converter.
+	for i := 1; i < len(path.Hops); i++ {
+		if path.Hops[i].Wavelength != path.Hops[i-1].Wavelength {
+			tr.ConversionsTaken++
+		}
+		node := a.nw.Link(path.Hops[i-1].Link).To
+		tr.ConversionsAvailable += a.conversionFanout(node, path.Hops[i-1].Wavelength)
+	}
+}
+
+// conversionFanout counts the distinct wavelengths λq ≠ λ reachable by
+// a conversion at node v when arriving on λ — the size of the choice
+// set the router had at that junction.
+func (a *Aux) conversionFanout(v int, lambda wdm.Wavelength) int {
+	x, ok := a.xIndex(v, lambda)
+	if !ok {
+		return 0
+	}
+	fanout := 0
+	for _, arc := range a.g.Out(x) {
+		if arc.Tag == tagConversion && a.info[arc.To].Lambda != lambda {
+			fanout++
+		}
+	}
+	return fanout
 }
 
 // sourceSeeds lists the Y_s shore node IDs — the targets the virtual

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lightpath/internal/core"
 )
@@ -50,6 +51,15 @@ func (s *Snapshot) RouteBatch(reqs []Request, workers int) []BatchResult {
 		workers = n
 	}
 
+	// Telemetry: the in-flight gauge is the batch queue depth — it rises
+	// by the batch size up front and drains as workers finish items, so
+	// a registry snapshot taken mid-batch shows the backlog.
+	m := s.eng.metrics
+	m.batchRequests.Add(uint64(n))
+	m.batchInFlight.Add(int64(n))
+	batchStart := time.Now()
+	defer func() { m.batchLatency.ObserveDuration(time.Since(batchStart)) }()
+
 	// Sources appearing more than once amortize a full single-source
 	// pass (and seed the cache for future batches at this epoch).
 	perSource := make(map[int]int, n)
@@ -81,6 +91,7 @@ func (s *Snapshot) RouteBatch(reqs []Request, workers int) []BatchResult {
 					res, err = s.Route(req.From, req.To)
 				}
 				out[i] = BatchResult{Request: req, Result: res, Err: err}
+				m.batchInFlight.Add(-1)
 			}
 		}()
 	}

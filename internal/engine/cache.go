@@ -14,10 +14,14 @@ type treeKey struct {
 	epoch  uint64
 }
 
-// CacheStats reports the SourceTree cache counters.
+// CacheStats reports the SourceTree cache counters. Lookups is always
+// Hits + Misses — both counters advance under the cache lock — and is
+// carried explicitly so telemetry consumers can assert the invariant
+// instead of assuming it.
 type CacheStats struct {
 	Hits      uint64
 	Misses    uint64
+	Lookups   uint64
 	Evictions uint64
 	Size      int
 	Capacity  int
@@ -43,6 +47,7 @@ type treeCache struct {
 	items     map[treeKey]*list.Element
 	hits      uint64
 	misses    uint64
+	lookups   uint64
 	evictions uint64
 }
 
@@ -62,6 +67,7 @@ func newTreeCache(capacity int) *treeCache {
 func (c *treeCache) get(k treeKey) (*core.SourceTree, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.lookups++
 	el, ok := c.items[k]
 	if !ok {
 		c.misses++
@@ -70,6 +76,16 @@ func (c *treeCache) get(k treeKey) (*core.SourceTree, bool) {
 	c.hits++
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).tree, true
+}
+
+// peek reports residency without counting a lookup or touching LRU
+// order — the route tracer uses it to label a query cache-hit/miss
+// without perturbing the statistics it is reporting on.
+func (c *treeCache) peek(k treeKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[k]
+	return ok
 }
 
 func (c *treeCache) put(k treeKey, tree *core.SourceTree) {
@@ -96,6 +112,7 @@ func (c *treeCache) stats() CacheStats {
 	return CacheStats{
 		Hits:      c.hits,
 		Misses:    c.misses,
+		Lookups:   c.lookups,
 		Evictions: c.evictions,
 		Size:      c.ll.Len(),
 		Capacity:  c.capacity,

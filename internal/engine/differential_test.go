@@ -190,6 +190,22 @@ func TestDifferentialChurn(t *testing.T) {
 				// snapshot is exactly the model residual.
 				snap := e.Snapshot()
 				sameChannels(t, snap.Network(), model.residual(t), snap.Epoch())
+
+				// Telemetry invariants must hold at every epoch, not just
+				// at rest: lifetime counters reconcile with live state.
+				st := e.Stats()
+				if st.Allocations-st.Releases != uint64(st.ActiveOwners) {
+					t.Fatalf("op %d: allocations %d - releases %d != active owners %d",
+						op, st.Allocations, st.Releases, st.ActiveOwners)
+				}
+				if st.ActiveOwners != len(live) {
+					t.Fatalf("op %d: engine sees %d owners, test holds %d leases",
+						op, st.ActiveOwners, len(live))
+				}
+				if cs := e.CacheStats(); cs.Hits+cs.Misses != cs.Lookups {
+					t.Fatalf("op %d: cache hits %d + misses %d != lookups %d",
+						op, cs.Hits, cs.Misses, cs.Lookups)
+				}
 			}
 
 			// Full single-source sweep at the final epoch, through the
@@ -225,6 +241,21 @@ func TestDifferentialChurn(t *testing.T) {
 			sameChannels(t, e.Snapshot().Network(), nw, e.Epoch())
 			if e.HeldChannels() != 0 {
 				t.Fatalf("%d channels still held after drain", e.HeldChannels())
+			}
+			// After the drain every allocation has a matching release, one
+			// snapshot was compiled per epoch plus the epoch-0 build, and
+			// every held-channel gauge reads zero.
+			st := e.Stats()
+			if st.Allocations != st.Releases || st.ActiveOwners != 0 {
+				t.Fatalf("drained engine unbalanced: %+v", st)
+			}
+			if st.Rebuilds != st.Epoch+1 {
+				t.Fatalf("rebuilds %d != epoch %d + 1", st.Rebuilds, st.Epoch)
+			}
+			for lam := 0; lam < nw.K(); lam++ {
+				if held := e.heldOnWavelength(lam); held != 0 {
+					t.Fatalf("λ%d still shows %d held channels after drain", lam, held)
+				}
 			}
 			t.Logf("%s: %d ops, final epoch %d, cache %+v", tc.name, ops, e.Epoch(), e.CacheStats())
 		})

@@ -35,9 +35,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lightpath/internal/core"
 	"lightpath/internal/graph"
+	"lightpath/internal/obs"
 	"lightpath/internal/wdm"
 )
 
@@ -80,11 +82,11 @@ const DefaultCacheSize = 64
 
 // Stats are the engine's lifetime counters.
 type Stats struct {
-	Epoch       uint64 // current epoch (number of mutations applied)
-	Allocations uint64
-	Releases    uint64
-	Conflicts   uint64 // Allocate calls rejected with ErrConflict
-	Rebuilds    uint64 // snapshots compiled (== Epoch with sync rebuild)
+	Epoch        uint64 // current epoch (number of mutations applied)
+	Allocations  uint64
+	Releases     uint64
+	Conflicts    uint64 // Allocate calls rejected with ErrConflict
+	Rebuilds     uint64 // snapshots compiled (== Epoch with sync rebuild)
 	ActiveOwners int
 	HeldChannels int
 }
@@ -93,9 +95,10 @@ type Stats struct {
 // publishes immutable routing snapshots. All methods are safe for
 // concurrent use.
 type Engine struct {
-	base  *wdm.Network
-	queue graph.QueueKind
-	cache *treeCache
+	base    *wdm.Network
+	queue   graph.QueueKind
+	cache   *treeCache
+	metrics *Metrics
 
 	// mu guards the mutable occupancy state below and serializes
 	// mutators; readers of occupancy take it in read mode. Routing never
@@ -139,6 +142,9 @@ func New(nw *wdm.Network, opts *Options) (*Engine, error) {
 	if cacheSize > 0 {
 		e.cache = newTreeCache(cacheSize)
 	}
+	// Metrics must exist before the first rebuild so the epoch-0 compile
+	// is measured too.
+	e.metrics = newMetrics(e)
 	if err := e.rebuild(0); err != nil {
 		return nil, err
 	}
@@ -170,6 +176,7 @@ func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 // the current occupancy state. Callers must hold mu (or be the
 // constructor, before the engine escapes).
 func (e *Engine) rebuild(epoch uint64) error {
+	start := time.Now()
 	res := wdm.NewNetwork(e.base.NumNodes(), e.base.K())
 	for _, l := range e.base.Links() {
 		var free []wdm.Channel
@@ -194,6 +201,7 @@ func (e *Engine) rebuild(epoch uint64) error {
 	}
 	e.snap.Store(&Snapshot{epoch: epoch, net: res, aux: aux, eng: e, queue: e.queue})
 	e.rebuilds.Add(1)
+	e.metrics.rebuildLatency.ObserveDuration(time.Since(start))
 	return nil
 }
 
@@ -270,25 +278,54 @@ func (e *Engine) Release(owner int64) error {
 // snapshot while other writers may land first, the claim can conflict;
 // the engine then re-routes on the fresh snapshot and retries, up to
 // maxRetries times, before giving up with ErrConflict. A core.ErrNoRoute
-// from any attempt is returned as-is (the request is blocked).
+// from any attempt is returned as-is (the request is blocked). Every
+// retry round lands on the engine_alloc_retries_total counter.
 func (e *Engine) RouteAndAllocate(owner int64, s, t int) (*core.Result, error) {
+	res, _, err := e.routeAndAllocate(owner, s, t, false)
+	return res, err
+}
+
+// RouteAndAllocateTraced is RouteAndAllocate with the final attempt's
+// full route trace (search anatomy, per-hop breakdown, epoch pinned and
+// the attempt count). The trace is non-nil whenever at least one route
+// attempt ran, including when the overall call fails.
+func (e *Engine) RouteAndAllocateTraced(owner int64, s, t int) (*core.Result, *obs.RouteTrace, error) {
+	return e.routeAndAllocate(owner, s, t, true)
+}
+
+func (e *Engine) routeAndAllocate(owner int64, s, t int, traced bool) (*core.Result, *obs.RouteTrace, error) {
 	const maxRetries = 8
 	var lastErr error
+	var tr *obs.RouteTrace
 	for attempt := 0; attempt <= maxRetries; attempt++ {
-		res, err := e.Snapshot().Route(s, t)
+		if attempt > 0 {
+			e.metrics.allocRetries.Inc()
+		}
+		var (
+			res *core.Result
+			err error
+		)
+		if traced {
+			res, tr, err = e.Snapshot().TraceRoute(s, t)
+			if tr != nil {
+				tr.Attempts = attempt + 1
+			}
+		} else {
+			res, err = e.Snapshot().Route(s, t)
+		}
 		if err != nil {
-			return nil, err
+			return nil, tr, err
 		}
 		err = e.Allocate(owner, res.Path)
 		if err == nil {
-			return res, nil
+			return res, tr, nil
 		}
 		if !errors.Is(err, ErrConflict) {
-			return nil, err
+			return nil, tr, err
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("engine: route-and-allocate gave up after retries: %w", lastErr)
+	return nil, tr, fmt.Errorf("engine: route-and-allocate gave up after retries: %w", lastErr)
 }
 
 // FailLink takes a physical link out of service: its channels stop

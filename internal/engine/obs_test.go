@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lightpath/internal/core"
+	"lightpath/internal/topo"
+	"lightpath/internal/workload"
+)
+
+func obsTestEngine(t *testing.T, seed int64) *Engine {
+	t.Helper()
+	nw, err := workload.Build(topo.NSFNET(), workload.Spec{
+		K:         6,
+		AvailProb: 0.7,
+		Conv:      workload.ConvUniform,
+		ConvCost:  0.3,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(nw, &Options{CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestTraceBreakdownSumsToCost is the explain-correctness contract:
+// the per-hop link weights plus conversion costs recorded in a route
+// trace must sum to exactly the route's reported cost (Eq. 1), for
+// every pair the network can route.
+func TestTraceBreakdownSumsToCost(t *testing.T) {
+	e := obsTestEngine(t, 9)
+	n := e.Base().NumNodes()
+	checked := 0
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			res, tr, err := e.TraceRoute(s, d)
+			if errors.Is(err, core.ErrNoRoute) {
+				if !tr.Blocked {
+					t.Fatalf("%d->%d: blocked route's trace not marked Blocked", s, d)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%d->%d: %v", s, d, err)
+			}
+			sum := tr.LinkCostTotal() + tr.ConvCostTotal()
+			if math.Abs(sum-res.Cost) > 1e-9 {
+				t.Fatalf("%d->%d: breakdown links %v + conversions %v = %v, route cost %v",
+					s, d, tr.LinkCostTotal(), tr.ConvCostTotal(), sum, res.Cost)
+			}
+			if math.Abs(tr.Cost-res.Cost) > 0 {
+				t.Fatalf("%d->%d: trace cost %v != result cost %v", s, d, tr.Cost, res.Cost)
+			}
+			if len(tr.Hops) != res.Path.Len() {
+				t.Fatalf("%d->%d: trace has %d hops, path %d", s, d, len(tr.Hops), res.Path.Len())
+			}
+			if last := tr.Hops[len(tr.Hops)-1]; math.Abs(last.Cumulative-res.Cost) > 1e-9 {
+				t.Fatalf("%d->%d: last cumulative %v != cost %v", s, d, last.Cumulative, res.Cost)
+			}
+			if got := len(res.Path.Conversions(e.Base())); got != tr.ConversionsTaken {
+				t.Fatalf("%d->%d: trace counts %d conversions, path has %d", s, d, tr.ConversionsTaken, got)
+			}
+			if tr.ConversionsAvailable < tr.ConversionsTaken {
+				t.Fatalf("%d->%d: %d conversions taken but only %d available",
+					s, d, tr.ConversionsTaken, tr.ConversionsAvailable)
+			}
+			if tr.Settled <= 0 || tr.Relaxed <= 0 || tr.AuxNodes <= 0 || tr.AuxArcs <= 0 {
+				t.Fatalf("%d->%d: search anatomy not recorded: %+v", s, d, tr)
+			}
+			if tr.Epoch != e.Epoch() {
+				t.Fatalf("%d->%d: trace pinned epoch %d, engine at %d", s, d, tr.Epoch, e.Epoch())
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no routable pairs checked")
+	}
+}
+
+// TestTraceCacheHitFlag: the trace's CacheHit must reflect SourceTree
+// residency for (source, epoch) without perturbing the cache counters.
+func TestTraceCacheHitFlag(t *testing.T) {
+	e := obsTestEngine(t, 10)
+	_, tr, err := e.TraceRoute(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CacheHit {
+		t.Fatal("cold cache reported as hit")
+	}
+	before := e.CacheStats()
+	if _, err := e.RouteFrom(0); err != nil { // populates (0, epoch)
+		t.Fatal(err)
+	}
+	_, tr, err = e.TraceRoute(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.CacheHit {
+		t.Fatal("resident SourceTree not reported as cache hit")
+	}
+	after := e.CacheStats()
+	if after.Lookups != before.Lookups+1 {
+		t.Fatalf("tracing changed lookup count beyond the one RouteFrom: %d -> %d",
+			before.Lookups, after.Lookups)
+	}
+}
+
+// TestMetricsCountersTrackWork: the registry's hot-path counters and
+// histograms must reconcile with the work actually submitted.
+func TestMetricsCountersTrackWork(t *testing.T) {
+	e := obsTestEngine(t, 11)
+	reg := e.Metrics()
+
+	const routes = 20
+	blocked := 0
+	for i := 0; i < routes; i++ {
+		if _, err := e.Route(i%14, (i+3)%14); errors.Is(err, core.ErrNoRoute) {
+			blocked++
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap["engine_routes_total"].(uint64); got != routes {
+		t.Fatalf("engine_routes_total = %d, want %d", got, routes)
+	}
+	if got := snap["engine_routes_blocked_total"].(uint64); got != uint64(blocked) {
+		t.Fatalf("engine_routes_blocked_total = %d, want %d", got, blocked)
+	}
+	if hist := e.metrics.routeLatency.Count(); hist != routes {
+		t.Fatalf("route latency histogram has %d observations, want %d", hist, routes)
+	}
+
+	// A batch: requests counter rises by the batch size, in-flight
+	// drains back to zero.
+	reqs := []Request{{0, 9}, {0, 13}, {5, 2}, {7, 11}}
+	e.RouteBatch(reqs, 2)
+	snap = reg.Snapshot()
+	if got := snap["engine_batch_requests_total"].(uint64); got != uint64(len(reqs)) {
+		t.Fatalf("engine_batch_requests_total = %d, want %d", got, len(reqs))
+	}
+	if got := snap["engine_batch_inflight"].(int64); got != 0 {
+		t.Fatalf("engine_batch_inflight = %d after batch drained, want 0", got)
+	}
+
+	// Mutations: epoch gauge and rebuild histogram move together.
+	if _, err := e.RouteAndAllocate(1, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if got := snap["engine_epoch"].(float64); got != float64(e.Epoch()) {
+		t.Fatalf("engine_epoch gauge = %v, engine at %d", got, e.Epoch())
+	}
+	if got := e.metrics.rebuildLatency.Count(); got != uint64(e.Epoch())+1 {
+		t.Fatalf("rebuild histogram has %d observations, want epoch %d + 1", got, e.Epoch())
+	}
+	if got := snap["engine_allocations_total"].(float64); got != 1 {
+		t.Fatalf("engine_allocations_total = %v, want 1", got)
+	}
+
+	// Per-wavelength gauges exist for every installed color and are all
+	// zero with nothing held.
+	for lam := 0; lam < e.Base().K(); lam++ {
+		name := "wavelength_" + string(rune('0'+lam)) + "_held"
+		v, ok := snap[name]
+		if !ok {
+			t.Fatalf("registry missing %s", name)
+		}
+		if v.(float64) != 0 {
+			t.Fatalf("%s = %v with nothing held", name, v)
+		}
+	}
+}
+
+// TestPerWavelengthUtilizationGauges: holding a path moves exactly the
+// gauges of the wavelengths it uses.
+func TestPerWavelengthUtilizationGauges(t *testing.T) {
+	e := obsTestEngine(t, 12)
+	res, err := e.RouteAndAllocate(1, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLam := make(map[int]int)
+	for _, h := range res.Path.Hops {
+		perLam[int(h.Wavelength)]++
+	}
+	for lam := 0; lam < e.Base().K(); lam++ {
+		if got := e.heldOnWavelength(lam); got != perLam[lam] {
+			t.Fatalf("λ%d: gauge %d, path holds %d", lam, got, perLam[lam])
+		}
+	}
+}
+
+// TestRouteAndAllocateTracedRecordsAttempts: a clean first-try
+// allocation reports exactly one attempt and no retry counter motion.
+func TestRouteAndAllocateTracedRecordsAttempts(t *testing.T) {
+	e := obsTestEngine(t, 13)
+	_, tr, err := e.RouteAndAllocateTraced(1, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || tr.Attempts != 1 {
+		t.Fatalf("trace attempts = %+v, want 1", tr)
+	}
+	if got := e.Metrics().Snapshot()["engine_alloc_retries_total"].(uint64); got != 0 {
+		t.Fatalf("engine_alloc_retries_total = %d on a conflict-free allocate", got)
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"lightpath/internal/core"
 	"lightpath/internal/graph"
@@ -36,9 +37,13 @@ func (s *Snapshot) Aux() *core.Aux { return s.aux }
 func (s *Snapshot) opts() *core.Options { return &core.Options{Queue: s.queue} }
 
 // Route finds an optimal semilightpath from src to dst over this
-// snapshot's residual capacity.
+// snapshot's residual capacity. Latency and the blocked/served outcome
+// land on the engine's route metrics.
 func (s *Snapshot) Route(src, dst int) (*core.Result, error) {
-	return s.aux.Route(src, dst, s.opts())
+	start := time.Now()
+	res, err := s.aux.Route(src, dst, s.opts())
+	s.eng.metrics.observeRoute(time.Since(start), err)
+	return res, err
 }
 
 // RouteFrom computes (or fetches from the engine's LRU cache) the
@@ -46,6 +51,8 @@ func (s *Snapshot) Route(src, dst int) (*core.Result, error) {
 // epoch. Trees are cached per (source, epoch): a hit costs one map
 // lookup instead of a Dijkstra pass over the auxiliary graph.
 func (s *Snapshot) RouteFrom(src int) (*core.SourceTree, error) {
+	start := time.Now()
+	defer func() { s.eng.metrics.routeFromLatency.ObserveDuration(time.Since(start)) }()
 	cache := s.eng.cache
 	if cache == nil {
 		return s.aux.RouteFrom(src, s.opts())

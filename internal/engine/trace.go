@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"time"
+
+	"lightpath/internal/core"
+	"lightpath/internal/obs"
+)
+
+// TraceRoute answers one optimal-semilightpath query on the current
+// snapshot while recording its full anatomy: the auxiliary graph the
+// solver searched, Dijkstra work counters, the pinned epoch, whether a
+// cached SourceTree for the source was resident, and the per-hop
+// Eq. (1) cost breakdown of the winning path. The trace is returned
+// even when the query fails (Blocked is set on ErrNoRoute), so
+// operators can see how much of the graph a blocked request searched.
+//
+// Tracing uses the same targeted Dijkstra as Route — the trace *is*
+// the query, not a replay — and costs one extra Breakdown pass over
+// the result path, so it is safe to leave on for individual queries
+// but not worth enabling for bulk traffic (BENCH_obs.json quantifies
+// the difference).
+func (e *Engine) TraceRoute(src, dst int) (*core.Result, *obs.RouteTrace, error) {
+	return e.Snapshot().TraceRoute(src, dst)
+}
+
+// TraceRoute is Engine.TraceRoute against this specific snapshot.
+func (s *Snapshot) TraceRoute(src, dst int) (*core.Result, *obs.RouteTrace, error) {
+	tr := &obs.RouteTrace{Source: src, Dest: dst, Epoch: s.epoch}
+	if c := s.eng.cache; c != nil {
+		// peek, not get: the tracer reports on the cache without
+		// becoming part of its statistics.
+		tr.CacheHit = c.peek(treeKey{source: src, epoch: s.epoch})
+	}
+	m := s.eng.metrics
+	m.tracedRoutes.Inc()
+	start := time.Now()
+	res, err := s.aux.Route(src, dst, &core.Options{Queue: s.queue, Trace: tr})
+	tr.Elapsed = time.Since(start)
+	m.observeRoute(tr.Elapsed, err)
+	if err != nil {
+		return nil, tr, err
+	}
+	return res, tr, nil
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 50})
+	// "value ≤ bound" semantics: a value exactly on a bound belongs to
+	// that bound's bucket, one ulp above spills into the next.
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0}, {5, 0}, {10, 0},
+		{10.0001, 1}, {20, 1},
+		{20.5, 2}, {50, 2},
+		{50.0001, 3}, {1e9, 3}, // overflow
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.Snapshot()
+	want := []uint64{3, 2, 2, 2}
+	for i, w := range want {
+		if s.Buckets[i].Count != w {
+			t.Errorf("bucket %d: got %d observations, want %d", i, s.Buckets[i].Count, w)
+		}
+	}
+	if s.Count != 9 {
+		t.Errorf("total count %d, want 9", s.Count)
+	}
+	if s.Min != 0 || s.Max != 1e9 {
+		t.Errorf("min/max = %g/%g, want 0/1e9", s.Min, s.Max)
+	}
+	if s.Buckets[3].UpperBound != math.Inf(1) {
+		t.Errorf("overflow bucket bound = %g, want +Inf", s.Buckets[3].UpperBound)
+	}
+}
+
+func TestHistogramSumAndMean(t *testing.T) {
+	h := NewHistogram([]float64{100})
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Sum != 10 {
+		t.Errorf("sum = %g, want 10", s.Sum)
+	}
+	if s.Mean != 2.5 {
+		t.Errorf("mean = %g, want 2.5", s.Mean)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets())
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 {
+		t.Errorf("empty snapshot not zeroed: %+v", s)
+	}
+	if q := s.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+}
+
+// TestHistogramQuantilesAgainstSortedReference checks the quantile
+// estimate against the exact order statistic of the observed sample:
+// a fixed-bucket histogram must land within the bucket that actually
+// contains the true quantile, so the estimation error is bounded by
+// that bucket's width.
+func TestHistogramQuantilesAgainstSortedReference(t *testing.T) {
+	bounds := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	h := NewHistogram(bounds)
+	rng := rand.New(rand.NewSource(42))
+	n := 5000
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = rng.Float64() * 100
+		h.Observe(values[i])
+	}
+	sort.Float64s(values)
+	s := h.Snapshot()
+
+	for _, q := range []float64{0.05, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99} {
+		idx := int(q*float64(n)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		truth := values[idx]
+		est := s.Quantile(q)
+		// Bucket containing the truth: [10*floor(truth/10), 10*ceil...].
+		lower := math.Floor(truth/10) * 10
+		upper := lower + 10
+		if est < lower-1e-9 || est > upper+1e-9 {
+			t.Errorf("q=%.2f: estimate %.3f outside bucket [%g,%g] holding true quantile %.3f",
+				q, est, lower, upper, truth)
+		}
+		// And with uniform data, interpolation should be much tighter
+		// than a full bucket: within half a bucket width of the truth.
+		if math.Abs(est-truth) > 5 {
+			t.Errorf("q=%.2f: estimate %.3f too far from true %.3f", q, est, truth)
+		}
+	}
+
+	if s.P50 != s.Quantile(0.50) || s.P95 != s.Quantile(0.95) || s.P99 != s.Quantile(0.99) {
+		t.Error("snapshot P50/P95/P99 disagree with Quantile()")
+	}
+}
+
+func TestHistogramQuantileOverflowReturnsMax(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	h.Observe(500)
+	h.Observe(900)
+	if got := h.Snapshot().Quantile(0.99); got != 900 {
+		t.Errorf("overflow quantile = %g, want observed max 900", got)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets())
+	h.ObserveDuration(3 * time.Microsecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 3000 {
+		t.Errorf("duration recorded as %+v, want count 1 sum 3000ns", s)
+	}
+}
+
+func TestDefaultLatencyBucketsShape(t *testing.T) {
+	b := DefaultLatencyBuckets()
+	if len(b) == 0 {
+		t.Fatal("no default buckets")
+	}
+	if b[0] != 1e3 {
+		t.Errorf("first bound %g, want 1µs", b[0])
+	}
+	if b[len(b)-1] != 1e10 {
+		t.Errorf("last bound %g, want 10s", b[len(b)-1])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Errorf("bounds not ascending at %d: %g after %g", i, b[i], b[i-1])
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Registry names and owns a set of metrics. Metric accessors are
+// get-or-create, so independently-instrumented layers (engine, session,
+// server) can share one registry without coordinating construction
+// order. All methods are safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() float64
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() float64),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a derived gauge evaluated lazily at snapshot
+// time — the natural fit for levels another structure already tracks
+// (cache size, epoch, utilization). Re-registering a name replaces the
+// function.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (later bounds are ignored — first caller wins).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot renders every metric to a JSON-serializable map: counters
+// and gauges as numbers, histograms as HistogramSnapshot objects.
+// GaugeFuncs are evaluated outside the registry lock so a slow or
+// re-entrant func cannot deadlock metric creation.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.gaugeFuncs)+len(r.histograms))
+	funcs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		out[name] = h.Snapshot()
+	}
+	for name, fn := range r.gaugeFuncs {
+		funcs[name] = fn
+	}
+	r.mu.Unlock()
+	for name, fn := range funcs {
+		out[name] = fn()
+	}
+	return out
+}
+
+// Names lists every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.gaugeFuncs)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.gaugeFuncs {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON renders the snapshot as indented JSON with a trailing
+// newline.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ServeHTTP serves the JSON snapshot, so a registry can be mounted
+// directly on a debug mux (wdmserve exposes it at /metrics).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = r.WriteJSON(w)
+}
+
+// PublishExpvar exposes the registry under the given expvar name (and
+// therefore at /debug/vars). expvar's namespace is global and panics on
+// duplicates, so publishing an already-taken name is a no-op — the
+// first registry published under a name wins for the process lifetime.
+func PublishExpvar(name string, r *Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -56,7 +56,7 @@ func (m *Manager) FailLink(link int) (*FailureReport, error) {
 				}
 				delete(m.active, id)
 				delete(m.pairedBackup, id)
-				m.stats.Released++
+				m.noteReleased()
 				report.Survived = append(report.Survived, id)
 				continue
 			}

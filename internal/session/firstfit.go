@@ -2,6 +2,7 @@ package session
 
 import (
 	"fmt"
+	"time"
 
 	"lightpath/internal/wdm"
 )
@@ -65,9 +66,11 @@ func (m *Manager) AdmitPolicy(s, t int, policy Policy) (*Circuit, error) {
 // continuously free (wavelength-continuity blocking) or when s cannot
 // reach t at all.
 func (m *Manager) admitFirstFit(s, t int) (*Circuit, error) {
+	start := time.Now()
+	defer func() { m.tele.admitLatency.ObserveDuration(time.Since(start)) }()
 	route, ok := m.minHopRoute(s, t)
 	if !ok {
-		m.stats.Blocked++
+		m.noteBlocked()
 		return nil, fmt.Errorf("%w: %d->%d (no physical route)", ErrBlocked, s, t)
 	}
 	k := m.base.K()
@@ -84,7 +87,7 @@ func (m *Manager) admitFirstFit(s, t int) (*Circuit, error) {
 			return c, nil
 		}
 	}
-	m.stats.Blocked++
+	m.noteBlocked()
 	return nil, fmt.Errorf("%w: %d->%d (no continuous wavelength on the fixed route)", ErrBlocked, s, t)
 }
 

@@ -1,0 +1,70 @@
+package session
+
+import (
+	"errors"
+	"testing"
+
+	"lightpath/internal/obs"
+)
+
+// TestSessionTelemetryMirrorsStats: the session_* instruments on the
+// engine's shared registry must agree with the manager's own Stats at
+// every observation point — admissions (all policies), blocks,
+// releases, and the active-circuit gauge.
+func TestSessionTelemetryMirrorsStats(t *testing.T) {
+	m, err := NewManager(twoPathNet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := m.Engine().Metrics()
+
+	c1, err := m.Admit(0, 1) // direct λ0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Admit(0, 1); err != nil { // detour 0→2→1 on λ1
+		t.Fatal(err)
+	}
+	if _, err := m.Admit(0, 1); !errors.Is(err, ErrBlocked) { // capacity exhausted
+		t.Fatalf("third admission should block, got %v", err)
+	}
+	checkSessionTelemetry(t, m, reg)
+
+	if err := m.Release(c1.ID); err != nil {
+		t.Fatal(err)
+	}
+	checkSessionTelemetry(t, m, reg)
+
+	// First-fit policy admissions land on the same instruments.
+	if _, err := m.AdmitPolicy(0, 1, PolicyFirstFit); err != nil {
+		t.Fatal(err)
+	}
+	checkSessionTelemetry(t, m, reg)
+
+	// Every admission attempt — admitted or blocked, any policy — takes
+	// exactly one latency observation.
+	st := m.Stats()
+	hist := reg.Snapshot()["session_admit_latency_ns"].(obs.HistogramSnapshot)
+	if hist.Count != uint64(st.Admitted+st.Blocked) {
+		t.Fatalf("admit latency histogram count %d != admissions %d + blocks %d",
+			hist.Count, st.Admitted, st.Blocked)
+	}
+}
+
+func checkSessionTelemetry(t *testing.T, m *Manager, reg *obs.Registry) {
+	t.Helper()
+	snap := reg.Snapshot()
+	st := m.Stats()
+	if got := snap["session_admitted_total"].(uint64); got != uint64(st.Admitted) {
+		t.Fatalf("session_admitted_total = %d, Stats.Admitted = %d", got, st.Admitted)
+	}
+	if got := snap["session_blocked_total"].(uint64); got != uint64(st.Blocked) {
+		t.Fatalf("session_blocked_total = %d, Stats.Blocked = %d", got, st.Blocked)
+	}
+	if got := snap["session_released_total"].(uint64); got != uint64(st.Released) {
+		t.Fatalf("session_released_total = %d, Stats.Released = %d", got, st.Released)
+	}
+	if got := snap["session_active_circuits"].(int64); got != int64(m.ActiveCircuits()) {
+		t.Fatalf("session_active_circuits = %d, manager holds %d", got, m.ActiveCircuits())
+	}
+}

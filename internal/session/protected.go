@@ -3,6 +3,7 @@ package session
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"lightpath/internal/core"
 )
@@ -16,12 +17,14 @@ import (
 // Protection admission blocks when either path cannot be provisioned;
 // nothing is claimed on failure (all-or-nothing).
 func (m *Manager) AdmitProtected(s, t int) (primary, backup *Circuit, err error) {
+	start := time.Now()
+	defer func() { m.tele.admitLatency.ObserveDuration(time.Since(start)) }()
 	pair, err := m.eng.RouteProtected(s, t, &core.ProtectOptions{
 		Route:             &core.Options{Queue: m.queue},
 		PrimaryCandidates: 4, // modest anti-trap effort per admission
 	})
 	if errors.Is(err, core.ErrNoRoute) || errors.Is(err, core.ErrNoBackup) {
-		m.stats.Blocked++
+		m.noteBlocked()
 		return nil, nil, fmt.Errorf("%w: %d->%d (protected)", ErrBlocked, s, t)
 	}
 	if err != nil {
@@ -53,6 +56,6 @@ func (m *Manager) releasePaired(id ID) {
 			panic(fmt.Sprintf("session: cascade release of backup %d failed: %v", backupID, err))
 		}
 		delete(m.active, backupID)
-		m.stats.Released++
+		m.noteReleased()
 	}
 }

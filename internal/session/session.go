@@ -17,10 +17,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"lightpath/internal/core"
 	"lightpath/internal/engine"
 	"lightpath/internal/graph"
+	"lightpath/internal/obs"
 	"lightpath/internal/wdm"
 )
 
@@ -71,6 +73,7 @@ func (s Stats) BlockingProbability() float64 {
 type Manager struct {
 	base    *wdm.Network
 	eng     *engine.Engine
+	tele    sessionTelemetry
 	active  map[ID]*Circuit
 	nextID  ID
 	queue   graph.QueueKind
@@ -80,6 +83,44 @@ type Manager struct {
 	// pairedBackup maps a protected primary to its backup circuit so
 	// releasing the primary cascades.
 	pairedBackup map[ID]ID
+}
+
+// sessionTelemetry is the manager's slice of the engine's registry:
+// admission outcomes and latency, registered alongside the engine's own
+// metrics so one snapshot (and one /metrics endpoint) covers both
+// layers. The instruments mirror Stats but are atomics, so a debug
+// server can snapshot them while admissions run.
+type sessionTelemetry struct {
+	admitLatency *obs.Histogram // session_admit_latency_ns (all policies, blocked included)
+	admitted     *obs.Counter   // session_admitted_total
+	blocked      *obs.Counter   // session_blocked_total
+	released     *obs.Counter   // session_released_total
+	active       *obs.Gauge     // session_active_circuits
+}
+
+func newSessionTelemetry(reg *obs.Registry) sessionTelemetry {
+	return sessionTelemetry{
+		admitLatency: reg.Histogram("session_admit_latency_ns", obs.DefaultLatencyBuckets()),
+		admitted:     reg.Counter("session_admitted_total"),
+		blocked:      reg.Counter("session_blocked_total"),
+		released:     reg.Counter("session_released_total"),
+		active:       reg.Gauge("session_active_circuits"),
+	}
+}
+
+// noteBlocked records one blocked admission in both the legacy Stats
+// counter and the telemetry registry.
+func (m *Manager) noteBlocked() {
+	m.stats.Blocked++
+	m.tele.blocked.Inc()
+}
+
+// noteReleased records one circuit teardown, however it happened
+// (Release, backup cascade, or fiber-cut survival promotion).
+func (m *Manager) noteReleased() {
+	m.stats.Released++
+	m.tele.released.Inc()
+	m.tele.active.Add(-1)
 }
 
 // NewManager wraps the installed network nw. The manager never mutates
@@ -96,6 +137,7 @@ func NewManager(nw *wdm.Network) (*Manager, error) {
 	return &Manager{
 		base:   nw,
 		eng:    eng,
+		tele:   newSessionTelemetry(eng.Metrics()),
 		active: make(map[ID]*Circuit),
 		queue:  graph.QueueBinary, // practical default for repeated small queries
 	}, nil
@@ -137,9 +179,11 @@ func (m *Manager) Residual() (*wdm.Network, error) {
 // success, claims its channels. A nil error means the circuit is active
 // until Release.
 func (m *Manager) Admit(s, t int) (*Circuit, error) {
+	start := time.Now()
+	defer func() { m.tele.admitLatency.ObserveDuration(time.Since(start)) }()
 	result, err := m.eng.RouteAndAllocate(int64(m.nextID+1), s, t)
 	if errors.Is(err, core.ErrNoRoute) {
-		m.stats.Blocked++
+		m.noteBlocked()
 		return nil, fmt.Errorf("%w: %d->%d", ErrBlocked, s, t)
 	}
 	if err != nil {
@@ -156,6 +200,8 @@ func (m *Manager) Admit(s, t int) (*Circuit, error) {
 func (m *Manager) register(c *Circuit) {
 	m.active[c.ID] = c
 	m.stats.Admitted++
+	m.tele.admitted.Inc()
+	m.tele.active.Add(1)
 	if len(m.active) > m.maxHeld {
 		m.maxHeld = len(m.active)
 	}
@@ -173,7 +219,7 @@ func (m *Manager) Release(id ID) error {
 		return fmt.Errorf("session: release %d: %w", id, err)
 	}
 	delete(m.active, id)
-	m.stats.Released++
+	m.noteReleased()
 	return nil
 }
 

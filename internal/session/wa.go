@@ -3,6 +3,7 @@ package session
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"lightpath/internal/wdm"
 )
@@ -41,9 +42,11 @@ func (m *Manager) SeedRandomFit(seed int64) {
 // admitWithAssignment routes min-hop and picks the free wavelength by
 // the given selection rule.
 func (m *Manager) admitWithAssignment(s, t int, pick func(free []wdm.Wavelength) wdm.Wavelength) (*Circuit, error) {
+	start := time.Now()
+	defer func() { m.tele.admitLatency.ObserveDuration(time.Since(start)) }()
 	route, ok := m.minHopRoute(s, t)
 	if !ok {
-		m.stats.Blocked++
+		m.noteBlocked()
 		return nil, fmt.Errorf("%w: %d->%d (no physical route)", ErrBlocked, s, t)
 	}
 	var free []wdm.Wavelength
@@ -53,7 +56,7 @@ func (m *Manager) admitWithAssignment(s, t int, pick func(free []wdm.Wavelength)
 		}
 	}
 	if len(free) == 0 {
-		m.stats.Blocked++
+		m.noteBlocked()
 		return nil, fmt.Errorf("%w: %d->%d (no continuous wavelength on the fixed route)", ErrBlocked, s, t)
 	}
 	lam := pick(free)

@@ -66,7 +66,7 @@ func FuzzEngineAllocateRelease(f *testing.F) {
 		m := nw.NumLinks()
 		k := nw.K()
 
-		held := make(map[engine.Channel]int64)   // shadow occupancy
+		held := make(map[engine.Channel]int64) // shadow occupancy
 		leases := make(map[int64][]engine.Channel)
 		failed := make(map[int]bool)
 		var active []int64
