@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-hot vet verify bench-engine bench-obs
+.PHONY: all build test race race-hot vet lint lint-vet verify bench-engine bench-obs
 
 all: verify
 
@@ -28,7 +28,19 @@ vet:
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 
-verify: build vet test race-hot race
+# Domain-aware analyzers (internal/analysis) run via the wdmlint driver.
+# Exit 1 means findings; fix them or justify with //lint:ignore.
+lint:
+	$(GO) run ./cmd/wdmlint ./...
+
+# Same suite driven by `go vet -vettool`, which gives per-package result
+# caching and vet's diagnostic plumbing. Functionally equivalent to
+# `lint`; kept separate so CI can choose either entry point.
+lint-vet:
+	$(GO) build -o bin/wdmlint ./cmd/wdmlint
+	$(GO) vet -vettool=bin/wdmlint ./...
+
+verify: build vet lint test race-hot race
 
 # Regenerate the committed engine benchmark record.
 bench-engine:

@@ -1,0 +1,129 @@
+// Command wdmlint runs the repository's domain-aware static analyzers
+// (internal/analysis) over the module:
+//
+//	wdmlint ./...                 # lint packages by go-list pattern
+//	wdmlint -dir path/to/fixture  # lint one directory of Go files
+//	wdmlint -list                 # print the analyzer roster
+//	go vet -vettool=$(which wdmlint) ./...   # run as a vet tool
+//
+// Exit status is 0 when the tree is clean, 1 when findings were
+// reported, 2 on operational errors. Findings are suppressed with
+// an inline directive carrying a written reason:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lightpath/internal/analysis"
+)
+
+func main() {
+	// go vet probes its -vettool with -V=full before handing it unit
+	// config files; serve that protocol before normal flag parsing.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		fmt.Printf("wdmlint version v0-%s\n", analysisFingerprint())
+		return
+	}
+	// go vet's second probe: a JSON description of the tool's flags. We
+	// expose none to the vet driver.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(vetUnit(os.Args[1]))
+	}
+
+	var (
+		dir  = flag.String("dir", "", "lint a single directory of Go files instead of package patterns")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var (
+		pkgs []*analysis.Package
+		err  error
+	)
+	if *dir != "" {
+		root, rerr := moduleRoot()
+		if rerr != nil {
+			fatal(rerr)
+		}
+		pkgs, err = analysis.LoadDir(root, *dir)
+	} else {
+		patterns := flag.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		pkgs, err = analysis.LoadPatterns(".", patterns...)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	diags, err := analysis.RunSuite(pkgs, suite)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wdmlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wdmlint:", err)
+	os.Exit(2)
+}
+
+// moduleRoot locates the enclosing go.mod directory, so -dir works from
+// anywhere inside the module.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(dir + "/go.mod"); err == nil {
+			return dir, nil
+		}
+		parent := dir[:strings.LastIndex(dir, "/")+1]
+		if parent == "" || parent == dir {
+			return "", fmt.Errorf("no go.mod above working directory")
+		}
+		dir = strings.TrimSuffix(parent, "/")
+		if dir == "" {
+			dir = "/"
+		}
+	}
+}
+
+// analysisFingerprint keys go vet's result cache: it must change when
+// the analyzer roster changes, so a stable hash of names suffices.
+func analysisFingerprint() string {
+	var names []string
+	for _, a := range analysis.Suite() {
+		names = append(names, a.Name)
+	}
+	h := uint64(14695981039346656037)
+	for _, b := range []byte(strings.Join(names, ",")) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return fmt.Sprintf("%x", h)
+}

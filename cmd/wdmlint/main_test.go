@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the driver once per test binary into a temp dir.
+func buildLint(t *testing.T) (bin, root string) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root = filepath.Dir(filepath.Dir(wd)) // cmd/wdmlint -> module root
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", root, err)
+	}
+	bin = filepath.Join(t.TempDir(), "wdmlint")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/wdmlint")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build wdmlint: %v\n%s", err, out)
+	}
+	return bin, root
+}
+
+// TestCleanTreeExitsZero is the gate the Makefile relies on: the
+// committed tree must lint clean.
+func TestCleanTreeExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lints the whole module; skipped in -short")
+	}
+	bin, root := buildLint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("wdmlint ./... on the clean tree: %v\n%s", err, out)
+	}
+}
+
+// TestBrokenFixtureExitsNonZero proves findings drive the exit code.
+func TestBrokenFixtureExitsNonZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the module; skipped in -short")
+	}
+	bin, root := buildLint(t)
+	cmd := exec.Command(bin, "-dir", filepath.Join("internal", "analysis", "testdata", "src", "broken"))
+	cmd.Dir = root
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 1 {
+		t.Fatalf("want exit 1 on broken fixture, got %v\nstdout: %s\nstderr: %s", err, stdout.String(), stderr.String())
+	}
+	got := stdout.String()
+	for _, analyzer := range []string{"snapshotescape", "errdrop", "infcost"} {
+		if !strings.Contains(got, analyzer) {
+			t.Errorf("broken fixture output missing %s finding:\n%s", analyzer, got)
+		}
+	}
+}
+
+// TestVetVersionProbe covers the -V=full handshake go vet performs
+// before trusting a -vettool.
+func TestVetVersionProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the module; skipped in -short")
+	}
+	bin, _ := buildLint(t)
+	out, err := exec.Command(bin, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-V=full: %v\n%s", err, out)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) != 3 || fields[0] != "wdmlint" || fields[1] != "version" {
+		t.Fatalf("-V=full output %q does not match `wdmlint version <v>`", out)
+	}
+}
+
+// TestVettoolRuns exercises the unit-checker protocol end to end
+// through the real go vet driver on a clean package.
+func TestVettoolRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go vet; skipped in -short")
+	}
+	bin, root := buildLint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/obs")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean package: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,174 @@
+// Package analysis is the repository's domain-aware static-analysis
+// suite: a small analyzer framework on stdlib go/ast + go/types (the
+// build environment has no module proxy, so golang.org/x/tools is
+// deliberately not a dependency), plus five project-specific analyzers
+// that mechanically enforce the engine's concurrency and cost-model
+// contracts:
+//
+//   - snapshotescape: *engine.Snapshot values must not outlive the
+//     call that pinned them, and must not be used after an
+//     epoch-advancing engine mutation.
+//   - atomicfield: fields marked //lint:atomic are only touched through
+//     sync/atomic operations (or their atomic.* method sets).
+//   - infcost: the +Inf cost sentinel (graph.Inf, wdm.Inf, math.Inf) is
+//     never compared or combined arithmetically outside blessed helpers.
+//   - metricname: obs.Registry metric names are unique compile-time
+//     constants in lower_snake form.
+//   - errdrop: error returns of engine/session/core public APIs are
+//     never silently discarded.
+//
+// cmd/wdmlint is the driver; `make lint` runs it over the module.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: analyzer: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass is everything an analyzer sees for one type-checked package.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer string
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-tolerant shorthand for Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// Analyzer is one named check. Run is called once per package; analyzers
+// that need cross-package state (metricname uniqueness) keep it in the
+// closure, so a fresh Suite must be built per lint run.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Suite builds fresh instances of every analyzer, in stable order.
+// Instances hold per-run state and must not be shared across runs.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		NewSnapshotEscape(),
+		NewAtomicField(),
+		NewInfCost(),
+		NewMetricName(),
+		NewErrDrop(),
+	}
+}
+
+// RunSuite runs every analyzer over every package and returns the
+// surviving findings (after //lint:ignore filtering), sorted by
+// position. Packages must come from one Load* call so positions share a
+// FileSet.
+func RunSuite(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				analyzer: a.Name,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		diags = append(diags, pkg.ignores.malformed...)
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		ignored := false
+		for _, pkg := range pkgs {
+			if pkg.ignores.covers(d) {
+				ignored = true
+				break
+			}
+		}
+		if !ignored {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// named reports whether t (after pointer indirection) is the named type
+// pkgPath.name.
+func named(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for
+// builtins, conversions and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomicMarker tags a struct field whose every access must go through
+// sync/atomic. internal/obs marks its lock-free counter words with it.
+const atomicMarker = "lint:atomic"
+
+// NewAtomicField builds the atomicfield analyzer.
+//
+// Invariant (DESIGN.md §8): the obs hot path is lock-free — its counter
+// and histogram words are written concurrently by every routing
+// goroutine and read by the snapshot renderers, with no mutex anywhere.
+// That only stays sound while every touch of those words is a
+// sync/atomic operation. Fields carrying a //lint:atomic marker may be
+// used only as:
+//
+//   - a method-call receiver (the sync/atomic.Uint64-style typed API),
+//     including through an index (buckets[i].Add(1));
+//   - &f passed as a call argument (handing the word to sync/atomic or
+//     a CAS helper);
+//   - len/cap/range of a marked slice;
+//   - a composite-literal key at construction, before publication.
+//
+// A plain read, write, or value copy is a race waiting for a refactor.
+// Markers bind per package (the fields are unexported), so the analyzer
+// resolves them from the package it is analyzing.
+func NewAtomicField() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicfield",
+		Doc:  "flags non-atomic access to fields marked //lint:atomic",
+	}
+	a.Run = func(pass *Pass) error {
+		marked := collectMarkedFields(pass)
+		if len(marked) == 0 {
+			return nil
+		}
+		for _, f := range pass.Files {
+			checkAtomicUses(pass, f, marked)
+		}
+		return nil
+	}
+	return a
+}
+
+// collectMarkedFields finds struct fields whose declaration carries the
+// //lint:atomic marker in a doc or trailing comment.
+func collectMarkedFields(pass *Pass) map[*types.Var]bool {
+	marked := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !fieldHasMarker(field) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						marked[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return marked
+}
+
+func fieldHasMarker(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, atomicMarker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkAtomicUses walks the file with a parent stack and reports every
+// selector of a marked field whose syntactic context is not one of the
+// allowed atomic access shapes.
+func checkAtomicUses(pass *Pass, f *ast.File, marked map[*types.Var]bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+		if !ok || !marked[field] {
+			return true
+		}
+		if !atomicContextOK(pass, stack) {
+			pass.Reportf(sel.Sel.Pos(), "field %s is marked %s; access it only through sync/atomic operations", sel.Sel.Name, atomicMarker)
+		}
+		return true
+	})
+}
+
+// atomicContextOK inspects the ancestors of the marked-field selector
+// (stack top) and decides whether this use is an allowed atomic shape.
+func atomicContextOK(pass *Pass, stack []ast.Node) bool {
+	// Walk up through index expressions: buckets[i].Load() is judged by
+	// what wraps the index.
+	i := len(stack) - 1 // stack[i] is the SelectorExpr
+	expr := stack[i].(ast.Expr)
+	for i > 0 {
+		parent := stack[i-1]
+		switch p := parent.(type) {
+		case *ast.ParenExpr:
+			expr, i = p, i-1
+		case *ast.IndexExpr:
+			if p.X != expr {
+				return true // used as the index value, not the container
+			}
+			expr, i = p, i-1
+		case *ast.SelectorExpr:
+			// field.Method — allowed iff it is the receiver of a call:
+			// the parent of this selector must be a CallExpr invoking it.
+			if i-2 >= 0 {
+				if call, ok := stack[i-2].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == p {
+					return true
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			if p.Op != token.AND {
+				return false
+			}
+			// &field is allowed only as a call argument (sync/atomic or a
+			// CAS helper that receives the word by pointer).
+			if i-2 >= 0 {
+				if call, ok := stack[i-2].(*ast.CallExpr); ok {
+					for _, arg := range call.Args {
+						if ast.Unparen(arg) == p {
+							return true
+						}
+					}
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			// len(f), cap(f) of a marked slice.
+			if fn, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.Info.Uses[fn].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+			return false
+		case *ast.RangeStmt:
+			return p.X == expr
+		case *ast.KeyValueExpr:
+			// Construction-time initialization inside a composite literal
+			// of the struct that owns the field.
+			if i-2 >= 0 {
+				_, isLit := stack[i-2].(*ast.CompositeLit)
+				return isLit && p.Value != expr
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,215 @@
+package analysis
+
+// The golden-fixture harness: each analyzer has a package under
+// testdata/src/<name> whose lines carry `// want `+"`regexp`"+``
+// expectations. The fixture is loaded against the real module packages
+// (fixtures import the real engine/obs/graph types), the analyzer runs
+// alone, and the diagnostics must match the expectations exactly — an
+// unexpected finding fails the test just like a missing one, so every
+// fixture proves both that the analyzer fires on violations and that it
+// stays silent on correct code.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRx = regexp.MustCompile("// want ((?:`[^`]*`\\s*)+)")
+var wantPartRx = regexp.MustCompile("`[^`]*`")
+
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRx.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, part := range wantPartRx.FindAllString(m[1], -1) {
+				re, err := regexp.Compile(strings.Trim(part, "`"))
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp: %v", path, i+1, err)
+				}
+				wants = append(wants, &want{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func runFixture(t *testing.T, analyzerName string) {
+	t.Helper()
+	root := moduleRoot(t)
+	dir := filepath.Join("testdata", "src", analyzerName)
+	pkgs, err := LoadDir(root, dir)
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	var analyzer *Analyzer
+	for _, a := range Suite() {
+		if a.Name == analyzerName {
+			analyzer = a
+		}
+	}
+	if analyzer == nil {
+		t.Fatalf("no analyzer named %q in Suite()", analyzerName)
+	}
+	diags, err := RunSuite(pkgs, []*Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("run %s: %v", analyzerName, err)
+	}
+	wants := parseWants(t, dir)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want expectations", dir)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || !sameFile(w.file, d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	if err1 != nil || err2 != nil {
+		return filepath.Base(a) == filepath.Base(b)
+	}
+	return aa == bb
+}
+
+func TestSnapshotEscapeFixture(t *testing.T) { runFixture(t, "snapshotescape") }
+func TestAtomicFieldFixture(t *testing.T)    { runFixture(t, "atomicfield") }
+func TestInfCostFixture(t *testing.T)        { runFixture(t, "infcost") }
+func TestMetricNameFixture(t *testing.T)     { runFixture(t, "metricname") }
+func TestErrDropFixture(t *testing.T)        { runFixture(t, "errdrop") }
+
+// TestSuiteRoster pins the contract the ISSUE states: at least five
+// project-specific analyzers, each with a fixture directory.
+func TestSuiteRoster(t *testing.T) {
+	suite := Suite()
+	if len(suite) < 5 {
+		t.Fatalf("Suite() has %d analyzers, want >= 5", len(suite))
+	}
+	for _, a := range suite {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v missing name/doc/run", a)
+		}
+		if _, err := os.Stat(filepath.Join("testdata", "src", a.Name)); err != nil {
+			t.Errorf("analyzer %s has no fixture directory: %v", a.Name, err)
+		}
+	}
+}
+
+// TestIgnoreDirectiveMalformed proves a reason-less ignore is itself
+// reported rather than silently honored.
+func TestIgnoreDirectiveMalformed(t *testing.T) {
+	dir := t.TempDir()
+	src := `package scratch
+
+import "lightpath/internal/engine"
+
+func f(e *engine.Engine) {
+	//lint:ignore errdrop
+	e.Release(1)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadDir(moduleRoot(t), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunSuite(pkgs, Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMalformed, sawDrop bool
+	for _, d := range diags {
+		if d.Analyzer == "wdmlint" && strings.Contains(d.Message, "malformed ignore") {
+			sawMalformed = true
+		}
+		if d.Analyzer == "errdrop" {
+			sawDrop = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("reason-less directive not reported: %v", diags)
+	}
+	if !sawDrop {
+		t.Errorf("reason-less directive suppressed the finding: %v", diags)
+	}
+}
+
+// TestLoadPatterns smoke-checks the go-list loader on a real package.
+func TestLoadPatterns(t *testing.T) {
+	pkgs, err := LoadPatterns(moduleRoot(t), "lightpath/internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "lightpath/internal/obs" {
+		t.Fatalf("LoadPatterns = %v, %v", pkgs, err)
+	}
+	if pkgs[0].Types == nil || len(pkgs[0].Files) == 0 {
+		t.Fatal("package not type-checked")
+	}
+}

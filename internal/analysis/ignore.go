@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix is the suppression directive the driver honors:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// It silences findings of the named analyzer on the same source line
+// (end-of-line comment) or on the line directly below the comment
+// (comment on its own line). The reason is mandatory — an ignore
+// without a written justification is itself reported.
+const ignorePrefix = "//lint:ignore"
+
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type ignoreIndex struct {
+	directives map[ignoreKey]bool
+	malformed  []Diagnostic
+}
+
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := ignoreIndex{directives: make(map[ignoreKey]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) < 2 {
+					idx.malformed = append(idx.malformed, Diagnostic{
+						Analyzer: "wdmlint",
+						Pos:      pos,
+						Message:  "malformed ignore directive: need //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				idx.directives[ignoreKey{file: pos.Filename, line: pos.Line, analyzer: fields[0]}] = true
+			}
+		}
+	}
+	return idx
+}
+
+// covers reports whether an ignore directive suppresses d: the directive
+// must name d's analyzer and sit on d's line or the line above it.
+func (idx ignoreIndex) covers(d Diagnostic) bool {
+	if idx.directives[ignoreKey{file: d.Pos.Filename, line: d.Pos.Line, analyzer: d.Analyzer}] {
+		return true
+	}
+	return idx.directives[ignoreKey{file: d.Pos.Filename, line: d.Pos.Line - 1, analyzer: d.Analyzer}]
+}

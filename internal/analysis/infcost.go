@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const (
+	graphPath = "lightpath/internal/graph"
+	wdmPath   = "lightpath/internal/wdm"
+)
+
+// blessedInfFuncs are the helpers allowed to look at the sentinel
+// directly. Everyone else must go through them: per Eq. (1) of the
+// paper, w(e,λ) = ∞ and c(v,p,q) = ∞ mean "does not exist", not "very
+// expensive" — comparing or adding the sentinel as if it were a number
+// is how ∞-cost paths leak into results (∞ == ∞ compares true, ∞-∞ is
+// NaN, and a float `<` against ∞ silently accepts NaN).
+var blessedInfFuncs = map[string]map[string]bool{
+	graphPath: {"IsInf": true, "Finite": true},
+	wdmPath:   {"IsInf": true, "Finite": true},
+}
+
+// NewInfCost builds the infcost analyzer.
+//
+// It flags any comparison (== != < <= > >=) or arithmetic (+ - * /)
+// whose operand is the infinite-cost sentinel: graph.Inf, wdm.Inf, a
+// math.Inf(...) call, or a local alias of one of those (a variable
+// initialized from the sentinel and never reassigned). Blessed helpers
+// in internal/graph and internal/wdm are exempt; so is everything the
+// standard math.IsInf predicate covers, since it is a call, not an
+// operator.
+func NewInfCost() *Analyzer {
+	a := &Analyzer{
+		Name: "infcost",
+		Doc:  "flags direct comparison/arithmetic with the +Inf cost sentinel outside blessed helpers",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if blessed, ok := blessedInfFuncs[pass.Pkg.Path()]; ok && blessed[fn.Name.Name] {
+					continue
+				}
+				aliases := sentinelAliases(pass, fn.Body)
+				checkInfOps(pass, fn.Body, aliases)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// isSentinelExpr reports whether e denotes the infinite-cost sentinel
+// syntactically: graph.Inf / wdm.Inf (by object identity) or a
+// math.Inf(...) call.
+func isSentinelExpr(pass *Pass, e ast.Expr, aliases map[*types.Var]bool) bool {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		if v, ok := obj.(*types.Var); ok {
+			if aliases[v] {
+				return true
+			}
+			return isSentinelVar(v)
+		}
+	case *ast.SelectorExpr:
+		if v, ok := pass.Info.Uses[e.Sel].(*types.Var); ok {
+			return isSentinelVar(v)
+		}
+	case *ast.CallExpr:
+		if f := calleeFunc(pass.Info, e); f != nil {
+			return f.Name() == "Inf" && f.Pkg() != nil && f.Pkg().Path() == "math"
+		}
+	}
+	return false
+}
+
+func isSentinelVar(v *types.Var) bool {
+	if v.Pkg() == nil || v.Name() != "Inf" {
+		return false
+	}
+	path := v.Pkg().Path()
+	return path == graphPath || path == wdmPath
+}
+
+// sentinelAliases finds function-local variables that are initialized
+// from the sentinel and never reassigned — `inf := math.Inf(1)` — so
+// later `x == inf` is caught like `x == math.Inf(1)` would be.
+// Variables that are reassigned (running minima seeded with Inf) are
+// excluded: comparing against a running minimum is legitimate.
+func sentinelAliases(pass *Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	aliases := make(map[*types.Var]bool)
+	reassigned := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if as.Tok == token.DEFINE {
+				if v, ok := pass.Info.Defs[id].(*types.Var); ok && isSentinelExpr(pass, as.Rhs[i], nil) {
+					aliases[v] = true
+				}
+				continue
+			}
+			if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+				reassigned[v] = true
+			}
+		}
+		return true
+	})
+	for v := range reassigned {
+		delete(aliases, v)
+	}
+	return aliases
+}
+
+var infOps = map[token.Token]bool{
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+	token.ADD: true, token.SUB: true,
+	token.MUL: true, token.QUO: true,
+}
+
+func checkInfOps(pass *Pass, body *ast.BlockStmt, aliases map[*types.Var]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !infOps[be.Op] {
+			return true
+		}
+		for _, operand := range []ast.Expr{be.X, be.Y} {
+			if isSentinelExpr(pass, operand, aliases) {
+				verb := "compared"
+				if be.Op == token.ADD || be.Op == token.SUB || be.Op == token.MUL || be.Op == token.QUO {
+					verb = "combined arithmetically"
+				}
+				pass.Reportf(be.OpPos, "infinite-cost sentinel %s directly; use graph.IsInf/graph.Finite (Eq. (1): ∞ means 'does not exist')", verb)
+				return true
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strconv"
+)
+
+const obsPath = "lightpath/internal/obs"
+
+// metricCtors are the obs.Registry methods whose first argument names a
+// metric.
+var metricCtors = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"GaugeFunc": true,
+	"Histogram": true,
+}
+
+var lowerSnake = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// NewMetricName builds the metricname analyzer.
+//
+// Registry names are the public contract of the telemetry layer: they
+// appear verbatim in /metrics JSON, expvar and the wdmserve stats verb.
+// The analyzer requires every name passed to Registry.Counter / Gauge /
+// GaugeFunc / Histogram to be a compile-time string constant (so the
+// full metric namespace is greppable and knowable without running the
+// code) in lower_snake form, and unique across the run: get-or-create
+// makes a colliding registration silently share (or, for GaugeFunc,
+// replace) another metric instead of failing.
+//
+// Cross-package uniqueness needs cross-package state, so the analyzer
+// instance accumulates registrations; build a fresh Suite per run. In
+// single-package drivers (vet mode) uniqueness degrades to per-package.
+func NewMetricName() *Analyzer {
+	seen := make(map[string]string) // metric name -> "file:line" of first registration
+	a := &Analyzer{
+		Name: "metricname",
+		Doc:  "requires unique lower_snake compile-time metric names in obs.Registry registrations",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || !metricCtors[fn.Name()] {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() == nil || !named(sig.Recv().Type(), obsPath, "Registry") {
+					return true
+				}
+				arg := call.Args[0]
+				tv, ok := pass.Info.Types[arg]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					pass.Reportf(arg.Pos(), "metric name must be a compile-time string constant")
+					return true
+				}
+				name := constant.StringVal(tv.Value)
+				if !lowerSnake.MatchString(name) {
+					pass.Reportf(arg.Pos(), "metric name %q is not lower_snake (want %s)", name, lowerSnake)
+					return true
+				}
+				pos := pass.Fset.Position(arg.Pos())
+				at := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if first, dup := seen[name]; dup && first != at {
+					pass.Reportf(arg.Pos(), "metric name %s already registered at %s; names must be unique", strconv.Quote(name), first)
+					return true
+				}
+				seen[name] = at
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,51 @@
+// Package atomicfield is a golden fixture for the atomicfield
+// analyzer: fields marked //lint:atomic mirror the lock-free words of
+// internal/obs, and every non-atomic touch must be flagged.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	v    atomic.Uint64 //lint:atomic hot counter word
+	raw  uint64        //lint:atomic CAS-accumulated raw word
+	cold uint64        // unmarked: free to touch
+}
+
+func good(c *counter) {
+	c.v.Add(1)
+	_ = c.v.Load()
+	atomic.AddUint64(&c.raw, 1)
+	_ = atomic.LoadUint64(&c.raw)
+	c.cold++
+	_ = c.cold
+}
+
+func bad(c *counter) {
+	c.raw++    // want `field raw is marked lint:atomic`
+	c.raw = 7  // want `field raw is marked lint:atomic`
+	x := c.raw // want `field raw is marked lint:atomic`
+	_ = x
+	y := c.v // want `field v is marked lint:atomic`
+	_ = y.Load()
+	if c.raw > 0 { // want `field raw is marked lint:atomic`
+		return
+	}
+}
+
+type hist struct {
+	buckets []atomic.Uint64 //lint:atomic one word per bucket
+}
+
+func goodHist(h *hist) {
+	h.buckets[3].Add(1)
+	for i := range h.buckets {
+		_ = h.buckets[i].Load()
+	}
+	_ = len(h.buckets)
+}
+
+func badHist(h *hist) {
+	b := h.buckets[0] // want `field buckets is marked lint:atomic`
+	_ = b.Load()
+	h.buckets = nil // want `field buckets is marked lint:atomic`
+}

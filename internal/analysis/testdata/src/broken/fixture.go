@@ -1,0 +1,17 @@
+// Package broken is the deliberately-dirty fixture the driver test
+// (and `wdmlint -dir`) runs to prove the exit code goes non-zero on
+// findings. It violates several analyzers at once.
+package broken
+
+import (
+	"lightpath/internal/engine"
+	"lightpath/internal/graph"
+)
+
+var pinned *engine.Snapshot
+
+func leak(e *engine.Engine, d float64) bool {
+	pinned = e.Snapshot()
+	e.Release(1)
+	return d == graph.Inf
+}

@@ -1,0 +1,44 @@
+// Package infcost is a golden fixture for the infcost analyzer: the
+// +Inf cost sentinel (graph.Inf, wdm.Inf, math.Inf, and never-
+// reassigned local aliases of them) must not be compared or combined
+// arithmetically; the blessed predicates are fine.
+package infcost
+
+import (
+	"math"
+
+	"lightpath/internal/graph"
+	"lightpath/internal/wdm"
+)
+
+func bad(d []float64) float64 {
+	if d[0] == graph.Inf { // want `infinite-cost sentinel compared directly`
+		return 0
+	}
+	if d[1] < wdm.Inf { // want `infinite-cost sentinel compared directly`
+		return 1
+	}
+	x := d[2] + math.Inf(1) // want `infinite-cost sentinel combined arithmetically`
+	inf := math.Inf(1)
+	if d[3] != inf { // want `infinite-cost sentinel compared directly`
+		return 2
+	}
+	return x - graph.Inf // want `infinite-cost sentinel combined arithmetically`
+}
+
+func good(d []float64) bool {
+	if graph.IsInf(d[0]) {
+		return true
+	}
+	if math.IsInf(d[1], 1) {
+		return false
+	}
+	d[2] = graph.Inf // seeding a distance vector with the sentinel is fine
+	best := graph.Inf
+	for _, v := range d {
+		if v < best { // running minimum: best is reassigned, not an alias
+			best = v
+		}
+	}
+	return wdm.Finite(best)
+}

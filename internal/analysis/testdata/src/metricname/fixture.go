@@ -1,0 +1,25 @@
+// Package metricname is a golden fixture for the metricname analyzer:
+// obs.Registry names must be unique compile-time constants in
+// lower_snake form.
+package metricname
+
+import (
+	"fmt"
+
+	"lightpath/internal/obs"
+)
+
+const constName = "requests_total"
+
+func register(r *obs.Registry, k int) {
+	r.Counter("engine_ops_total")
+	r.Counter(constName) // named constant: fine
+	r.Histogram("route_latency_ns", nil)
+	r.Gauge("queueDepth")                     // want `not lower_snake`
+	r.Counter("2fast")                        // want `not lower_snake`
+	r.Counter("trailing_")                    // want `not lower_snake`
+	r.Counter(fmt.Sprintf("shard_%d_ops", k)) // want `must be a compile-time string constant`
+	r.Histogram("engine_ops_total", nil)      // want `already registered`
+	r.GaugeFunc("depth_gauge", func() float64 { return 0 })
+	r.GaugeFunc("depth_gauge", func() float64 { return 1 }) // want `already registered`
+}

@@ -62,7 +62,7 @@ func (m *MatrixWavelengthGraph) ArcCount() int {
 	count := 0
 	for _, row := range m.W {
 		for _, w := range row {
-			if w < wdm.Inf {
+			if wdm.Finite(w) {
 				count++
 			}
 		}

@@ -37,7 +37,7 @@ func (st *SourceTree) Dist(t int) float64 {
 
 // Reachable reports whether t can be reached from the source.
 func (st *SourceTree) Reachable(t int) bool {
-	return t == st.source || st.dist[t] < graph.Inf
+	return t == st.source || graph.Finite(st.dist[t])
 }
 
 // PathTo extracts the optimal semilightpath from the source to t.

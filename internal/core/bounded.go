@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"lightpath/internal/graph"
 	"lightpath/internal/wdm"
 )
 
@@ -69,7 +70,7 @@ func (a *Aux) RouteBounded(s, t, maxHops int, _ *Options) (*Result, error) {
 	relaxGadgets := func(h int) {
 		for v := 0; v < nAux; v++ {
 			dv := layers[h][v]
-			if dv == inf {
+			if graph.IsInf(dv) {
 				continue
 			}
 			for i, arc := range a.g.Out(v) {
@@ -93,7 +94,7 @@ func (a *Aux) RouteBounded(s, t, maxHops int, _ *Options) (*Result, error) {
 		// Physical hops from layer h-1 to layer h.
 		for v := 0; v < nAux; v++ {
 			dv := layers[h-1][v]
-			if dv == inf {
+			if graph.IsInf(dv) {
 				continue
 			}
 			for i, arc := range a.g.Out(v) {

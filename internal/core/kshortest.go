@@ -237,7 +237,7 @@ func (y *yenState) shortest(start int, banArcs map[[2]int]bool, banNodes map[int
 			}
 		}
 	}
-	if dist[y.sink] == graph.Inf {
+	if graph.IsInf(dist[y.sink]) {
 		return nil, nil
 	}
 	var rev []graph.HopRef

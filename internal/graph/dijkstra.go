@@ -58,7 +58,7 @@ type ShortestPathTree struct {
 
 // Reached reports whether v was reached from the source.
 func (t *ShortestPathTree) Reached(v int) bool {
-	return v >= 0 && v < len(t.Dist) && t.Dist[v] < Inf
+	return v >= 0 && v < len(t.Dist) && Finite(t.Dist[v])
 }
 
 // PathTo reconstructs the node sequence seed..v, or ErrNoPath. For a
@@ -378,7 +378,7 @@ func BellmanFord(g *Digraph, src int) (*ShortestPathTree, int, error) {
 		}
 		for u := 0; u < n; u++ {
 			du := t.Dist[u]
-			if du == Inf {
+			if IsInf(du) {
 				continue
 			}
 			for i, a := range g.Out(u) {

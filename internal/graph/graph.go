@@ -19,6 +19,17 @@ import (
 // weight Inf; it only appears in distance vectors.
 var Inf = math.Inf(1)
 
+// IsInf reports whether a cost or distance is the +Inf sentinel —
+// "unreachable"/"unavailable", not a number. It and Finite are the only
+// blessed ways to test against the sentinel (enforced by wdmlint's
+// infcost analyzer): direct comparisons silently accept NaN and invite
+// arithmetic on ∞.
+func IsInf(w float64) bool { return math.IsInf(w, 1) }
+
+// Finite reports whether a cost or distance is a real value rather than
+// the +Inf sentinel.
+func Finite(w float64) bool { return !math.IsInf(w, 1) }
+
 // Errors returned by graph operations.
 var (
 	// ErrNodeRange is returned when a node ID is out of range.

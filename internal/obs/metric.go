@@ -18,7 +18,7 @@ import "sync/atomic"
 // Counter is a monotonically-increasing event count. The zero value is
 // ready to use; all methods are safe for concurrent use.
 type Counter struct {
-	v atomic.Uint64
+	v atomic.Uint64 //lint:atomic written concurrently by every instrumented goroutine
 }
 
 // Inc adds one.
@@ -34,7 +34,7 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 // requests). The zero value is ready to use; all methods are safe for
 // concurrent use.
 type Gauge struct {
-	v atomic.Int64
+	v atomic.Int64 //lint:atomic written concurrently by every instrumented goroutine
 }
 
 // Set replaces the level.

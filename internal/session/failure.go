@@ -70,9 +70,10 @@ func (m *Manager) FailLink(link int) (*FailureReport, error) {
 }
 
 // RepairLink returns a failed link to service. Unknown or healthy links
-// are a no-op.
-func (m *Manager) RepairLink(link int) {
-	_ = m.eng.RepairLink(link)
+// are a no-op. The error surfaces a failed snapshot rebuild — the
+// repaired capacity is not routable until a later mutation succeeds.
+func (m *Manager) RepairLink(link int) error {
+	return m.eng.RepairLink(link)
 }
 
 // FailedLinks lists the links currently out of service, ascending.

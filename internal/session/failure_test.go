@@ -39,7 +39,9 @@ func TestFailLinkDropsRidingCircuits(t *testing.T) {
 	}
 	// Repair restores the direct route for future circuits.
 	_ = m.Release(c2.ID)
-	m.RepairLink(0)
+	if err := m.RepairLink(0); err != nil {
+		t.Fatalf("RepairLink: %v", err)
+	}
 	c3, err := m.Admit(0, 1)
 	if err != nil || c3.Path.Len() != 1 {
 		t.Fatalf("after repair: %+v %v", c3, err)
@@ -117,7 +119,9 @@ func TestFailLinkIdempotentAndBounds(t *testing.T) {
 	if len(report.Dropped) != 0 && len(report.Survived) != 0 {
 		t.Fatal("re-failing a dead link must be a no-op")
 	}
-	m.RepairLink(42) // unknown repair is a no-op
+	if err := m.RepairLink(42); err != nil { // unknown repair is a no-op
+		t.Fatalf("RepairLink(42): %v", err)
+	}
 }
 
 func TestFailLinkBlocksWhenCutIsolates(t *testing.T) {

@@ -164,7 +164,7 @@ func (p *Semilightpath) Validate(nw *Network, s, t int) error {
 				return ErrNoConverter
 			}
 			c := nw.conv.Cost(prev.To, p.Hops[i-1].Wavelength, h.Wavelength)
-			if c >= Inf {
+			if IsInf(c) {
 				return fmt.Errorf("wdm: conversion λ%d->λ%d at node %d not permitted",
 					p.Hops[i-1].Wavelength, h.Wavelength, prev.To)
 			}

@@ -22,6 +22,16 @@ type Wavelength int32
 // matching the paper's convention of infinite weight.
 var Inf = math.Inf(1)
 
+// IsInf reports whether a weight or conversion cost is the Inf
+// sentinel — "unavailable"/"forbidden", not a number. It and Finite are
+// the only blessed ways to test against the sentinel (enforced by
+// wdmlint's infcost analyzer).
+func IsInf(w float64) bool { return math.IsInf(w, 1) }
+
+// Finite reports whether a weight or conversion cost is a real value
+// rather than the Inf sentinel.
+func Finite(w float64) bool { return !math.IsInf(w, 1) }
+
 // Errors returned by network construction and path validation.
 var (
 	// ErrNodeRange is returned for an out-of-range node ID.
