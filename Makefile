@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-hot vet lint lint-vet verify bench-engine bench-obs
+.PHONY: all build test race race-hot vet lint lint-vet verify bench-engine bench-obs bench-churn bench-smoke
 
 all: verify
 
@@ -50,3 +50,17 @@ bench-engine:
 # the uninstrumented core route).
 bench-obs:
 	$(GO) run ./cmd/wdmbench -experiment "" -reps 7 -obs-json BENCH_obs.json
+
+# Regenerate the committed churn record: epoch publication latency with
+# incremental delta maintenance vs full recompiles (DESIGN.md §10).
+bench-churn:
+	$(GO) run ./cmd/wdmbench -experiment "" -churn-json BENCH_churn.json
+
+# Fast benchmark smoke pass for CI: runs the route / mutation / Dijkstra
+# benchmarks briefly with -benchmem so an accidental allocation or a
+# gross regression on the hot paths is visible in the job log without
+# paying for a full measurement run. Not a stable-numbers benchmark.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Route|AllocateRelease|Dijkstra' \
+		-benchtime 100ms -benchmem \
+		./internal/graph ./internal/core ./internal/engine

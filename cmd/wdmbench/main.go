@@ -41,6 +41,8 @@ func run(args []string, w io.Writer) error {
 		"write the engine benchmark as machine-readable JSON to this path (e.g. BENCH_engine.json)")
 	obsJSON := fs.String("obs-json", "",
 		"write the telemetry overhead benchmark as machine-readable JSON to this path (e.g. BENCH_obs.json)")
+	churnJSON := fs.String("churn-json", "",
+		"write the churn (delta vs full rebuild) benchmark as machine-readable JSON to this path (e.g. BENCH_churn.json)")
 	list := fs.Bool("list", false, "list experiment names and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +88,23 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "obs benchmark written to %s (tracer off %+.2f%%, tracer on %+.2f%%)\n",
 			*obsJSON, report.TracerOffOverheadPct, report.TracerOnOverheadPct)
+		if *experiment == "" {
+			return nil
+		}
+	}
+	if *churnJSON != "" {
+		report, err := bench.ChurnReport(cfg)
+		if err != nil {
+			return fmt.Errorf("churn benchmark: %w", err)
+		}
+		if err := report.WriteJSON(*churnJSON); err != nil {
+			return fmt.Errorf("write %s: %w", *churnJSON, err)
+		}
+		for _, tier := range report.Tiers {
+			fmt.Fprintf(w, "churn %s: delta %.1fx faster (mean %d ns vs %d ns, %d epochs)\n",
+				tier.Name, tier.Speedup, tier.DeltaMeanNs, tier.FullMeanNs, tier.Epochs)
+		}
+		fmt.Fprintf(w, "churn benchmark written to %s\n", *churnJSON)
 		if *experiment == "" {
 			return nil
 		}

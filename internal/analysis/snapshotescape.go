@@ -54,7 +54,7 @@ func NewSnapshotEscape() *Analyzer {
 			ast.Inspect(f, func(n ast.Node) bool {
 				fn, ok := n.(*ast.FuncDecl)
 				if ok && fn.Body != nil {
-					st := &taintState{pass: pass, live: map[*types.Var]bool{}, tainted: map[*types.Var]string{}}
+					st := &taintState{pass: pass, live: map[*types.Var]bool{}, derived: map[*types.Var]string{}, tainted: map[*types.Var]string{}}
 					st.walkStmts(fn.Body.List)
 					return false
 				}
@@ -240,17 +240,28 @@ func closureEscapes(stack []ast.Node) bool {
 // snapshot variable then in scope; a later use of a tainted variable is
 // reported unless the variable was re-pinned (reassigned) first.
 // Sibling branches of an if/switch do not taint each other.
+//
+// Beyond *engine.Snapshot itself the walk tracks snapshot-DERIVED
+// variables: the aux graph and residual network pulled out of a pin
+// (snap.Aux(), snap.Network()) and any delta overlay layered on those
+// (Aux.ApplyDelta, Network.PatchChannels). Their types also occur
+// outside the engine, so membership in `derived` — value provenance,
+// not type — is what subjects them to the staleness contract.
 type taintState struct {
 	pass        *Pass
 	live        map[*types.Var]bool   // snapshot vars declared so far
+	derived     map[*types.Var]string // snapshot-derived vars -> provenance
 	tainted     map[*types.Var]string // var -> name of the advancing call
 	lastAdvance string                // most recent advancing call seen
 }
 
 func (st *taintState) clone() *taintState {
-	c := &taintState{pass: st.pass, live: map[*types.Var]bool{}, tainted: map[*types.Var]string{}, lastAdvance: st.lastAdvance}
+	c := &taintState{pass: st.pass, live: map[*types.Var]bool{}, derived: map[*types.Var]string{}, tainted: map[*types.Var]string{}, lastAdvance: st.lastAdvance}
 	for v := range st.live {
 		c.live[v] = true
+	}
+	for v, p := range st.derived {
+		c.derived[v] = p
 	}
 	for v, m := range st.tainted {
 		c.tainted[v] = m
@@ -262,12 +273,47 @@ func (st *taintState) absorb(o *taintState) {
 	for v := range o.live {
 		st.live[v] = true
 	}
+	for v, p := range o.derived {
+		st.derived[v] = p
+	}
 	for v, m := range o.tainted {
 		st.tainted[v] = m
 	}
 	if o.lastAdvance != "" {
 		st.lastAdvance = o.lastAdvance
 	}
+}
+
+// derivedSource reports whether e produces a snapshot-derived value: a
+// snap.Aux()/snap.Network() accessor call, or a delta overlay built on
+// an already-derived variable (aux.ApplyDelta, net.PatchChannels). The
+// returned provenance string names the chain for the diagnostic.
+func (st *taintState) derivedSource(e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Aux", "Network":
+		if t := st.pass.TypeOf(sel.X); t != nil && isSnapshotType(t) {
+			return "Snapshot." + sel.Sel.Name + "()", true
+		}
+	case "ApplyDelta", "PatchChannels":
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		if v, ok := st.pass.Info.Uses[id].(*types.Var); ok {
+			if prov, isDerived := st.derived[v]; isDerived {
+				return sel.Sel.Name + " of " + prov, true
+			}
+		}
+	}
+	return "", false
 }
 
 func (st *taintState) walkStmts(stmts []ast.Stmt) {
@@ -351,6 +397,7 @@ func (st *taintState) walkStmt(s ast.Stmt) {
 				}
 			}
 		}
+		st.trackDerived(s)
 	case *ast.DeclStmt:
 		st.scanExpr(s)
 		if st.advanceIn(s) {
@@ -394,6 +441,54 @@ func (st *taintState) walkClauses(body *ast.BlockStmt) {
 	st.absorb(merged)
 }
 
+// trackDerived updates derived-value provenance for an assignment:
+// targets assigned from a derivedSource join the tracked set (clean —
+// deriving from a fresh pin re-pins), targets assigned from anything
+// else leave it. Go call results are positional, so in the multi-value
+// form `aux, err := prev.ApplyDelta(...)` only Lhs[0] carries the
+// derived value.
+func (st *taintState) trackDerived(s *ast.AssignStmt) {
+	srcs := make([]ast.Expr, len(s.Lhs))
+	if len(s.Lhs) == len(s.Rhs) {
+		copy(srcs, s.Rhs)
+	} else if len(s.Rhs) == 1 {
+		srcs[0] = s.Rhs[0]
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		v := identVar(st.pass, id)
+		if v == nil || isSnapshotType(v.Type()) {
+			continue
+		}
+		if srcs[i] != nil {
+			if prov, ok := st.derivedSource(srcs[i]); ok {
+				st.derived[v] = prov
+				delete(st.tainted, v)
+				continue
+			}
+		}
+		if _, was := st.derived[v]; was {
+			delete(st.derived, v)
+			delete(st.tainted, v)
+		}
+	}
+}
+
+// identVar resolves an assignment-target identifier to its variable,
+// whether the statement defines it (:=) or reuses it (=).
+func identVar(pass *Pass, id *ast.Ident) *types.Var {
+	if v, ok := pass.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
 // declare registers snapshot variables defined by id.
 func (st *taintState) declare(e ast.Expr) {
 	id, ok := e.(*ast.Ident)
@@ -422,6 +517,14 @@ func (st *taintState) scanExpr(n ast.Node) {
 		if v := snapshotVar(st.pass, id); v != nil {
 			if method, stale := st.tainted[v]; stale {
 				st.pass.Reportf(id.Pos(), "snapshot %s used after epoch-advancing call %s; re-pin with Snapshot() after mutating", id.Name, method)
+			}
+			return true
+		}
+		if v, ok := st.pass.Info.Uses[id].(*types.Var); ok && !v.IsField() {
+			if prov, isDerived := st.derived[v]; isDerived {
+				if method, stale := st.tainted[v]; stale {
+					st.pass.Reportf(id.Pos(), "snapshot-derived %s (%s) used after epoch-advancing call %s; re-pin with Snapshot() and re-derive", id.Name, prov, method)
+				}
 			}
 		}
 		return true
@@ -461,9 +564,13 @@ func (st *taintState) advanceIn(n ast.Node) bool {
 	return found
 }
 
-// taintAll marks every live snapshot variable stale.
+// taintAll marks every live snapshot variable — and every
+// snapshot-derived one — stale.
 func (st *taintState) taintAll(_ []ast.Expr) {
 	for v := range st.live {
+		st.tainted[v] = st.lastAdvance
+	}
+	for v := range st.derived {
 		st.tainted[v] = st.lastAdvance
 	}
 }

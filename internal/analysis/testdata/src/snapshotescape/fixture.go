@@ -49,6 +49,41 @@ func escapes(e *engine.Engine, ch chan *engine.Snapshot) {
 	fn()
 }
 
+func derivedUseAfterAdvance(e *engine.Engine) {
+	snap := e.Snapshot()
+	aux := snap.Aux()
+	net := snap.Network()
+	_, _ = aux.Route(0, 1, nil) // derived and fresh: fine
+	_, _ = e.FailLink(3)
+	_, _ = aux.Route(0, 1, nil) // want `snapshot-derived aux \(Snapshot\.Aux\(\)\) used after epoch-advancing call Engine\.FailLink`
+	_ = net.NumLinks()          // want `snapshot-derived net \(Snapshot\.Network\(\)\) used after epoch-advancing call Engine\.FailLink`
+	snap = e.Snapshot()
+	aux = snap.Aux() // re-derived from the fresh pin: fine
+	_, _ = aux.Route(0, 1, nil)
+}
+
+func deltaOverlayAfterAdvance(e *engine.Engine, changed []int) {
+	snap := e.Snapshot()
+	aux := snap.Aux()
+	net := snap.Network()
+	patched, err := net.PatchChannels(nil)
+	if err != nil {
+		return
+	}
+	next, err := aux.ApplyDelta(patched, changed)
+	if err != nil {
+		return
+	}
+	_, _ = next.Route(0, 1, nil) // overlay on the pinned epoch: fine
+	_ = e.Release(9)
+	_, _ = next.Route(0, 1, nil)                 // want `snapshot-derived next \(ApplyDelta of Snapshot\.Aux\(\)\) used after epoch-advancing call Engine\.Release`
+	_ = patched.NumLinks()                       // want `snapshot-derived patched \(PatchChannels of Snapshot\.Network\(\)\) used after epoch-advancing call Engine\.Release`
+	fresh, _ := core.NewAux(nil)                 // not snapshot-derived: never tracked
+	_, _ = fresh.Route(0, 1, nil)                // fine before and after advances
+	next, _ = fresh.ApplyDelta(patched, changed) // want `snapshot-derived patched`
+	_, _ = next.Route(0, 1, nil)                 // reassigned from a non-derived source: fine
+}
+
 func boundedClosures(e *engine.Engine, run func(func())) {
 	snap := e.Snapshot()
 	run(func() { _, _ = snap.Route(0, 1) })           // handed to a call: fine

@@ -35,6 +35,13 @@ var (
 	ErrNodeRange = errors.New("core: node out of range")
 	// ErrNilNetwork is returned when the network is nil.
 	ErrNilNetwork = errors.New("core: nil network")
+	// ErrLayoutMismatch is returned when a residual network does not fit
+	// the layout network's node space (NewAuxWithLayout, ApplyDelta).
+	ErrLayoutMismatch = errors.New("core: residual network does not match layout")
+	// ErrDeltaShape is returned by ApplyDelta for a mutation the parent
+	// layout cannot express (e.g. a channel outside the layout shores).
+	// Callers handle it by falling back to a full compile.
+	ErrDeltaShape = errors.New("core: delta not expressible in parent layout")
 )
 
 // Arc tags on the auxiliary graph. Non-negative tags are physical link
@@ -66,12 +73,17 @@ type AuxNode struct {
 // to semilightpaths. Build it once with NewAux; the compiled graph is
 // immutable, so any number of Route/RouteFrom/KShortest queries may run
 // concurrently on one Aux.
+//
+// The gadget-node space (the shores) is derived from a *layout* network;
+// for NewAux that is the compiled network itself, while NewAuxWithLayout
+// and ApplyDelta compile a residual sub-network inside a wider fixed
+// layout so node IDs stay stable across residual churn.
 type Aux struct {
-	nw *wdm.Network
+	nw     *wdm.Network // the network whose arcs are compiled (residual)
+	layout *wdm.Network // the network whose shores define the node space
 
-	g *graph.Digraph // G' plus one reserved super node (superSrc)
+	g *graph.Digraph // G', gadget nodes 0..numAux-1
 
-	// Node indexing: gadget nodes are 0..numAux-1, then superSrc.
 	info     []AuxNode // aux ID -> identity
 	xStart   []int32   // per network node: first X_v aux ID
 	xLambdas [][]wdm.Wavelength
@@ -79,18 +91,44 @@ type Aux struct {
 	yLambdas [][]wdm.Wavelength
 
 	stats BuildStats
+	depth int // ApplyDelta steps since the last full compile
+
+	// pool recycles per-query Dijkstra scratch, keyed by this graph's
+	// node count; delta-built children share their parent's pool since
+	// the node space is identical.
+	pool *scratchPool
 }
 
 // NewAux compiles G' for the given network. Cost: O(k²n + km) time and
 // space (Observation 3); with per-link wavelength counts bounded by k0,
 // O(d²nk0² + mk0) (Observation 5).
 func NewAux(nw *wdm.Network) (*Aux, error) {
-	if nw == nil {
+	return NewAuxWithLayout(nw, nw)
+}
+
+// NewAuxWithLayout compiles the auxiliary graph of residual inside the
+// gadget-node layout of layout: shores and conversion arcs come from
+// layout's wavelength sets, E_org arcs from residual's channels.
+// residual must be a sub-network of layout — same node count, same
+// wavelength count, same links (IDs and endpoints), with each link's
+// channel set a subset of its layout channel set.
+//
+// Wavelengths present in layout but residually exhausted become
+// unreachable gadget nodes rather than disappearing, so an Aux compiled
+// this way answers every query with the same costs as NewAux(residual)
+// while keeping node IDs stable as the residual churns — the property
+// ApplyDelta's copy-on-write reuse depends on.
+func NewAuxWithLayout(layout, residual *wdm.Network) (*Aux, error) {
+	if layout == nil || residual == nil {
 		return nil, ErrNilNetwork
 	}
-	n := nw.NumNodes()
+	if err := checkSubNetwork(layout, residual); err != nil {
+		return nil, err
+	}
+	n := layout.NumNodes()
 	a := &Aux{
-		nw:       nw,
+		nw:       residual,
+		layout:   layout,
 		xStart:   make([]int32, n),
 		xLambdas: make([][]wdm.Wavelength, n),
 		yStart:   make([]int32, n),
@@ -102,8 +140,8 @@ func NewAux(nw *wdm.Network) (*Aux, error) {
 	// wavelengths, it only splits links into parallel arcs).
 	total := 0
 	for v := 0; v < n; v++ {
-		a.xLambdas[v] = nw.LambdaIn(v)
-		a.yLambdas[v] = nw.LambdaOut(v)
+		a.xLambdas[v] = layout.LambdaIn(v)
+		a.yLambdas[v] = layout.LambdaOut(v)
 		a.xStart[v] = int32(total)
 		total += len(a.xLambdas[v])
 		a.yStart[v] = int32(total)
@@ -121,7 +159,7 @@ func NewAux(nw *wdm.Network) (*Aux, error) {
 	a.g = graph.New(total)
 
 	// Pass 2: gadget arcs E_v (conversion edges, Observation 1/4 sizes).
-	conv := nw.Converter()
+	conv := layout.Converter()
 	gadgetArcs := 0
 	for v := 0; v < n; v++ {
 		for xi, p := range a.xLambdas[v] {
@@ -148,7 +186,7 @@ func NewAux(nw *wdm.Network) (*Aux, error) {
 	// Pass 3: E_org — one arc per (link, channel), Y_u(λ) → X_v(λ) with
 	// weight w(e,λ). Wavelength positions are found by binary search in
 	// the sorted shore lists.
-	for _, l := range nw.Links() {
+	for _, l := range residual.Links() {
 		for _, ch := range l.Channels {
 			yID, ok := a.yIndex(l.From, ch.Lambda)
 			if !ok {
@@ -163,23 +201,61 @@ func NewAux(nw *wdm.Network) (*Aux, error) {
 			}
 		}
 	}
+	// Full compiles produce the contiguous (CSR) arc arena the Dijkstra
+	// hot loop iterates; delta children patch segments out of it.
+	a.g.Compact()
 
 	a.stats = BuildStats{
-		Nodes:         nw.NumNodes(),
-		Links:         nw.NumLinks(),
-		K:             nw.K(),
-		K0:            nw.MaxChannelsPerLink(),
-		MaxDegree:     nw.MaxDegree(),
+		Nodes:         residual.NumNodes(),
+		Links:         residual.NumLinks(),
+		K:             residual.K(),
+		K0:            residual.MaxChannelsPerLink(),
+		MaxDegree:     residual.MaxDegree(),
 		AuxNodes:      total,
 		GadgetArcs:    gadgetArcs,
 		OrgArcs:       a.g.NumArcs() - gadgetArcs,
-		MultigraphArc: nw.TotalChannels(),
+		MultigraphArc: residual.TotalChannels(),
 	}
+	a.pool = newScratchPool(total)
 	return a, nil
 }
 
-// Network returns the network this auxiliary graph was compiled from.
+// checkSubNetwork verifies residual fits inside layout's node space:
+// equal node/wavelength/link counts and matching link endpoints. Channel
+// subset-ness is enforced arc-by-arc during compilation (a residual
+// channel outside the layout shores cannot be indexed).
+func checkSubNetwork(layout, residual *wdm.Network) error {
+	if layout.NumNodes() != residual.NumNodes() || layout.K() != residual.K() {
+		return fmt.Errorf("%w: layout %d nodes/k=%d vs residual %d nodes/k=%d",
+			ErrLayoutMismatch, layout.NumNodes(), layout.K(), residual.NumNodes(), residual.K())
+	}
+	if layout.NumLinks() != residual.NumLinks() {
+		return fmt.Errorf("%w: layout has %d links, residual %d",
+			ErrLayoutMismatch, layout.NumLinks(), residual.NumLinks())
+	}
+	for _, l := range residual.Links() {
+		ll := layout.Link(l.ID)
+		if ll.From != l.From || ll.To != l.To {
+			return fmt.Errorf("%w: link %d is %d->%d in layout, %d->%d in residual",
+				ErrLayoutMismatch, l.ID, ll.From, ll.To, l.From, l.To)
+		}
+	}
+	return nil
+}
+
+// Network returns the network this auxiliary graph was compiled from
+// (the residual network for layout/delta-built graphs).
 func (a *Aux) Network() *wdm.Network { return a.nw }
+
+// Layout returns the network whose wavelength sets define this graph's
+// gadget-node space. For NewAux it is Network(); for NewAuxWithLayout
+// and ApplyDelta chains it is the fixed layout the chain was rooted at.
+func (a *Aux) Layout() *wdm.Network { return a.layout }
+
+// DeltaDepth reports how many ApplyDelta steps separate this graph from
+// its last full compile (0 for NewAux/NewAuxWithLayout results). Epoch
+// publishers use it to bound patch-chain length before recompacting.
+func (a *Aux) DeltaDepth() int { return a.depth }
 
 // Stats reports the measured construction sizes (Observations 1–5).
 func (a *Aux) Stats() BuildStats { return a.stats }

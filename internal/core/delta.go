@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"lightpath/internal/graph"
+	"lightpath/internal/wdm"
+)
+
+// This file implements incremental auxiliary-graph maintenance. The
+// observation (Liang & Shen's construction, read structurally): G' is a
+// union of per-node gadget fragments glued by E_org arcs, and a residual
+// mutation on link e = (u,v) only perturbs the E_org arcs (e,λ) — all of
+// which leave Y_u shore nodes. Conversion arcs depend on the shore
+// wavelength sets and the converter only, and with a fixed layout
+// (NewAuxWithLayout) the shores never move. So the next epoch's compiled
+// graph is the parent's graph with the out-segments of the affected Y_u
+// nodes re-emitted, everything else shared — O(affected fragment)
+// instead of O(k²n + km).
+
+// ApplyDelta produces the compiled auxiliary graph of the next residual
+// network from this one by copy-on-write: the adjacency spine is copied
+// (O(|V'|) pointers) and only the out-segments of Y-shore nodes incident
+// to the changed links are re-emitted; every other segment — all gadget
+// conversion arcs and the E_org arcs of untouched links — is shared
+// structurally with the parent. Shore indexes, node identities and the
+// scratch pool are shared outright.
+//
+// next must be a sub-network of this graph's layout, differing from the
+// current residual only on the links listed in changed (listing an
+// unchanged link is harmless, just wasted re-emission). A mutation the
+// layout cannot express — a channel on a wavelength outside the layout
+// shores, changed topology — returns ErrDeltaShape; callers fall back
+// to a full NewAuxWithLayout compile.
+//
+// The result is equivalent to NewAuxWithLayout(layout, next) arc-for-arc
+// (same node IDs, same per-segment arc order), so routing on a delta
+// chain is indistinguishable — including tie-breaking — from routing on
+// a fresh full compile of the same layout.
+func (a *Aux) ApplyDelta(next *wdm.Network, changed []int) (*Aux, error) {
+	if next == nil {
+		return nil, ErrNilNetwork
+	}
+	if err := checkSubNetwork(a.layout, next); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDeltaShape, err)
+	}
+
+	child := &Aux{
+		nw:       next,
+		layout:   a.layout,
+		g:        a.g.CloneCOW(),
+		info:     a.info,
+		xStart:   a.xStart,
+		xLambdas: a.xLambdas,
+		yStart:   a.yStart,
+		yLambdas: a.yLambdas,
+		stats:    a.stats,
+		depth:    a.depth + 1,
+		pool:     a.pool,
+	}
+
+	// The affected fragment: for each changed link e=(u,v), every
+	// wavelength the *layout* installs on e names a Y_u(λ) whose
+	// out-segment may gain or lose the (e,λ) arc. Wavelengths beyond the
+	// layout set cannot appear (checked below), and wavelengths on other
+	// links of u are untouched by e — but since a Y_u(λ) segment holds
+	// the arcs of *every* link leaving u that carries λ, re-emission
+	// scans all of u's outgoing links for each marked node.
+	touched := make(map[int32]struct{}, len(changed)*2)
+	for _, id := range changed {
+		if id < 0 || id >= a.layout.NumLinks() {
+			return nil, fmt.Errorf("%w: changed link %d of %d", ErrDeltaShape, id, a.layout.NumLinks())
+		}
+		ll := a.layout.Link(id)
+		for _, ch := range next.Link(id).Channels {
+			if _, ok := ll.Has(ch.Lambda); !ok {
+				return nil, fmt.Errorf("%w: λ%d on link %d is outside the layout channel set",
+					ErrDeltaShape, ch.Lambda, id)
+			}
+		}
+		for _, ch := range ll.Channels {
+			y, ok := a.yIndex(ll.From, ch.Lambda)
+			if !ok {
+				return nil, fmt.Errorf("%w: λ%d missing from layout shore Y_%d", ErrDeltaShape, ch.Lambda, ll.From)
+			}
+			touched[int32(y)] = struct{}{}
+		}
+	}
+
+	// Re-emit each touched segment from the next residual. Arc order
+	// matches the full compile: Network.Out lists link IDs ascending,
+	// exactly the order pass 3 of NewAuxWithLayout visits them.
+	for y := range touched {
+		u := int(child.info[y].Node)
+		lam := child.info[y].Lambda
+		seg := make([]graph.Arc, 0, next.OutDegree(u))
+		for _, lid := range next.Out(u) {
+			link := next.Link(int(lid))
+			w, ok := link.Has(lam)
+			if !ok {
+				continue
+			}
+			x, ok := a.xIndex(link.To, lam)
+			if !ok {
+				return nil, fmt.Errorf("%w: λ%d missing from layout shore X_%d", ErrDeltaShape, lam, link.To)
+			}
+			seg = append(seg, graph.Arc{To: int32(x), Weight: w, Tag: int32(link.ID)})
+		}
+		if err := child.g.ReplaceOut(int(y), seg); err != nil {
+			return nil, fmt.Errorf("core: patch segment Y_%d(λ%d): %w", u, lam, err)
+		}
+	}
+
+	child.stats.OrgArcs = child.g.NumArcs() - child.stats.GadgetArcs
+	child.stats.MultigraphArc = next.TotalChannels()
+	return child, nil
+}

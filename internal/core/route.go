@@ -86,8 +86,18 @@ func (a *Aux) Route(s, t int, opts *Options) (*Result, error) {
 		return &Result{Path: &wdm.Semilightpath{}, Source: s, Dest: t}, nil
 	}
 
-	seeds := a.sourceSeeds(s)
-	if len(seeds) == 0 {
+	// Borrow pooled per-query scratch: seed/goal backings plus the
+	// Dijkstra arrays and heap store. Everything the scratch backs is
+	// consumed before the deferred return, so steady-state point queries
+	// allocate only their Result.
+	qs := a.pool.get()
+	defer a.pool.put(qs)
+
+	qs.seeds = qs.seeds[:0]
+	for yi := range a.yLambdas[s] {
+		qs.seeds = append(qs.seeds, int(a.yStart[s])+yi)
+	}
+	if len(qs.seeds) == 0 {
 		if tr != nil {
 			tr.Blocked = true
 		}
@@ -96,11 +106,11 @@ func (a *Aux) Route(s, t int, opts *Options) (*Result, error) {
 	// Early termination: stop once every X_t shore node is settled (the
 	// virtual super sink's in-neighbours). Unreachable shore nodes keep
 	// the search running to exhaustion, which is the correct worst case.
-	goals := make([]int, len(a.xLambdas[t]))
+	qs.goals = qs.goals[:0]
 	for xi := range a.xLambdas[t] {
-		goals[xi] = int(a.xStart[t]) + xi
+		qs.goals = append(qs.goals, int(a.xStart[t])+xi)
 	}
-	tree, err := graph.DijkstraSeedsUntil(a.g, seeds, goals, opts.queue())
+	tree, err := graph.DijkstraSeedsUntilScratch(a.g, qs.seeds, qs.goals, opts.queue(), qs.g)
 	if err != nil {
 		return nil, fmt.Errorf("core: dijkstra: %w", err)
 	}

@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"lightpath/internal/topo"
+	"lightpath/internal/workload"
+)
+
+// TestCachedRouteFromAllocationFree pins the steady-state query contract
+// the ISSUE's perf work establishes: a SourceTree cache hit at a stable
+// epoch performs zero heap allocations. A regression here (a closure
+// that escapes, per-call options, key boxing) lands on the latency path
+// of every cached query, so it fails a test, not just a benchmark.
+func TestCachedRouteFromAllocationFree(t *testing.T) {
+	nw, err := workload.Build(topo.NSFNET(), workload.Spec{
+		K:         8,
+		AvailProb: 0.6,
+		Conv:      workload.ConvUniform,
+		ConvCost:  0.3,
+	}, rand.New(rand.NewSource(1998)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(nw, &Options{CacheSize: nw.NumNodes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	n := nw.NumNodes()
+	for s := 0; s < n; s++ { // warm every source
+		if _, err := snap.RouteFrom(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := snap.RouteFrom(src); err != nil {
+			t.Fatal(err)
+		}
+		src = (src + 1) % n
+	})
+	if allocs != 0 {
+		t.Fatalf("cache-hit RouteFrom allocates %v objects per call, want 0", allocs)
+	}
+}

@@ -91,11 +91,25 @@ func BenchmarkRouteFromColdCache(b *testing.B) {
 }
 
 // BenchmarkAllocateRelease measures mutation throughput: each iteration
-// publishes two epochs (allocate + release), each with a full snapshot
-// rebuild.
+// publishes two epochs (allocate + release). Under the default options
+// publishes ride core.Aux.ApplyDelta, with a full recompaction folded
+// in every MaxDeltaDepth epochs — the deployed configuration.
 func BenchmarkAllocateRelease(b *testing.B) {
+	benchAllocateRelease(b, nil)
+}
+
+// BenchmarkAllocateReleaseFullRebuild is the same mutation loop with
+// incremental maintenance disabled: every publish recompiles the
+// auxiliary graph from scratch. The gap against BenchmarkAllocateRelease
+// is the delta win on the mutation path (BENCH_churn.json records it
+// across topology tiers).
+func BenchmarkAllocateReleaseFullRebuild(b *testing.B) {
+	benchAllocateRelease(b, &Options{MaxDeltaDepth: -1})
+}
+
+func benchAllocateRelease(b *testing.B, opts *Options) {
 	nw := benchNet(b)
-	e, err := New(nw, nil)
+	e, err := New(nw, opts)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -252,6 +252,15 @@ func TestDifferentialChurn(t *testing.T) {
 			if st.Rebuilds != st.Epoch+1 {
 				t.Fatalf("rebuilds %d != epoch %d + 1", st.Rebuilds, st.Epoch)
 			}
+			// Publishes decompose into the two production paths, and under
+			// alloc/release churn (every mutation delta-expressible) the
+			// incremental path must actually have been taken.
+			if st.Rebuilds != st.FullRebuilds+st.DeltaApplies {
+				t.Fatalf("rebuilds %d != full %d + delta %d", st.Rebuilds, st.FullRebuilds, st.DeltaApplies)
+			}
+			if st.Epoch > 0 && st.DeltaApplies == 0 {
+				t.Fatalf("no delta applies after %d epochs of churn: %+v", st.Epoch, st)
+			}
 			for lam := 0; lam < nw.K(); lam++ {
 				if held := e.heldOnWavelength(lam); held != 0 {
 					t.Fatalf("λ%d still shows %d held channels after drain", lam, held)

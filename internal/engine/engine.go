@@ -74,19 +74,40 @@ type Options struct {
 	// CacheSize bounds the SourceTree LRU cache (entries). Zero means
 	// DefaultCacheSize; negative disables caching.
 	CacheSize int
+	// MaxDeltaDepth bounds how many consecutive snapshots may be
+	// produced by core.Aux.ApplyDelta before the engine recompacts with
+	// a full compile (restoring the contiguous arc arena deltas patch
+	// holes into). Zero means DefaultMaxDeltaDepth; negative disables
+	// delta maintenance entirely, forcing a full compile every epoch.
+	MaxDeltaDepth int
 }
 
 // DefaultCacheSize is the SourceTree cache capacity when Options.CacheSize
 // is zero.
 const DefaultCacheSize = 64
 
+// DefaultMaxDeltaDepth is the delta-chain bound when Options.MaxDeltaDepth
+// is zero.
+const DefaultMaxDeltaDepth = 32
+
 // Stats are the engine's lifetime counters.
 type Stats struct {
-	Epoch        uint64 // current epoch (number of mutations applied)
-	Allocations  uint64
-	Releases     uint64
-	Conflicts    uint64 // Allocate calls rejected with ErrConflict
-	Rebuilds     uint64 // snapshots compiled (== Epoch with sync rebuild)
+	Epoch       uint64 // current epoch (number of mutations applied)
+	Allocations uint64
+	Releases    uint64
+	Conflicts   uint64 // Allocate calls rejected with ErrConflict
+	// Rebuilds counts snapshots published, whatever produced them; with
+	// synchronous publication it always equals Epoch+1 and decomposes as
+	// Rebuilds == FullRebuilds + DeltaApplies.
+	Rebuilds uint64
+	// FullRebuilds counts snapshots compiled from scratch with
+	// core.NewAuxWithLayout — the O(k²n + km) path: the epoch-0 build,
+	// periodic recompactions when a delta chain reaches MaxDeltaDepth,
+	// and fallbacks for mutations a delta cannot express.
+	FullRebuilds uint64
+	// DeltaApplies counts snapshots produced incrementally by
+	// core.Aux.ApplyDelta — the O(affected fragment) path.
+	DeltaApplies uint64
 	ActiveOwners int
 	HeldChannels int
 }
@@ -108,12 +129,16 @@ type Engine struct {
 	owners map[int64][]Channel
 	failed map[int]bool
 
+	maxDeltaDepth int // < 0: deltas disabled
+
 	snap atomic.Pointer[Snapshot]
 
-	allocations atomic.Uint64
-	releases    atomic.Uint64
-	conflicts   atomic.Uint64
-	rebuilds    atomic.Uint64
+	allocations  atomic.Uint64
+	releases     atomic.Uint64
+	conflicts    atomic.Uint64
+	rebuilds     atomic.Uint64
+	fullRebuilds atomic.Uint64
+	deltaApplies atomic.Uint64
 }
 
 // New builds an engine over the installed network nw and publishes the
@@ -124,11 +149,12 @@ func New(nw *wdm.Network, opts *Options) (*Engine, error) {
 		return nil, ErrNilNetwork
 	}
 	e := &Engine{
-		base:   nw,
-		queue:  graph.QueueBinary,
-		inUse:  make(map[Channel]int64),
-		owners: make(map[int64][]Channel),
-		failed: make(map[int]bool),
+		base:          nw,
+		queue:         graph.QueueBinary,
+		inUse:         make(map[Channel]int64),
+		owners:        make(map[int64][]Channel),
+		failed:        make(map[int]bool),
+		maxDeltaDepth: DefaultMaxDeltaDepth,
 	}
 	cacheSize := DefaultCacheSize
 	if opts != nil {
@@ -138,6 +164,9 @@ func New(nw *wdm.Network, opts *Options) (*Engine, error) {
 		if opts.CacheSize != 0 {
 			cacheSize = opts.CacheSize
 		}
+		if opts.MaxDeltaDepth != 0 {
+			e.maxDeltaDepth = opts.MaxDeltaDepth
+		}
 	}
 	if cacheSize > 0 {
 		e.cache = newTreeCache(cacheSize)
@@ -145,7 +174,7 @@ func New(nw *wdm.Network, opts *Options) (*Engine, error) {
 	// Metrics must exist before the first rebuild so the epoch-0 compile
 	// is measured too.
 	e.metrics = newMetrics(e)
-	if err := e.rebuild(0); err != nil {
+	if err := e.publish(0, nil); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -161,7 +190,8 @@ func (e *Engine) SetQueue(kind graph.QueueKind) {
 	defer e.mu.Unlock()
 	e.queue = kind
 	// Republish so the change takes effect without waiting for churn.
-	_ = e.rebuild(e.Epoch() + 1)
+	// The residual is unchanged, so this is an empty (zero-link) delta.
+	_ = e.publish(e.Epoch()+1, []int{})
 }
 
 // Epoch reports the current epoch: 0 at construction, +1 per mutation.
@@ -172,22 +202,38 @@ func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
 // stale as later mutations publish newer epochs.
 func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 
-// rebuild compiles and publishes the snapshot for the given epoch from
-// the current occupancy state. Callers must hold mu (or be the
-// constructor, before the engine escapes).
-func (e *Engine) rebuild(epoch uint64) error {
+// publish produces and publishes the snapshot for the given epoch from
+// the current occupancy state. changed lists the link IDs whose
+// residual channel sets differ from the previous epoch; a nil slice
+// means "unknown / everything" and forces a full compile. Callers must
+// hold mu (or be the constructor, before the engine escapes).
+//
+// When the previous snapshot's delta chain is shorter than
+// maxDeltaDepth and the mutation shape is expressible, the next
+// snapshot is built incrementally with core.Aux.ApplyDelta —
+// O(affected fragment) instead of the O(k²n + km) full compile.
+// Otherwise (chain too deep, deltas disabled, or an inexpressible
+// shape) it falls back to the full compile, which also recompacts the
+// arc arena the patch chain fragments.
+func (e *Engine) publish(epoch uint64, changed []int) error {
 	start := time.Now()
+	if prev := e.snap.Load(); prev != nil && changed != nil &&
+		e.maxDeltaDepth >= 0 && prev.aux.DeltaDepth() < e.maxDeltaDepth {
+		err := e.applyDelta(prev, epoch, changed)
+		if err == nil {
+			e.rebuilds.Add(1)
+			e.deltaApplies.Add(1)
+			e.metrics.deltaLatency.ObserveDuration(time.Since(start))
+			return nil
+		}
+		if !errors.Is(err, core.ErrDeltaShape) {
+			return err
+		}
+		// Inexpressible mutation: fall through to the full compile.
+	}
 	res := wdm.NewNetwork(e.base.NumNodes(), e.base.K())
 	for _, l := range e.base.Links() {
-		var free []wdm.Channel
-		if !e.failed[l.ID] {
-			free = make([]wdm.Channel, 0, len(l.Channels))
-			for _, ch := range l.Channels {
-				if _, taken := e.inUse[Channel{Link: l.ID, Lambda: ch.Lambda}]; !taken {
-					free = append(free, ch)
-				}
-			}
-		}
+		free := e.freeChannels(l.ID)
 		// Fully-occupied and failed links are added channel-less so link
 		// IDs stay aligned with the base network.
 		if _, err := res.AddLink(l.From, l.To, free); err != nil {
@@ -195,14 +241,71 @@ func (e *Engine) rebuild(epoch uint64) error {
 		}
 	}
 	res.SetConverter(e.base.Converter())
-	aux, err := core.NewAux(res)
+	// Compile inside the base network's layout so the gadget-node space
+	// is identical at every epoch — the invariant that lets subsequent
+	// mutations be applied as deltas no matter the occupancy level.
+	aux, err := core.NewAuxWithLayout(e.base, res)
 	if err != nil {
 		return fmt.Errorf("engine: compile snapshot: %w", err)
 	}
-	e.snap.Store(&Snapshot{epoch: epoch, net: res, aux: aux, eng: e, queue: e.queue})
+	e.snap.Store(&Snapshot{epoch: epoch, net: res, aux: aux, eng: e, queue: e.queue, ropts: core.Options{Queue: e.queue}})
 	e.rebuilds.Add(1)
+	e.fullRebuilds.Add(1)
 	e.metrics.rebuildLatency.ObserveDuration(time.Since(start))
 	return nil
+}
+
+// applyDelta builds epoch's snapshot incrementally on top of prev:
+// patch the residual network's changed links, patch the compiled
+// auxiliary graph's affected gadget fragments, publish.
+func (e *Engine) applyDelta(prev *Snapshot, epoch uint64, changed []int) error {
+	changes := make(map[int][]wdm.Channel, len(changed))
+	for _, id := range changed {
+		if id < 0 || id >= e.base.NumLinks() {
+			return fmt.Errorf("%w: %d", ErrLinkRange, id)
+		}
+		changes[id] = e.freeChannels(id)
+	}
+	net, err := prev.net.PatchChannels(changes)
+	if err != nil {
+		return fmt.Errorf("engine: patch residual: %w", err)
+	}
+	aux, err := prev.aux.ApplyDelta(net, changed)
+	if err != nil {
+		return err
+	}
+	e.snap.Store(&Snapshot{epoch: epoch, net: net, aux: aux, eng: e, queue: e.queue, ropts: core.Options{Queue: e.queue}})
+	return nil
+}
+
+// freeChannels lists link's currently free channels in base-network
+// order: installed, in service, unheld. Callers must hold mu.
+func (e *Engine) freeChannels(link int) []wdm.Channel {
+	if e.failed[link] {
+		return nil
+	}
+	l := e.base.Link(link)
+	free := make([]wdm.Channel, 0, len(l.Channels))
+	for _, ch := range l.Channels {
+		if _, taken := e.inUse[Channel{Link: link, Lambda: ch.Lambda}]; !taken {
+			free = append(free, ch)
+		}
+	}
+	return free
+}
+
+// changedLinks dedups the link IDs of a claimed/released channel set —
+// the delta surface of an Allocate or Release mutation.
+func changedLinks(chans []Channel) []int {
+	out := make([]int, 0, len(chans))
+	seen := make(map[int]bool, len(chans))
+	for _, c := range chans {
+		if !seen[c.Link] {
+			seen[c.Link] = true
+			out = append(out, c.Link)
+		}
+	}
+	return out
 }
 
 // Allocate claims every channel of path for owner, bumps the epoch and
@@ -253,7 +356,7 @@ func (e *Engine) Allocate(owner int64, path *wdm.Semilightpath) error {
 	}
 	e.owners[owner] = chans
 	e.allocations.Add(1)
-	return e.rebuild(e.Epoch() + 1)
+	return e.publish(e.Epoch()+1, changedLinks(chans))
 }
 
 // Release frees every channel owner holds, bumps the epoch and
@@ -270,7 +373,7 @@ func (e *Engine) Release(owner int64) error {
 	}
 	delete(e.owners, owner)
 	e.releases.Add(1)
-	return e.rebuild(e.Epoch() + 1)
+	return e.publish(e.Epoch()+1, changedLinks(chans))
 }
 
 // RouteAndAllocate routes s→t on the current snapshot and immediately
@@ -352,7 +455,7 @@ func (e *Engine) FailLink(link int) ([]int64, error) {
 		}
 	}
 	sort.Slice(riders, func(i, j int) bool { return riders[i] < riders[j] })
-	if err := e.rebuild(e.Epoch() + 1); err != nil {
+	if err := e.publish(e.Epoch()+1, []int{link}); err != nil {
 		return nil, err
 	}
 	return riders, nil
@@ -367,7 +470,7 @@ func (e *Engine) RepairLink(link int) error {
 		return nil
 	}
 	delete(e.failed, link)
-	return e.rebuild(e.Epoch() + 1)
+	return e.publish(e.Epoch()+1, []int{link})
 }
 
 // LinkFailed reports whether the link is currently out of service.
@@ -468,6 +571,8 @@ func (e *Engine) Stats() Stats {
 		Releases:     e.releases.Load(),
 		Conflicts:    e.conflicts.Load(),
 		Rebuilds:     e.rebuilds.Load(),
+		FullRebuilds: e.fullRebuilds.Load(),
+		DeltaApplies: e.deltaApplies.Load(),
 		ActiveOwners: owners,
 		HeldChannels: held,
 	}

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lightpath/internal/core"
+	"lightpath/internal/topo"
+	"lightpath/internal/wdm"
+	"lightpath/internal/workload"
+)
+
+// FuzzDeltaChurn drives the engine with an arbitrary mutation sequence
+// (allocate / release / fail / repair) decoded from the fuzz input and
+// checks, after every mutation, that the delta-built snapshot is
+// indistinguishable from a from-scratch build:
+//
+//   - the published residual equals the model residual channel-for-channel;
+//   - a point route on the snapshot costs exactly what a freshly compiled
+//     core.NewAux over the model residual computes;
+//   - the publish counters reconcile (Rebuilds == Epoch+1 and decompose
+//     into FullRebuilds + DeltaApplies).
+//
+// MaxDeltaDepth is deliberately tiny so a single input exercises both the
+// ApplyDelta fast path and the periodic full-recompile fallback, and the
+// link fail/repair ops stress the empty-channel-set delta shape.
+func FuzzDeltaChurn(f *testing.F) {
+	f.Add([]byte{0, 1, 9, 0, 3, 2, 0, 2, 11, 1, 0, 3, 2, 0, 0, 5})
+	f.Add([]byte{2, 0, 2, 1, 3, 0, 0, 0, 7, 2, 3, 1, 1})
+	f.Add([]byte{0, 4, 1, 0, 1, 8, 0, 2, 6, 1, 1, 1, 2})
+
+	base, err := workload.Build(topo.Grid(3, 3), workload.Spec{
+		K:         4,
+		AvailProb: 0.8,
+		Conv:      workload.ConvUniform,
+		ConvCost:  0.3,
+	}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		e, err := New(base, &Options{CacheSize: 8, MaxDeltaDepth: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := newChurnModel(base)
+		n := base.NumNodes()
+		m := base.NumLinks()
+		var nextOwner int64
+		var live []int64
+
+		for i := 0; i+2 < len(ops) && i < 120; i += 3 {
+			op, a, b := ops[i]%4, int(ops[i+1]), int(ops[i+2])
+			switch op {
+			case 0: // allocate a→b
+				s, d := a%n, b%n
+				if s == d {
+					continue
+				}
+				nextOwner++
+				res, err := e.RouteAndAllocate(nextOwner, s, d)
+				if errors.Is(err, core.ErrNoRoute) || errors.Is(err, ErrConflict) {
+					nextOwner--
+					continue
+				}
+				if err != nil {
+					t.Fatalf("allocate %d->%d: %v", s, d, err)
+				}
+				model.allocate(nextOwner, res.Path)
+				live = append(live, nextOwner)
+			case 1: // release
+				if len(live) == 0 {
+					continue
+				}
+				idx := a % len(live)
+				owner := live[idx]
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if err := e.Release(owner); err != nil {
+					t.Fatalf("release %d: %v", owner, err)
+				}
+				model.release(owner)
+			case 2: // fail link
+				link := (a*256 + b) % m
+				if _, err := e.FailLink(link); err != nil {
+					t.Fatalf("fail %d: %v", link, err)
+				}
+			case 3: // repair link
+				link := (a*256 + b) % m
+				if err := e.RepairLink(link); err != nil {
+					t.Fatalf("repair %d: %v", link, err)
+				}
+			}
+
+			// Oracle 1: published residual == independently rebuilt model
+			// residual (fail/repair state folded in).
+			snap := e.Snapshot()
+			want := fuzzResidual(t, model, e)
+			sameChannels(t, snap.Network(), want, snap.Epoch())
+
+			// Oracle 2: route cost on the delta-built snapshot equals a
+			// fresh full compile of the model residual.
+			s, d := (a+int(op))%n, b%n
+			if s != d {
+				ref, err := core.NewAux(want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := ref.RouteFrom(s, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := snap.Route(s, d)
+				switch {
+				case errors.Is(err, core.ErrNoRoute):
+					if st.Reachable(d) {
+						t.Fatalf("snapshot blocks %d->%d, fresh compile costs %v", s, d, st.Dist(d))
+					}
+				case err != nil:
+					t.Fatalf("route %d->%d: %v", s, d, err)
+				default:
+					if !costsAgree(got.Cost, st.Dist(d)) {
+						t.Fatalf("snapshot cost %d->%d = %v, fresh compile %v", s, d, got.Cost, st.Dist(d))
+					}
+				}
+			}
+
+			// Counter invariants.
+			stats := e.Stats()
+			if stats.Rebuilds != stats.Epoch+1 {
+				t.Fatalf("rebuilds %d != epoch %d + 1", stats.Rebuilds, stats.Epoch)
+			}
+			if stats.Rebuilds != stats.FullRebuilds+stats.DeltaApplies {
+				t.Fatalf("rebuilds %d != full %d + delta %d",
+					stats.Rebuilds, stats.FullRebuilds, stats.DeltaApplies)
+			}
+		}
+	})
+}
+
+// fuzzResidual is churnModel.residual with the engine's failed-link set
+// applied: failed links offer no channels regardless of occupancy.
+func fuzzResidual(t *testing.T, m *churnModel, e *Engine) *wdm.Network {
+	t.Helper()
+	res := wdm.NewNetwork(m.base.NumNodes(), m.base.K())
+	for _, l := range m.base.Links() {
+		var free []wdm.Channel
+		if !e.LinkFailed(l.ID) {
+			free = make([]wdm.Channel, 0, len(l.Channels))
+			for _, ch := range l.Channels {
+				if _, taken := m.held[Channel{Link: l.ID, Lambda: ch.Lambda}]; !taken {
+					free = append(free, ch)
+				}
+			}
+		}
+		if _, err := res.AddLink(l.From, l.To, free); err != nil {
+			t.Fatalf("model residual: %v", err)
+		}
+	}
+	res.SetConverter(m.base.Converter())
+	return res
+}

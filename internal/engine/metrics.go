@@ -21,7 +21,8 @@ type Metrics struct {
 	routeLatency     *obs.Histogram // engine_route_latency_ns
 	routeFromLatency *obs.Histogram // engine_routefrom_latency_ns
 	batchLatency     *obs.Histogram // engine_batch_latency_ns (whole batch)
-	rebuildLatency   *obs.Histogram // engine_rebuild_latency_ns
+	rebuildLatency   *obs.Histogram // engine_rebuild_latency_ns (full compiles)
+	deltaLatency     *obs.Histogram // engine_delta_latency_ns (incremental applies)
 
 	routes        *obs.Counter // engine_routes_total
 	routesBlocked *obs.Counter // engine_routes_blocked_total
@@ -44,6 +45,7 @@ func newMetrics(e *Engine) *Metrics {
 		routeFromLatency: reg.Histogram("engine_routefrom_latency_ns", lat),
 		batchLatency:     reg.Histogram("engine_batch_latency_ns", lat),
 		rebuildLatency:   reg.Histogram("engine_rebuild_latency_ns", lat),
+		deltaLatency:     reg.Histogram("engine_delta_latency_ns", lat),
 		routes:           reg.Counter("engine_routes_total"),
 		routesBlocked:    reg.Counter("engine_routes_blocked_total"),
 		tracedRoutes:     reg.Counter("engine_traced_routes_total"),
@@ -57,6 +59,8 @@ func newMetrics(e *Engine) *Metrics {
 	reg.GaugeFunc("engine_releases_total", func() float64 { return float64(e.releases.Load()) })
 	reg.GaugeFunc("engine_conflicts_total", func() float64 { return float64(e.conflicts.Load()) })
 	reg.GaugeFunc("engine_rebuilds_total", func() float64 { return float64(e.rebuilds.Load()) })
+	reg.GaugeFunc("engine_full_rebuilds_total", func() float64 { return float64(e.fullRebuilds.Load()) })
+	reg.GaugeFunc("engine_delta_applies_total", func() float64 { return float64(e.deltaApplies.Load()) })
 	reg.GaugeFunc("engine_active_owners", func() float64 {
 		e.mu.RLock()
 		defer e.mu.RUnlock()

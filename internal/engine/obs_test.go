@@ -165,8 +165,20 @@ func TestMetricsCountersTrackWork(t *testing.T) {
 	if got := snap["engine_epoch"].(float64); got != float64(e.Epoch()) {
 		t.Fatalf("engine_epoch gauge = %v, engine at %d", got, e.Epoch())
 	}
-	if got := e.metrics.rebuildLatency.Count(); got != uint64(e.Epoch())+1 {
-		t.Fatalf("rebuild histogram has %d observations, want epoch %d + 1", got, e.Epoch())
+	// Every publish lands on exactly one of the two latency histograms:
+	// full compiles on engine_rebuild_latency_ns, incremental applies on
+	// engine_delta_latency_ns. Together they reconcile with the epoch.
+	full, delta := e.metrics.rebuildLatency.Count(), e.metrics.deltaLatency.Count()
+	if full+delta != uint64(e.Epoch())+1 {
+		t.Fatalf("rebuild(%d) + delta(%d) histogram observations, want epoch %d + 1", full, delta, e.Epoch())
+	}
+	// The epoch-0 compile is always full; the allocate/release churn
+	// above is delta-expressible and must have taken the fast path.
+	if full < 1 {
+		t.Fatalf("rebuild histogram has %d observations, want the epoch-0 compile", full)
+	}
+	if delta != uint64(e.Epoch()) {
+		t.Fatalf("delta histogram has %d observations, want %d (one per mutation)", delta, e.Epoch())
 	}
 	if got := snap["engine_allocations_total"].(float64); got != 1 {
 		t.Fatalf("engine_allocations_total = %v, want 1", got)

@@ -21,6 +21,10 @@ type Snapshot struct {
 	aux   *core.Aux
 	eng   *Engine
 	queue graph.QueueKind
+	// ropts is the precomputed query options for this snapshot's queue.
+	// opts() hands out a pointer into the snapshot instead of allocating
+	// per call, which keeps cache-hit point queries allocation-free.
+	ropts core.Options
 }
 
 // Epoch reports which mutation generation this snapshot reflects.
@@ -33,8 +37,10 @@ func (s *Snapshot) Network() *wdm.Network { return s.net }
 // Aux returns the compiled auxiliary graph of the residual network.
 func (s *Snapshot) Aux() *core.Aux { return s.aux }
 
-// opts builds the core options for this snapshot's configured queue.
-func (s *Snapshot) opts() *core.Options { return &core.Options{Queue: s.queue} }
+// opts returns the core options for this snapshot's configured queue.
+// The value is shared and must be treated as read-only; queries that
+// need a Trace build their own Options (see TraceRoute).
+func (s *Snapshot) opts() *core.Options { return &s.ropts }
 
 // Route finds an optimal semilightpath from src to dst over this
 // snapshot's residual capacity. Latency and the blocked/served outcome

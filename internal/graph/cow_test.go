@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func buildRandom(t testing.TB, n, arcs int, seed int64) *Digraph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 0; i < arcs; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if err := g.AddArc(u, v, rng.Float64()*10, int32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func sameArcs(a, b []Arc) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCloneCOWSharesSegments(t *testing.T) {
+	g := buildRandom(t, 20, 60, 1)
+	c := g.CloneCOW()
+	if c.NumNodes() != g.NumNodes() || c.NumArcs() != g.NumArcs() {
+		t.Fatalf("clone shape: %d/%d vs %d/%d", c.NumNodes(), c.NumArcs(), g.NumNodes(), g.NumArcs())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		gu, cu := g.Out(u), c.Out(u)
+		if !sameArcs(gu, cu) {
+			t.Fatalf("node %d segments differ", u)
+		}
+		// Structural sharing: same backing array, not a copy.
+		if len(gu) > 0 && &gu[0] != &cu[0] {
+			t.Fatalf("node %d segment copied, want shared", u)
+		}
+	}
+}
+
+func TestReplaceOutIsolatesClone(t *testing.T) {
+	g := buildRandom(t, 10, 30, 2)
+	c := g.CloneCOW()
+	before := append([]Arc(nil), g.Out(3)...)
+	repl := []Arc{{To: 7, Weight: 1.5, Tag: 99}, {To: 0, Weight: 0.5, Tag: 98}}
+	if err := c.ReplaceOut(3, repl); err != nil {
+		t.Fatal(err)
+	}
+	if !sameArcs(g.Out(3), before) {
+		t.Fatal("ReplaceOut on clone mutated the parent")
+	}
+	if !sameArcs(c.Out(3), repl) {
+		t.Fatalf("clone segment = %v, want %v", c.Out(3), repl)
+	}
+	wantArcs := g.NumArcs() - len(before) + len(repl)
+	if c.NumArcs() != wantArcs {
+		t.Fatalf("clone arc count = %d, want %d", c.NumArcs(), wantArcs)
+	}
+	// Replacing with an empty segment drops the count accordingly.
+	if err := c.ReplaceOut(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumArcs() != g.NumArcs()-len(before) {
+		t.Fatalf("empty replace arc count = %d", c.NumArcs())
+	}
+}
+
+func TestReplaceOutValidates(t *testing.T) {
+	g := New(3)
+	if err := g.ReplaceOut(5, nil); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("bad node: %v", err)
+	}
+	if err := g.ReplaceOut(0, []Arc{{To: 9, Weight: 1}}); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("bad target: %v", err)
+	}
+	if err := g.ReplaceOut(0, []Arc{{To: 1, Weight: -1}}); !errors.Is(err, ErrNegativeWeight) {
+		t.Fatalf("negative weight: %v", err)
+	}
+	// Unlike AddArc (which silently skips ∞ = "unavailable"), an explicit
+	// segment must not carry the sentinel.
+	if err := g.ReplaceOut(0, []Arc{{To: 1, Weight: math.Inf(1)}}); !errors.Is(err, ErrNegativeWeight) {
+		t.Fatalf("infinite weight: %v", err)
+	}
+}
+
+func TestCompactPreservesContents(t *testing.T) {
+	g := buildRandom(t, 15, 50, 3)
+	want := make([][]Arc, g.NumNodes())
+	for u := range want {
+		want[u] = append([]Arc(nil), g.Out(u)...)
+	}
+	arcs := g.NumArcs()
+	g.Compact()
+	if g.NumArcs() != arcs {
+		t.Fatalf("arc count changed: %d vs %d", g.NumArcs(), arcs)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if !sameArcs(g.Out(u), want[u]) {
+			t.Fatalf("node %d changed by Compact", u)
+		}
+	}
+	// Segments are full-capacity subslices: growing one must not bleed
+	// into its neighbour.
+	if err := g.AddArc(0, 1, 1.0, -7); err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u < g.NumNodes(); u++ {
+		if !sameArcs(g.Out(u), want[u]) {
+			t.Fatalf("AddArc after Compact corrupted node %d", u)
+		}
+	}
+}
+
+// TestScratchMatchesAllocatingPath: every queue kind through the scratch
+// API must produce the tree the allocating API produces, across repeated
+// reuses of one scratch (stale state from a previous query must not
+// leak).
+func TestScratchMatchesAllocatingPath(t *testing.T) {
+	g := buildRandom(t, 60, 300, 4)
+	sc := NewScratch(g.NumNodes())
+	kinds := []QueueKind{QueueBinary, QueueFibonacci, QueueLinear, QueuePairing}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		seeds := []int{rng.Intn(60), rng.Intn(60)}
+		goals := []int{rng.Intn(60), rng.Intn(60), rng.Intn(60)}
+		for _, kind := range kinds {
+			want, err := DijkstraSeedsUntil(g, seeds, goals, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DijkstraSeedsUntilScratch(g, seeds, goals, kind, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, gl := range goals {
+				if got.Dist[gl] != want.Dist[gl] {
+					t.Fatalf("trial %d %v: dist[%d] = %v, want %v", trial, kind, gl, got.Dist[gl], want.Dist[gl])
+				}
+			}
+		}
+	}
+}
+
+func TestScratchWrongSizeFallsBack(t *testing.T) {
+	g := buildRandom(t, 10, 30, 6)
+	sc := NewScratch(5) // wrong size: must fall back, not fail
+	got, err := DijkstraSeedsUntilScratch(g, []int{0}, []int{9}, QueueBinary, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DijkstraSeedsUntil(g, []int{0}, []int{9}, QueueBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist[9] != want.Dist[9] {
+		t.Fatalf("fallback dist = %v, want %v", got.Dist[9], want.Dist[9])
+	}
+	if &got.Dist[0] == &sc.dist[0] {
+		t.Fatal("fallback tree aliases the wrong-sized scratch")
+	}
+}
+
+// TestScratchSearchAllocationFree: the binary-queue search through a
+// warm scratch performs zero heap allocations — the contract the pooled
+// query hot path is built on.
+func TestScratchSearchAllocationFree(t *testing.T) {
+	g := buildRandom(t, 200, 1000, 7)
+	sc := NewScratch(g.NumNodes())
+	seeds := []int{0, 1}
+	goals := []int{150, 160, 170}
+	if _, err := DijkstraSeedsUntilScratch(g, seeds, goals, QueueBinary, sc); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := DijkstraSeedsUntilScratch(g, seeds, goals, QueueBinary, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("scratch search allocates %v objects per run, want 0", allocs)
+	}
+}

@@ -276,13 +276,18 @@ func dijkstraFib(g *Digraph, t *ShortestPathTree, stop func(int) bool) error {
 }
 
 func dijkstraBin(g *Digraph, t *ShortestPathTree, stop func(int) bool) error {
-	h := binheap.New(g.NumNodes())
+	return dijkstraBinInto(g, t, stop, binheap.New(g.NumNodes()), make([]bool, g.NumNodes()))
+}
+
+// dijkstraBinInto is the binary-heap engine over caller-provided heap
+// and settled-set storage (empty/cleared on entry), so pooled scratch
+// can drive it without per-query allocation.
+func dijkstraBinInto(g *Digraph, t *ShortestPathTree, stop func(int) bool, h *binheap.Heap, done []bool) error {
 	for _, s := range t.seeds {
 		if _, err := h.PushOrDecrease(s, 0); err != nil {
 			return err
 		}
 	}
-	done := make([]bool, g.NumNodes())
 	for !h.Empty() {
 		u, du, err := h.Pop()
 		if err != nil {

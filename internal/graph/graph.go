@@ -142,6 +142,65 @@ func (g *Digraph) MaxDegree() int {
 	return d
 }
 
+// CloneCOW returns a copy-on-write clone: the per-node spine is copied
+// but every adjacency segment is shared with g. The clone costs O(n)
+// pointers regardless of arc count; afterwards, ReplaceOut swaps
+// individual segments without disturbing g. This is the structural-
+// sharing primitive behind incremental auxiliary-graph maintenance —
+// a chain of clones shares every untouched segment with the compile
+// that produced it.
+//
+// The clone and g must not have AddArc called on shared segments
+// concurrently with readers; the intended protocol is clone → patch via
+// ReplaceOut → publish immutably.
+func (g *Digraph) CloneCOW() *Digraph {
+	c := &Digraph{adj: make([][]Arc, len(g.adj)), arcs: g.arcs}
+	copy(c.adj, g.adj)
+	return c
+}
+
+// ReplaceOut swaps node u's entire adjacency segment for arcs, which the
+// graph takes ownership of (the caller must not retain or mutate it).
+// Arc weights and targets are validated like AddArc; infinite weights
+// are rejected here rather than skipped, because the caller assembles
+// the segment explicitly. Used with CloneCOW to patch a shared graph.
+func (g *Digraph) ReplaceOut(u int, arcs []Arc) error {
+	if u < 0 || u >= len(g.adj) {
+		return fmt.Errorf("%w: replace out-arcs of %d in graph of %d nodes", ErrNodeRange, u, len(g.adj))
+	}
+	for _, a := range arcs {
+		if a.To < 0 || int(a.To) >= len(g.adj) {
+			return fmt.Errorf("%w: arc %d->%d in graph of %d nodes", ErrNodeRange, u, a.To, len(g.adj))
+		}
+		if a.Weight < 0 || math.IsNaN(a.Weight) || math.IsInf(a.Weight, 1) {
+			return fmt.Errorf("%w: arc %d->%d weight %v", ErrNegativeWeight, u, a.To, a.Weight)
+		}
+	}
+	g.arcs += len(arcs) - len(g.adj[u])
+	g.adj[u] = arcs
+	return nil
+}
+
+// Compact rewrites every adjacency segment into one contiguous arena —
+// the CSR (compressed sparse row) form of the graph. Iteration order and
+// contents are unchanged; what changes is locality: the Dijkstra hot
+// loop walks segments that now sit back-to-back in one allocation
+// instead of scattered per-node slices. Each segment is stored with full
+// capacity so a later AddArc on the compacted graph reallocates that
+// segment rather than bleeding into its neighbour.
+func (g *Digraph) Compact() {
+	arena := make([]Arc, 0, g.arcs)
+	for u := range g.adj {
+		arena = append(arena, g.adj[u]...)
+	}
+	off := 0
+	for u := range g.adj {
+		n := len(g.adj[u])
+		g.adj[u] = arena[off : off+n : off+n]
+		off += n
+	}
+}
+
 // Reverse returns a new graph with every arc direction flipped.
 func (g *Digraph) Reverse() *Digraph {
 	r := New(len(g.adj))

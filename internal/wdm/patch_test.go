@@ -1,0 +1,122 @@
+package wdm
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func patchNet(t *testing.T) *Network {
+	t.Helper()
+	nw := NewNetwork(3, 4)
+	mustAdd := func(u, v int, cs []Channel) {
+		t.Helper()
+		if _, err := nw.AddLink(u, v, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(0, 1, chans(0, 1, 1, 2, 2, 3))
+	mustAdd(1, 2, chans(0, 1, 3, 4))
+	mustAdd(2, 0, chans(1, 5))
+	nw.SetConverter(UniformConversion{C: 0.5})
+	return nw
+}
+
+func TestPatchChannelsReplacesOnlyListed(t *testing.T) {
+	nw := patchNet(t)
+	p, err := nw.PatchChannels(map[int][]Channel{0: chans(1, 2)})
+	if err != nil {
+		t.Fatalf("PatchChannels: %v", err)
+	}
+	if p.NumNodes() != 3 || p.K() != 4 || p.NumLinks() != 3 {
+		t.Fatalf("shape changed: n=%d k=%d m=%d", p.NumNodes(), p.K(), p.NumLinks())
+	}
+	if got := p.Link(0).Channels; len(got) != 1 || got[0].Lambda != 1 || got[0].Weight != 2 {
+		t.Fatalf("patched link 0 channels = %v", got)
+	}
+	// The original is untouched.
+	if got := nw.Link(0).Channels; len(got) != 3 {
+		t.Fatalf("original link 0 mutated: %v", got)
+	}
+	// Untouched links share their Channel backing with the original —
+	// the structural-sharing contract the O(m) bound relies on.
+	if &p.Link(1).Channels[0] != &nw.Link(1).Channels[0] {
+		t.Fatal("untouched link 1 does not share its Channels slice")
+	}
+	// Adjacency and metadata carry over.
+	if len(p.Out(0)) != 1 || len(p.In(0)) != 1 || p.Converter() == nil {
+		t.Fatal("adjacency or converter not carried over")
+	}
+	for id := 0; id < 3; id++ {
+		l, pl := nw.Link(id), p.Link(id)
+		if l.ID != pl.ID || l.From != pl.From || l.To != pl.To {
+			t.Fatalf("link %d identity changed: %+v vs %+v", id, l, pl)
+		}
+	}
+}
+
+func TestPatchChannelsValidatesLikeAddLink(t *testing.T) {
+	nw := patchNet(t)
+	if _, err := nw.PatchChannels(map[int][]Channel{7: nil}); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+	if _, err := nw.PatchChannels(map[int][]Channel{0: chans(9, 1)}); !errors.Is(err, ErrWavelengthRange) {
+		t.Fatalf("bad wavelength: %v", err)
+	}
+	if _, err := nw.PatchChannels(map[int][]Channel{0: chans(0, -1)}); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("negative weight: %v", err)
+	}
+	if _, err := nw.PatchChannels(map[int][]Channel{0: chans(0, 1, 0, 2)}); err == nil {
+		t.Fatal("duplicate wavelength accepted")
+	}
+	// Infinite weight means λ ∉ Λ(e): dropped, not stored.
+	p, err := nw.PatchChannels(map[int][]Channel{0: chans(0, 1, 1, math.Inf(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Link(0).Channels; len(got) != 1 || got[0].Lambda != 0 {
+		t.Fatalf("infinite channel kept: %v", got)
+	}
+}
+
+func TestPatchChannelsSealsResult(t *testing.T) {
+	nw := patchNet(t)
+	p, err := nw.PatchChannels(map[int][]Channel{1: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddLink(0, 2, chans(0, 1)); !errors.Is(err, ErrSealed) {
+		t.Fatalf("AddLink on sealed network: %v", err)
+	}
+	// The source network stays growable.
+	if _, err := nw.AddLink(0, 2, chans(0, 1)); err != nil {
+		t.Fatalf("AddLink on source: %v", err)
+	}
+	// Patching a patch works (chains of residual epochs).
+	pp, err := p.PatchChannels(map[int][]Channel{1: chans(3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pp.Link(1).Channels; len(got) != 1 || got[0].Lambda != 3 {
+		t.Fatalf("second patch = %v", got)
+	}
+	if got := p.Link(1).Channels; len(got) != 0 {
+		t.Fatalf("first patch mutated by second: %v", got)
+	}
+}
+
+func TestPatchChannelsEmptyIsIdentity(t *testing.T) {
+	nw := patchNet(t)
+	p, err := nw.PatchChannels(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalChannels() != nw.TotalChannels() {
+		t.Fatalf("channel count changed: %d vs %d", p.TotalChannels(), nw.TotalChannels())
+	}
+	for id := 0; id < nw.NumLinks(); id++ {
+		if len(p.Link(id).Channels) > 0 && &p.Link(id).Channels[0] != &nw.Link(id).Channels[0] {
+			t.Fatalf("link %d not shared", id)
+		}
+	}
+}

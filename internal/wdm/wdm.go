@@ -95,6 +95,11 @@ type Network struct {
 	out   [][]int32 // link IDs leaving each node
 	in    [][]int32 // link IDs entering each node
 	conv  Converter
+
+	// sealed marks a network produced by PatchChannels: its adjacency
+	// spines are shared with the network it was patched from, so growing
+	// the link set would corrupt the parent. AddLink refuses.
+	sealed bool
 }
 
 // NewNetwork returns an empty network with n nodes and k wavelengths and
@@ -123,10 +128,16 @@ func (nw *Network) Converter() Converter { return nw.conv }
 // SetConverter installs the wavelength-conversion cost function.
 func (nw *Network) SetConverter(c Converter) { nw.conv = c }
 
+// ErrSealed is returned when growing a network built by PatchChannels.
+var ErrSealed = errors.New("wdm: network is sealed (built by PatchChannels); links cannot be added")
+
 // AddLink inserts a directed link from u to v with the given channels
 // (Λ(e) entries) and returns its link ID. Channels with infinite weight
 // are dropped — an infinite w(e,λ) means λ ∉ Λ(e).
 func (nw *Network) AddLink(u, v int, channels []Channel) (int, error) {
+	if nw.sealed {
+		return 0, ErrSealed
+	}
 	if u < 0 || u >= nw.n || v < 0 || v >= nw.n {
 		return 0, fmt.Errorf("%w: link %d->%d in network of %d nodes", ErrNodeRange, u, v, nw.n)
 	}
@@ -239,6 +250,56 @@ func (nw *Network) lambdaUnion(linkIDs []int32) []Wavelength {
 		}
 	}
 	return res
+}
+
+// PatchChannels returns a copy of nw with the channel sets of the given
+// links replaced, sharing everything untouched with nw: the topology
+// (link IDs, endpoints, adjacency spines) is identical, unchanged links
+// keep their Channel slices, and only the patched links get fresh ones.
+// This is the O(m + Σ|patched Λ(e)|) residual-update primitive behind
+// incremental snapshot maintenance — no per-channel occupancy filtering
+// over the whole network, no adjacency reconstruction.
+//
+// Channel sets are validated exactly as AddLink validates them
+// (wavelength range, non-negative finite weights, no duplicates;
+// infinite-weight channels are dropped). The returned network is sealed:
+// its adjacency is shared, so AddLink on it fails with ErrSealed.
+func (nw *Network) PatchChannels(changes map[int][]Channel) (*Network, error) {
+	p := &Network{
+		n:      nw.n,
+		k:      nw.k,
+		links:  make([]Link, len(nw.links)),
+		out:    nw.out,
+		in:     nw.in,
+		conv:   nw.conv,
+		sealed: true,
+	}
+	copy(p.links, nw.links)
+	for id, channels := range changes {
+		if id < 0 || id >= len(p.links) {
+			return nil, fmt.Errorf("wdm: patch of unknown link %d (network has %d)", id, len(p.links))
+		}
+		kept := make([]Channel, 0, len(channels))
+		seen := make(map[Wavelength]bool, len(channels))
+		for _, c := range channels {
+			if c.Lambda < 0 || int(c.Lambda) >= nw.k {
+				return nil, fmt.Errorf("%w: λ%d with k=%d on link %d", ErrWavelengthRange, c.Lambda, nw.k, id)
+			}
+			if math.IsInf(c.Weight, 1) {
+				continue
+			}
+			if c.Weight < 0 || math.IsNaN(c.Weight) {
+				return nil, fmt.Errorf("%w: w(e%d,λ%d) = %v", ErrBadWeight, id, c.Lambda, c.Weight)
+			}
+			if seen[c.Lambda] {
+				return nil, fmt.Errorf("wdm: duplicate wavelength λ%d in patch of link %d", c.Lambda, id)
+			}
+			seen[c.Lambda] = true
+			kept = append(kept, c)
+		}
+		p.links[id].Channels = kept
+	}
+	return p, nil
 }
 
 // MinLinkWeight reports min over e, λ∈Λ(e) of w(e,λ), or +Inf for a
