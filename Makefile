@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-hot vet lint lint-vet verify bench-engine bench-obs bench-churn bench-smoke
+.PHONY: all build test race race-hot vet lint lint-vet verify bench-engine bench-obs bench-churn bench-smoke fuzz-smoke bench-serve
 
 all: verify
 
@@ -64,3 +64,21 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'Route|AllocateRelease|Dijkstra' \
 		-benchtime 100ms -benchmem \
 		./internal/graph ./internal/core ./internal/engine
+
+# Short fuzzing pass over every fuzz target (go test -fuzz takes one
+# target per invocation, hence the list). 30s each is a smoke budget:
+# it replays the corpus and gives the generator a brief run, catching
+# shallow parser/engine regressions without a dedicated fuzz farm.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzProtocolParse$$' -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzDeltaChurn$$' -fuzztime $(FUZZTIME) ./internal/engine
+	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalNetwork$$' -fuzztime $(FUZZTIME) ./internal/wdm
+	$(GO) test -run '^$$' -fuzz '^FuzzEngineAllocateRelease$$' -fuzztime $(FUZZTIME) ./internal/wdm
+
+# Regenerate the committed TCP service benchmark record: build wdmserve
+# and wdmload, soak a live server (64 connections, 50k requests, an
+# undersized admission queue so shedding is exercised), drain it with
+# SIGTERM, and leave the load generator's report in BENCH_serve.json.
+bench-serve:
+	./scripts/bench_serve.sh

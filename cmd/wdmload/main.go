@@ -1,0 +1,381 @@
+// Command wdmload is a closed-loop load generator for a wdmserve
+// -listen service: N concurrent TCP connections each issue M
+// synchronous requests (send one line, wait for the one-line reply)
+// drawn from a weighted route/alloc/release mix, then release every
+// lease they still hold. It reports latency quantiles, throughput and
+// the three service-level outcome rates — blocking (no semilightpath
+// in the residual network), shedding (admission queue full: "busy"),
+// and protocol errors (which a correct run must not produce) — and can
+// write the whole report as JSON for the benchmark trajectory
+// (BENCH_serve.json).
+//
+// Usage:
+//
+//	wdmload -addr 127.0.0.1:7341 -conns 64 -requests 50000 \
+//	        -mix route=8,alloc=1,release=1 -json BENCH_serve.json
+//
+// The generator probes the node count at startup (a routefrom answer
+// has one line per node), so it needs no topology flags; endpoints are
+// drawn uniformly per connection from a seeded PRNG, making a run
+// reproducible against a deterministically-built server.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"lightpath/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wdmload:", err)
+		os.Exit(1)
+	}
+}
+
+// mixWeights is the parsed -mix flag: relative weights per verb.
+type mixWeights struct {
+	route, alloc, release int
+}
+
+func parseMix(s string) (mixWeights, error) {
+	m := mixWeights{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("mix: want verb=weight, got %q", part)
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("mix: bad weight %q", part)
+		}
+		switch kv[0] {
+		case "route":
+			m.route = w
+		case "alloc":
+			m.alloc = w
+		case "release":
+			m.release = w
+		default:
+			return m, fmt.Errorf("mix: unknown verb %q (want route|alloc|release)", kv[0])
+		}
+	}
+	if m.route+m.alloc+m.release == 0 {
+		return m, fmt.Errorf("mix: all weights zero")
+	}
+	return m, nil
+}
+
+// workerStats accumulates one connection's outcomes.
+type workerStats struct {
+	sent, ok, busy, blocked, protoErr int
+	cleanup                           int
+	firstProtoErr                     string
+	latencies                         []int64 // ns, non-shed replies only
+}
+
+// report is the JSON shape written by -json.
+type report struct {
+	Addr            string  `json:"addr"`
+	Conns           int     `json:"conns"`
+	RequestsPlanned int     `json:"requests_planned"`
+	Mix             string  `json:"mix"`
+	Seed            int64   `json:"seed"`
+	Nodes           int     `json:"nodes"`
+	Sent            int     `json:"sent"`
+	OK              int     `json:"ok"`
+	Shed            int     `json:"shed"`
+	Blocked         int     `json:"blocked"`
+	ProtocolErrors  int     `json:"protocol_errors"`
+	CleanupReleases int     `json:"cleanup_releases"`
+	ShedRate        float64 `json:"shed_rate"`
+	BlockingRate    float64 `json:"blocking_rate"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	Latency         struct {
+		P50  float64 `json:"p50_ns"`
+		P90  float64 `json:"p90_ns"`
+		P95  float64 `json:"p95_ns"`
+		P99  float64 `json:"p99_ns"`
+		Max  float64 `json:"max_ns"`
+		Mean float64 `json:"mean_ns"`
+	} `json:"latency"`
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("wdmload", flag.ContinueOnError)
+	addr := fs.String("addr", "", "wdmserve -listen address to load (required)")
+	conns := fs.Int("conns", 64, "concurrent connections")
+	requests := fs.Int("requests", 50000, "total requests across all connections (cleanup releases not counted)")
+	mixFlag := fs.String("mix", "route=8,alloc=1,release=1", "weighted request mix")
+	seed := fs.Int64("seed", 1, "workload PRNG seed")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request reply deadline")
+	dialTimeout := fs.Duration("dial-timeout", 5*time.Second, "connection dial deadline")
+	jsonPath := fs.String("json", "", "write the report as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	if *conns < 1 || *requests < 1 {
+		return fmt.Errorf("want -conns >= 1 and -requests >= 1")
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+
+	// Probe the topology size: a routefrom answer has one line per node.
+	nodes, err := probeNodes(*addr, *dialTimeout, *timeout)
+	if err != nil {
+		return fmt.Errorf("probe: %w", err)
+	}
+	if nodes < 2 {
+		return fmt.Errorf("server topology has %d nodes; need >= 2", nodes)
+	}
+
+	stats := make([]workerStats, *conns)
+	errs := make([]error, *conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *conns; i++ {
+		n := *requests / *conns
+		if i < *requests%*conns {
+			n++
+		}
+		wg.Add(1)
+		go func(id, n int) {
+			defer wg.Done()
+			errs[id] = worker(*addr, nodes, n, mix,
+				rand.New(rand.NewSource(*seed+int64(id))), *dialTimeout, *timeout, &stats[id])
+		}(i, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	rep := aggregate(stats, *addr, *conns, *requests, *mixFlag, *seed, nodes, elapsed)
+	fmt.Fprintf(w, "%d requests on %d conns in %s: %.0f req/s\n",
+		rep.Sent, rep.Conns, elapsed.Round(time.Millisecond), rep.ThroughputRPS)
+	fmt.Fprintf(w, "ok %d  shed %d (%.3f)  blocked %d (%.3f)  protocol errors %d\n",
+		rep.OK, rep.Shed, rep.ShedRate, rep.Blocked, rep.BlockingRate, rep.ProtocolErrors)
+	fmt.Fprintf(w, "latency: p50 %s  p90 %s  p95 %s  p99 %s  max %s\n",
+		ns(rep.Latency.P50), ns(rep.Latency.P90), ns(rep.Latency.P95), ns(rep.Latency.P99), ns(rep.Latency.Max))
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", *jsonPath)
+	}
+	if rep.ProtocolErrors > 0 {
+		example := ""
+		for _, st := range stats {
+			if st.firstProtoErr != "" {
+				example = st.firstProtoErr
+				break
+			}
+		}
+		return fmt.Errorf("%d protocol errors (first: %q)", rep.ProtocolErrors, example)
+	}
+	return nil
+}
+
+// probeNodes asks the server how many nodes the topology has by
+// counting the lines of one routefrom answer.
+func probeNodes(addr string, dialTimeout, timeout time.Duration) (int, error) {
+	c, err := serve.Dial(addr, dialTimeout)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	if err := c.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, err
+	}
+	if err := c.Send("routefrom 0"); err != nil {
+		return 0, err
+	}
+	// Every line of the answer is indented ("  0 -> T: ..."); a busy or
+	// error line would be a single unindented reply.
+	first, err := c.ReadLine()
+	if err != nil {
+		return 0, err
+	}
+	if serve.Classify(first) != serve.ReplyOK || !strings.HasPrefix(first, "  ") {
+		return 0, fmt.Errorf("unexpected probe reply %q", first)
+	}
+	// Read the remaining n-1 lines: epoch is a cheap fence telling us
+	// where the routefrom answer ends.
+	if err := c.Send("epoch"); err != nil {
+		return 0, err
+	}
+	nodes := 1
+	for {
+		line, err := c.ReadLine()
+		if err != nil {
+			return 0, err
+		}
+		if strings.HasPrefix(line, "epoch ") {
+			return nodes, nil
+		}
+		nodes++
+	}
+}
+
+// worker runs one closed-loop connection.
+func worker(addr string, nodes, n int, mix mixWeights, rng *rand.Rand,
+	dialTimeout, timeout time.Duration, st *workerStats) error {
+	c, err := serve.Dial(addr, dialTimeout)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st.latencies = make([]int64, 0, n)
+	var leases []int64
+
+	do := func(line string, cleanup bool) (serve.ReplyKind, error) {
+		if err := c.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		reply, err := c.Do(line)
+		if err != nil {
+			return 0, fmt.Errorf("%q: %w", line, err)
+		}
+		lat := time.Since(start).Nanoseconds()
+		if cleanup {
+			st.cleanup++
+		} else {
+			st.sent++
+		}
+		kind := serve.Classify(reply)
+		switch kind {
+		case serve.ReplyBusy:
+			st.busy++
+		case serve.ReplyBlocked:
+			st.blocked++
+			st.latencies = append(st.latencies, lat)
+		case serve.ReplyProtocolError:
+			st.protoErr++
+			if st.firstProtoErr == "" {
+				st.firstProtoErr = reply
+			}
+		default:
+			st.ok++
+			st.latencies = append(st.latencies, lat)
+			if id, ok := serve.ParseLease(reply); ok {
+				leases = append(leases, id)
+			}
+			if strings.HasPrefix(reply, "released ") && len(leases) > 0 {
+				leases = leases[:len(leases)-1]
+			}
+		}
+		return kind, nil
+	}
+
+	total := mix.route + mix.alloc + mix.release
+	for i := 0; i < n; i++ {
+		s := rng.Intn(nodes)
+		t := rng.Intn(nodes - 1)
+		if t >= s {
+			t++
+		}
+		var line string
+		switch r := rng.Intn(total); {
+		case r < mix.route:
+			line = fmt.Sprintf("route %d %d", s, t)
+		case r < mix.route+mix.alloc:
+			line = fmt.Sprintf("alloc %d %d", s, t)
+		default:
+			if len(leases) == 0 {
+				line = fmt.Sprintf("route %d %d", s, t)
+				break
+			}
+			line = fmt.Sprintf("release %d", leases[len(leases)-1])
+		}
+		if _, err := do(line, false); err != nil {
+			return err
+		}
+	}
+	// Cleanup: tear down every lease this connection still holds, so a
+	// drained server ends with zero active leases. Sheds here would
+	// leak leases — retry until the release executes (a protocol error
+	// means the lease is gone for a reason we cannot fix; drop it).
+	for len(leases) > 0 {
+		id := leases[len(leases)-1]
+		kind, err := do(fmt.Sprintf("release %d", id), true)
+		if err != nil {
+			return err
+		}
+		if kind == serve.ReplyProtocolError {
+			leases = leases[:len(leases)-1]
+		}
+	}
+	return nil
+}
+
+// aggregate merges worker stats into the final report.
+func aggregate(stats []workerStats, addr string, conns, planned int, mix string,
+	seed int64, nodes int, elapsed time.Duration) *report {
+	rep := &report{
+		Addr: addr, Conns: conns, RequestsPlanned: planned,
+		Mix: mix, Seed: seed, Nodes: nodes,
+	}
+	var all []int64
+	for _, st := range stats {
+		rep.Sent += st.sent + st.cleanup
+		rep.OK += st.ok
+		rep.Shed += st.busy
+		rep.Blocked += st.blocked
+		rep.ProtocolErrors += st.protoErr
+		rep.CleanupReleases += st.cleanup
+		all = append(all, st.latencies...)
+	}
+	if rep.Sent > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Sent)
+		rep.BlockingRate = float64(rep.Blocked) / float64(rep.Sent)
+	}
+	rep.ElapsedMS = float64(elapsed.Nanoseconds()) / 1e6
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.Sent) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		q := func(p float64) float64 {
+			i := int(p * float64(len(all)-1))
+			return float64(all[i])
+		}
+		rep.Latency.P50 = q(0.50)
+		rep.Latency.P90 = q(0.90)
+		rep.Latency.P95 = q(0.95)
+		rep.Latency.P99 = q(0.99)
+		rep.Latency.Max = float64(all[len(all)-1])
+		var sum float64
+		for _, v := range all {
+			sum += float64(v)
+		}
+		rep.Latency.Mean = sum / float64(len(all))
+	}
+	return rep
+}
+
+// ns renders a nanosecond quantity as a duration.
+func ns(v float64) time.Duration { return time.Duration(v) * time.Nanosecond }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestREPLGoldenByteIdentical pins the REPL's output byte-for-byte
+// against transcripts captured before the command loop was extracted
+// into internal/serve: the extraction (and the TCP front-end riding on
+// it) must not change what scripted deployments see on stdin. The
+// scripts stick to deterministic verbs — stats/metrics/trace-on-route
+// answers embed wall-clock latencies and cannot be pinned.
+func TestREPLGoldenByteIdentical(t *testing.T) {
+	cases := []struct {
+		name   string
+		flags  []string
+		golden string
+	}{
+		{"paper", []string{"-topo", "paper", "-script", "testdata/golden_script.txt"},
+			"testdata/golden_paper.txt"},
+		{"nsfnet", []string{"-topo", "nsfnet", "-k", "6", "-seed", "3", "-script", "testdata/golden_script_nsfnet.txt"},
+			"testdata/golden_nsfnet.txt"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := os.ReadFile(tc.golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			if err := run(tc.flags, strings.NewReader(""), &out); err != nil {
+				t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Fatalf("REPL output diverged from pre-extraction golden %s:\n%s",
+					tc.golden, diffLines(string(want), out.String()))
+			}
+		})
+	}
+}
+
+// diffLines renders the first divergence between two transcripts.
+func diffLines(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  want: %q\n  got:  %q", i+1, w, g)
+		}
+	}
+	return "transcripts differ only in length"
+}

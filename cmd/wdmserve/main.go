@@ -1,15 +1,22 @@
 // Command wdmserve runs the concurrent routing engine as an
 // interactive service over a line protocol: it loads (or generates) a
 // WDM network, publishes the epoch-0 snapshot, and then executes
-// commands from standard input (or a -script file), one per line —
-// routing queries against the current snapshot and allocate/release/
-// fail/repair mutations that advance the epoch.
+// commands — routing queries against the current snapshot and
+// allocate/release/fail/repair mutations that advance the epoch.
+//
+// Commands arrive from standard input (or a -script file), or, with
+// -listen, from many concurrent TCP clients: one session per
+// connection, all sharing the engine, with a bounded admission queue
+// (overload is answered with a "busy" line instead of unbounded
+// latency), per-request admission deadlines, per-connection idle/write
+// timeouts, and graceful drain on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	wdmserve -topo nsfnet -k 8              # REPL on stdin
 //	echo "route 0 9" | wdmserve -topo nsfnet
 //	wdmserve -net instance.json -script cmds.txt
+//	wdmserve -topo nsfnet -listen 127.0.0.1:7341   # TCP service
 //
 // Protocol (one command per line, '#' starts a comment):
 //
@@ -35,8 +42,7 @@
 package main
 
 import (
-	"bufio"
-	"errors"
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -45,15 +51,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"lightpath/internal/cli"
-	"lightpath/internal/core"
 	"lightpath/internal/engine"
 	"lightpath/internal/graph"
 	"lightpath/internal/obs"
+	"lightpath/internal/serve"
 )
 
 func main() {
@@ -71,6 +77,18 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 	cacheSize := fs.Int("cache", engine.DefaultCacheSize, "SourceTree cache capacity (<0 disables)")
 	workers := fs.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	script := fs.String("script", "", "read commands from this file instead of stdin")
+	listen := fs.String("listen", "",
+		"serve the line protocol to concurrent TCP clients on this address (disables the stdin REPL)")
+	queueDepth := fs.Int("queue-depth", serve.DefaultQueueDepth,
+		"TCP admission queue capacity across all connections; full queue sheds with a busy reply")
+	requestTimeout := fs.Duration("request-timeout", 100*time.Millisecond,
+		"TCP: max wait for an admission slot before a request is shed (<=0 sheds immediately)")
+	idleTimeout := fs.Duration("idle-timeout", 0,
+		"TCP: disconnect a client idle for this long (0 = no limit)")
+	writeTimeout := fs.Duration("write-timeout", 10*time.Second,
+		"TCP: per-reply flush deadline (0 = no limit)")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second,
+		"TCP: graceful drain budget on SIGINT/SIGTERM before force-closing connections")
 	debugAddr := fs.String("debug-addr", "",
 		"serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
 	if err := fs.Parse(args); err != nil {
@@ -112,6 +130,19 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 		fmt.Fprintf(w, "debug server on %s (/metrics, /debug/vars, /debug/pprof)\n", ln.Addr())
 	}
 
+	tel := serve.NewTelemetry(eng.Metrics())
+	if *listen != "" {
+		cfg := &serve.ServerConfig{
+			QueueDepth:     *queueDepth,
+			RequestTimeout: *requestTimeout,
+			IdleTimeout:    *idleTimeout,
+			WriteTimeout:   *writeTimeout,
+			Workers:        *workers,
+			Telemetry:      tel,
+		}
+		return serveTCP(eng, w, *listen, cfg, *drainTimeout)
+	}
+
 	input := stdin
 	if *script != "" {
 		f, err := os.Open(*script)
@@ -121,28 +152,56 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 		defer f.Close()
 		input = f
 	}
+	sess := serve.NewSession(eng, w, &serve.SessionOptions{Workers: *workers, Telemetry: tel})
+	return serve.RunScript(sess, input)
+}
 
-	srv := &server{eng: eng, w: w, workers: *workers}
-	scanner := bufio.NewScanner(input)
-	for scanner.Scan() {
-		line := strings.TrimSpace(scanner.Text())
-		if i := strings.IndexByte(line, '#'); i >= 0 {
-			line = strings.TrimSpace(line[:i])
-		}
-		if line == "" {
-			continue
-		}
-		quit, err := srv.exec(line)
-		if err != nil {
-			// Command errors are part of the protocol (blocked requests,
-			// bad leases); they do not terminate the service.
-			fmt.Fprintf(w, "error: %v\n", err)
-		}
-		if quit {
-			return nil
+// serveTCP runs the network front-end until a listener error or a
+// drain-triggering signal (SIGINT/SIGTERM), then drains gracefully:
+// stop accepting, let in-flight requests finish, force-close only if
+// the drain budget runs out. Nothing is released implicitly — leases
+// survive the drain — and the final telemetry totals are flushed to w
+// before returning.
+func serveTCP(eng *engine.Engine, w io.Writer, addr string, cfg *serve.ServerConfig, drainTimeout time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	fmt.Fprintf(w, "listening on %s (queue %d, request timeout %s)\n",
+		ln.Addr(), cfg.QueueDepth, cfg.RequestTimeout)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	srv := serve.NewServer(eng, cfg)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	var drainErr error
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(w, "%s: draining (budget %s)\n", sig, drainTimeout)
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		drainErr = srv.Shutdown(ctx)
+		if drainErr != nil {
+			fmt.Fprintf(w, "drain: %v\n", drainErr)
+		} else {
+			fmt.Fprintf(w, "drained in %s\n", time.Since(start).Round(time.Millisecond))
 		}
 	}
-	return scanner.Err()
+	// Flush telemetry: the final serving totals, so a scripted soak can
+	// reconcile its client-side counts against the server's.
+	st := eng.Stats()
+	snap := eng.Metrics().Snapshot()
+	fmt.Fprintf(w, "final: epoch %d  connections %v  requests %v  shed %v  active leases %d\n",
+		st.Epoch, snap["serve_connections_total"], snap["serve_requests_total"],
+		snap["serve_shed_total"], st.ActiveOwners)
+	return drainErr
 }
 
 // debugMux assembles the HTTP debug surface: the engine's telemetry
@@ -161,266 +220,4 @@ func debugMux(eng *engine.Engine) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
-}
-
-// server executes protocol commands against one engine.
-type server struct {
-	eng       *engine.Engine
-	w         io.Writer
-	workers   int
-	nextLease int64
-	tracing   bool // trace on: append a trace summary to route/alloc answers
-}
-
-// exec runs one command line; the bool result requests shutdown.
-func (s *server) exec(line string) (bool, error) {
-	fields := strings.Fields(line)
-	cmd, rest := fields[0], fields[1:]
-	// trace takes a keyword argument, every other verb integers.
-	if cmd == "trace" {
-		return false, s.execTrace(rest)
-	}
-	ints := make([]int, len(rest))
-	for i, f := range rest {
-		v, err := strconv.Atoi(f)
-		if err != nil {
-			return false, fmt.Errorf("%s: bad argument %q", cmd, f)
-		}
-		ints[i] = v
-	}
-	argc := func(want int) error {
-		if len(ints) != want {
-			return fmt.Errorf("%s: want %d arguments, got %d", cmd, want, len(ints))
-		}
-		return nil
-	}
-
-	switch cmd {
-	case "route":
-		if err := argc(2); err != nil {
-			return false, err
-		}
-		if s.tracing {
-			res, tr, err := s.eng.TraceRoute(ints[0], ints[1])
-			if err != nil {
-				if tr != nil {
-					fmt.Fprintf(s.w, "  %s\n", tr)
-				}
-				return false, err
-			}
-			s.printResult(res)
-			fmt.Fprintf(s.w, "  %s\n", tr)
-			return false, nil
-		}
-		res, err := s.eng.Route(ints[0], ints[1])
-		if err != nil {
-			return false, err
-		}
-		s.printResult(res)
-	case "explain":
-		if err := argc(2); err != nil {
-			return false, err
-		}
-		res, tr, err := s.eng.TraceRoute(ints[0], ints[1])
-		if err != nil {
-			if tr != nil {
-				fmt.Fprintf(s.w, "explain %d -> %d: blocked after settling %d of %d aux nodes\n",
-					ints[0], ints[1], tr.Settled, tr.AuxNodes)
-			}
-			return false, err
-		}
-		s.printExplain(res, tr)
-	case "routefrom":
-		if err := argc(1); err != nil {
-			return false, err
-		}
-		st, err := s.eng.RouteFrom(ints[0])
-		if err != nil {
-			return false, err
-		}
-		n := s.eng.Base().NumNodes()
-		for t := 0; t < n; t++ {
-			if !st.Reachable(t) {
-				fmt.Fprintf(s.w, "  %d -> %d: unreachable\n", ints[0], t)
-				continue
-			}
-			fmt.Fprintf(s.w, "  %d -> %d: cost %g\n", ints[0], t, st.Dist(t))
-		}
-	case "kshortest":
-		if err := argc(3); err != nil {
-			return false, err
-		}
-		paths, err := s.eng.KShortest(ints[0], ints[1], ints[2])
-		if err != nil {
-			return false, err
-		}
-		for i, p := range paths {
-			fmt.Fprintf(s.w, "  #%d cost %g  %s\n", i+1, p.Cost, p.Path.String(s.eng.Base()))
-		}
-	case "protect":
-		if err := argc(2); err != nil {
-			return false, err
-		}
-		pair, err := s.eng.RouteProtected(ints[0], ints[1], nil)
-		if err != nil {
-			return false, err
-		}
-		fmt.Fprintf(s.w, "  primary cost %g  %s\n", pair.Primary.Cost, pair.Primary.Path.String(s.eng.Base()))
-		fmt.Fprintf(s.w, "  backup  cost %g  %s\n", pair.Backup.Cost, pair.Backup.Path.String(s.eng.Base()))
-	case "batch":
-		if len(ints) == 0 || len(ints)%2 != 0 {
-			return false, fmt.Errorf("batch: want an even number of endpoints")
-		}
-		reqs := make([]engine.Request, 0, len(ints)/2)
-		for i := 0; i < len(ints); i += 2 {
-			reqs = append(reqs, engine.Request{From: ints[i], To: ints[i+1]})
-		}
-		snap := s.eng.Snapshot()
-		out := snap.RouteBatch(reqs, s.workers)
-		fmt.Fprintf(s.w, "batch of %d at epoch %d:\n", len(reqs), snap.Epoch())
-		for _, r := range out {
-			switch {
-			case errors.Is(r.Err, core.ErrNoRoute):
-				fmt.Fprintf(s.w, "  %d -> %d: blocked\n", r.From, r.To)
-			case r.Err != nil:
-				fmt.Fprintf(s.w, "  %d -> %d: error: %v\n", r.From, r.To, r.Err)
-			default:
-				fmt.Fprintf(s.w, "  %d -> %d: cost %g\n", r.From, r.To, r.Result.Cost)
-			}
-		}
-	case "alloc":
-		if err := argc(2); err != nil {
-			return false, err
-		}
-		lease := s.nextLease + 1
-		var (
-			res *core.Result
-			tr  *obs.RouteTrace
-			err error
-		)
-		if s.tracing {
-			res, tr, err = s.eng.RouteAndAllocateTraced(lease, ints[0], ints[1])
-		} else {
-			res, err = s.eng.RouteAndAllocate(lease, ints[0], ints[1])
-		}
-		if err != nil {
-			return false, err
-		}
-		s.nextLease = lease
-		fmt.Fprintf(s.w, "lease %d (epoch %d): ", lease, s.eng.Epoch())
-		s.printResult(res)
-		if tr != nil {
-			fmt.Fprintf(s.w, "  %s\n", tr)
-		}
-	case "release":
-		if err := argc(1); err != nil {
-			return false, err
-		}
-		if err := s.eng.Release(int64(ints[0])); err != nil {
-			return false, err
-		}
-		fmt.Fprintf(s.w, "released %d (epoch %d)\n", ints[0], s.eng.Epoch())
-	case "fail":
-		if err := argc(1); err != nil {
-			return false, err
-		}
-		riders, err := s.eng.FailLink(ints[0])
-		if err != nil {
-			return false, err
-		}
-		fmt.Fprintf(s.w, "failed link %d (epoch %d), riding leases: %v\n", ints[0], s.eng.Epoch(), riders)
-	case "repair":
-		if err := argc(1); err != nil {
-			return false, err
-		}
-		if err := s.eng.RepairLink(ints[0]); err != nil {
-			return false, err
-		}
-		fmt.Fprintf(s.w, "repaired link %d (epoch %d)\n", ints[0], s.eng.Epoch())
-	case "epoch":
-		fmt.Fprintf(s.w, "epoch %d\n", s.eng.Epoch())
-	case "stats":
-		st := s.eng.Stats()
-		cs := s.eng.CacheStats()
-		snap := s.eng.Metrics().Snapshot()
-		fmt.Fprintf(s.w, "epoch %d  allocs %d  releases %d  conflicts %d  owners %d  held %d  util %.3f\n",
-			st.Epoch, st.Allocations, st.Releases, st.Conflicts, st.ActiveOwners, st.HeldChannels,
-			s.eng.Utilization())
-		fmt.Fprintf(s.w, "cache: %d/%d entries  lookups %d  hits %d  misses %d  evictions %d  hit rate %.3f\n",
-			cs.Size, cs.Capacity, cs.Lookups, cs.Hits, cs.Misses, cs.Evictions, cs.HitRate())
-		lat := snap["engine_route_latency_ns"].(obs.HistogramSnapshot)
-		fmt.Fprintf(s.w, "routes %d (blocked %d, traced %d)  retries %d  rebuilds %d\n",
-			snap["engine_routes_total"], snap["engine_routes_blocked_total"],
-			snap["engine_traced_routes_total"], snap["engine_alloc_retries_total"], st.Rebuilds)
-		fmt.Fprintf(s.w, "route latency: p50 %s  p95 %s  p99 %s  (n=%d, max %s)\n",
-			nsDuration(lat.P50), nsDuration(lat.P95), nsDuration(lat.P99), lat.Count, nsDuration(lat.Max))
-	case "metrics":
-		if err := s.eng.Metrics().WriteJSON(s.w); err != nil {
-			return false, err
-		}
-	case "quit", "exit":
-		return true, nil
-	default:
-		return false, fmt.Errorf("unknown command %q", cmd)
-	}
-	return false, nil
-}
-
-// execTrace toggles (or reports) per-answer trace summaries.
-func (s *server) execTrace(args []string) error {
-	switch {
-	case len(args) == 0:
-		state := "off"
-		if s.tracing {
-			state = "on"
-		}
-		fmt.Fprintf(s.w, "trace %s\n", state)
-		return nil
-	case len(args) == 1 && args[0] == "on":
-		s.tracing = true
-		fmt.Fprintln(s.w, "trace on")
-		return nil
-	case len(args) == 1 && args[0] == "off":
-		s.tracing = false
-		fmt.Fprintln(s.w, "trace off")
-		return nil
-	default:
-		return fmt.Errorf("trace: want on|off, got %q", strings.Join(args, " "))
-	}
-}
-
-// printExplain renders the per-hop Eq. (1) cost anatomy of a traced
-// route: which junction paid which conversion, what each link
-// traversal cost, and the totals that reconcile to the route cost.
-func (s *server) printExplain(res *core.Result, tr *obs.RouteTrace) {
-	cacheState := "cache miss"
-	if tr.CacheHit {
-		cacheState = "cache hit"
-	}
-	fmt.Fprintf(s.w, "explain %d -> %d (epoch %d, %s, %s)\n",
-		tr.Source, tr.Dest, tr.Epoch, cacheState, tr.Elapsed)
-	if len(tr.Hops) == 0 {
-		fmt.Fprintln(s.w, "  trivial path (source == destination)")
-		return
-	}
-	for i, h := range tr.Hops {
-		fmt.Fprintf(s.w, "  hop %d: %d -[λ%d]-> %d  conv %g + link %g  (cum %g)\n",
-			i+1, h.From, h.Wavelength+1, h.To, h.ConvCost, h.LinkCost, h.Cumulative)
-	}
-	fmt.Fprintf(s.w, "  totals: links %g + conversions %g = %g\n",
-		tr.LinkCostTotal(), tr.ConvCostTotal(), tr.LinkCostTotal()+tr.ConvCostTotal())
-	fmt.Fprintf(s.w, "  cost %g  %s\n", res.Cost, res.Path.String(s.eng.Base()))
-	fmt.Fprintf(s.w, "  search: aux %d nodes / %d arcs, settled %d, relaxed %d, conversions %d/%d taken/available\n",
-		tr.AuxNodes, tr.AuxArcs, tr.Settled, tr.Relaxed, tr.ConversionsTaken, tr.ConversionsAvailable)
-}
-
-// nsDuration renders a nanosecond quantity from a histogram as a
-// human-readable duration.
-func nsDuration(ns float64) time.Duration {
-	return time.Duration(ns) * time.Nanosecond
-}
-
-// printResult renders one routing answer.
-func (s *server) printResult(res *core.Result) {
-	fmt.Fprintf(s.w, "cost %g  %s\n", res.Cost, res.Path.String(s.eng.Base()))
 }

@@ -19,7 +19,7 @@ import (
 )
 
 // serve runs the binary against a command script and returns its output.
-func serve(t *testing.T, flags []string, script string) string {
+func runScript(t *testing.T, flags []string, script string) string {
 	t.Helper()
 	var out bytes.Buffer
 	if err := run(flags, strings.NewReader(script), &out); err != nil {
@@ -29,14 +29,14 @@ func serve(t *testing.T, flags []string, script string) string {
 }
 
 func TestServeRouteOnPaperExample(t *testing.T) {
-	out := serve(t, []string{"-topo", "paper"}, "route 0 6\nquit\n")
+	out := runScript(t, []string{"-topo", "paper"}, "route 0 6\nquit\n")
 	if !strings.Contains(out, "cost 20") {
 		t.Fatalf("paper example route wrong:\n%s", out)
 	}
 }
 
 func TestServeAllocReleaseLifecycle(t *testing.T) {
-	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+	out := runScript(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
 		"epoch\nalloc 0 9\nepoch\nstats\nrelease 1\nepoch\nquit\n")
 	for _, want := range []string{"epoch 0", "lease 1 (epoch 1)", "released 1 (epoch 2)", "allocs 1"} {
 		if !strings.Contains(out, want) {
@@ -46,7 +46,7 @@ func TestServeAllocReleaseLifecycle(t *testing.T) {
 }
 
 func TestServeReleaseRestoresRouting(t *testing.T) {
-	out := serve(t, []string{"-topo", "nsfnet", "-k", "2", "-seed", "5"},
+	out := runScript(t, []string{"-topo", "nsfnet", "-k", "2", "-seed", "5"},
 		"route 0 9\nalloc 0 9\nrelease 1\nroute 0 9\nquit\n")
 	var routes []string
 	for _, line := range strings.Split(out, "\n") {
@@ -60,7 +60,7 @@ func TestServeReleaseRestoresRouting(t *testing.T) {
 }
 
 func TestServeBatchAndRoutefrom(t *testing.T) {
-	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+	out := runScript(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
 		"batch 0 9 0 13 9 0\nroutefrom 0\nstats\nquit\n")
 	if !strings.Contains(out, "batch of 3 at epoch 0") {
 		t.Fatalf("batch header missing:\n%s", out)
@@ -74,7 +74,7 @@ func TestServeBatchAndRoutefrom(t *testing.T) {
 }
 
 func TestServeFailRepair(t *testing.T) {
-	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+	out := runScript(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
 		"alloc 0 1\nfail 0\nrepair 0\nquit\n")
 	if !strings.Contains(out, "failed link 0") || !strings.Contains(out, "repaired link 0") {
 		t.Fatalf("fail/repair missing:\n%s", out)
@@ -82,7 +82,7 @@ func TestServeFailRepair(t *testing.T) {
 }
 
 func TestServeKShortestAndProtect(t *testing.T) {
-	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+	out := runScript(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
 		"kshortest 0 9 3\nprotect 0 9\nquit\n")
 	if !strings.Contains(out, "#1 cost") || !strings.Contains(out, "#2 cost") {
 		t.Fatalf("kshortest output missing:\n%s", out)
@@ -93,7 +93,7 @@ func TestServeKShortestAndProtect(t *testing.T) {
 }
 
 func TestServeProtocolErrorsAreNonFatal(t *testing.T) {
-	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+	out := runScript(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
 		"warp 1 2\nroute 0\nrelease 99\nroute 0 9\nquit\n")
 	if got := strings.Count(out, "error:"); got != 3 {
 		t.Fatalf("want 3 protocol errors, got %d:\n%s", got, out)
@@ -172,7 +172,7 @@ func TestServeExplainBreakdownSumsToCost(t *testing.T) {
 		{[]string{"-topo", "nsfnet", "-k", "4", "-seed", "17"}, "explain 2 12\nquit\n"},
 	}
 	for _, tc := range cases {
-		out := serve(t, tc.flags, tc.script)
+		out := runScript(t, tc.flags, tc.script)
 		links, convs, total, cost := parseExplain(t, out)
 		if diff := math.Abs(links + convs - cost); diff > 1e-9 {
 			t.Errorf("explain: links %g + conversions %g = %g != cost %g\n%s", links, convs, total, cost, out)
@@ -189,7 +189,7 @@ func TestServeExplainBreakdownSumsToCost(t *testing.T) {
 func TestServeExplainAfterAllocReflectsResidual(t *testing.T) {
 	// Exhaust capacity on a tiny-k network; a blocked explain must say
 	// how much of the graph it searched rather than print a path.
-	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+	out := runScript(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
 		"alloc 0 9\nexplain 0 9\nquit\n")
 	if !strings.Contains(out, "explain 0 -> 9 (epoch 1") {
 		t.Fatalf("explain did not pin post-alloc epoch:\n%s", out)
@@ -201,7 +201,7 @@ func TestServeExplainAfterAllocReflectsResidual(t *testing.T) {
 }
 
 func TestServeTraceToggle(t *testing.T) {
-	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+	out := runScript(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
 		"trace\ntrace on\nroute 0 9\nalloc 0 13\ntrace off\nroute 0 9\nquit\n")
 	if !strings.Contains(out, "trace off\n") || !strings.Contains(out, "trace on\n") {
 		t.Fatalf("trace toggle answers missing:\n%s", out)
@@ -212,14 +212,14 @@ func TestServeTraceToggle(t *testing.T) {
 	if !strings.Contains(out, "attempts") && !strings.Contains(out, "cache-") {
 		t.Fatalf("trace summary missing detail:\n%s", out)
 	}
-	out = serve(t, []string{"-topo", "paper"}, "trace sideways\nquit\n")
+	out = runScript(t, []string{"-topo", "paper"}, "trace sideways\nquit\n")
 	if !strings.Contains(out, "error:") {
 		t.Fatalf("bad trace argument must be a protocol error:\n%s", out)
 	}
 }
 
 func TestServeStatsIncludesHitRateEpochAndLatency(t *testing.T) {
-	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+	out := runScript(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
 		"routefrom 0\nroutefrom 0\nalloc 0 9\nstats\nquit\n")
 	for _, want := range []string{"epoch 1", "hit rate", "lookups 2", "hits 1", "route latency: p50", "p95", "p99", "rebuilds 2"} {
 		if !strings.Contains(out, want) {
@@ -229,7 +229,7 @@ func TestServeStatsIncludesHitRateEpochAndLatency(t *testing.T) {
 }
 
 func TestServeMetricsJSON(t *testing.T) {
-	out := serve(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
+	out := runScript(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
 		"route 0 9\nmetrics\nquit\n")
 	start := strings.Index(out, "{")
 	if start < 0 {
@@ -249,7 +249,7 @@ func TestServeMetricsJSON(t *testing.T) {
 
 func TestServeDebugAddrFlagAndMux(t *testing.T) {
 	// Flag wiring: the service reports the bound address.
-	out := serve(t, []string{"-topo", "paper", "-debug-addr", "127.0.0.1:0"}, "quit\n")
+	out := runScript(t, []string{"-topo", "paper", "-debug-addr", "127.0.0.1:0"}, "quit\n")
 	if !strings.Contains(out, "debug server on 127.0.0.1:") {
 		t.Fatalf("debug server banner missing:\n%s", out)
 	}

@@ -139,7 +139,17 @@ type Engine struct {
 	rebuilds     atomic.Uint64
 	fullRebuilds atomic.Uint64
 	deltaApplies atomic.Uint64
+
+	ownerSeq atomic.Int64
 }
+
+// ReserveOwner mints a process-unique owner ID (1, 2, 3, …) for a
+// subsequent Allocate or RouteAndAllocate. Concurrent front-ends (one
+// serving session per TCP connection, say) must not invent owner IDs
+// independently — Allocate rejects duplicates — so they draw from this
+// shared sequence instead. A reserved ID that is never allocated is
+// simply skipped.
+func (e *Engine) ReserveOwner() int64 { return e.ownerSeq.Add(1) }
 
 // New builds an engine over the installed network nw and publishes the
 // epoch-0 snapshot (the full network: nothing allocated, nothing
@@ -461,11 +471,15 @@ func (e *Engine) FailLink(link int) ([]int64, error) {
 	return riders, nil
 }
 
-// RepairLink returns a failed link to service. Healthy or out-of-range
-// links are a no-op.
+// RepairLink returns a failed link to service. Repairing a healthy
+// link is a no-op; an out-of-range link is ErrLinkRange, mirroring
+// FailLink.
 func (e *Engine) RepairLink(link int) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if link < 0 || link >= e.base.NumLinks() {
+		return fmt.Errorf("%w: %d", ErrLinkRange, link)
+	}
 	if !e.failed[link] {
 		return nil
 	}

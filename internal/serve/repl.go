@@ -1,0 +1,32 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// RunScript drives sess from a stream of command lines — standard
+// input, a -script file, or a test fixture — until the stream ends or a
+// quit command executes. '#' starts a comment. Command errors are part
+// of the protocol: they are rendered as "error:" lines on the session's
+// writer and never terminate the run. This is the REPL the wdmserve
+// binary has always exposed; the TCP server (tcp.go) speaks the same
+// protocol with the same rendering, one session per connection.
+func RunScript(sess *Session, r io.Reader) error {
+	scanner := bufio.NewScanner(r)
+	for scanner.Scan() {
+		line := CleanLine(scanner.Text())
+		if line == "" {
+			continue
+		}
+		quit, err := sess.Exec(line)
+		if err != nil {
+			fmt.Fprintf(sess.w, "error: %v\n", err)
+		}
+		if quit {
+			return nil
+		}
+	}
+	return scanner.Err()
+}

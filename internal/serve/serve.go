@@ -1,0 +1,339 @@
+// Package serve implements the wdmserve line protocol — parsing,
+// dispatch against a shared routing engine, and reply encoding —
+// independently of any particular transport. The stdin REPL, the
+// -script runner and the TCP server (tcp.go) all execute commands
+// through the same Session, so protocol behaviour (including every
+// error string) is defined exactly once.
+//
+// A Session is the per-client execution context: it holds the client's
+// reply writer and per-client toggles (trace on/off) while sharing the
+// engine — and therefore epochs, leases and telemetry — with every
+// other session in the process. Lease IDs come from the engine's
+// process-wide sequence (engine.ReserveOwner), so sessions on different
+// connections can allocate concurrently without colliding.
+//
+// Sessions are not safe for concurrent use; one goroutine drives each
+// (the engine underneath is concurrency-safe). Replies are written in
+// the same line-oriented format the original REPL produced, byte for
+// byte, so scripted deployments survive the transport change.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"lightpath/internal/core"
+	"lightpath/internal/engine"
+	"lightpath/internal/obs"
+)
+
+// SessionOptions configures a Session.
+type SessionOptions struct {
+	// Workers sets the batch verb's worker pool size (0 = GOMAXPROCS).
+	Workers int
+	// Telemetry, when non-nil, records per-verb request latencies and
+	// outcome counters. Sessions sharing an engine should share one
+	// Telemetry built from that engine's registry.
+	Telemetry *Telemetry
+}
+
+// Session executes protocol commands for one client against a shared
+// engine.
+type Session struct {
+	eng     *engine.Engine
+	w       io.Writer
+	workers int
+	tel     *Telemetry
+	tracing bool // trace on: append a trace summary to route/alloc answers
+}
+
+// NewSession builds the execution context for one client writing its
+// replies to w.
+func NewSession(eng *engine.Engine, w io.Writer, opts *SessionOptions) *Session {
+	s := &Session{eng: eng, w: w}
+	if opts != nil {
+		s.workers = opts.Workers
+		s.tel = opts.Telemetry
+	}
+	return s
+}
+
+// CleanLine strips a trailing '#' comment and surrounding whitespace;
+// an empty result means the line carries no command.
+func CleanLine(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+// Exec runs one command line; the bool result requests shutdown. A
+// non-nil error is a protocol-level answer (blocked request, bad
+// arguments, unknown lease) the transport should render as an "error:"
+// line — it never means the session is broken. Blank lines are no-ops.
+func (s *Session) Exec(line string) (quit bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return false, nil
+	}
+	cmd := fields[0]
+	if s.tel != nil {
+		start := time.Now()
+		defer func() { s.tel.observe(cmd, time.Since(start), err) }()
+	}
+	return s.exec(cmd, fields[1:])
+}
+
+// exec dispatches one parsed command.
+func (s *Session) exec(cmd string, rest []string) (bool, error) {
+	// trace takes a keyword argument, every other verb integers.
+	if cmd == "trace" {
+		return false, s.execTrace(rest)
+	}
+	ints := make([]int, len(rest))
+	for i, f := range rest {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return false, fmt.Errorf("%s: bad argument %q", cmd, f)
+		}
+		ints[i] = v
+	}
+	argc := func(want int) error {
+		if len(ints) != want {
+			return fmt.Errorf("%s: want %d arguments, got %d", cmd, want, len(ints))
+		}
+		return nil
+	}
+
+	switch cmd {
+	case "route":
+		if err := argc(2); err != nil {
+			return false, err
+		}
+		if s.tracing {
+			res, tr, err := s.eng.TraceRoute(ints[0], ints[1])
+			if err != nil {
+				if tr != nil {
+					fmt.Fprintf(s.w, "  %s\n", tr)
+				}
+				return false, err
+			}
+			s.printResult(res)
+			fmt.Fprintf(s.w, "  %s\n", tr)
+			return false, nil
+		}
+		res, err := s.eng.Route(ints[0], ints[1])
+		if err != nil {
+			return false, err
+		}
+		s.printResult(res)
+	case "explain":
+		if err := argc(2); err != nil {
+			return false, err
+		}
+		res, tr, err := s.eng.TraceRoute(ints[0], ints[1])
+		if err != nil {
+			if tr != nil {
+				fmt.Fprintf(s.w, "explain %d -> %d: blocked after settling %d of %d aux nodes\n",
+					ints[0], ints[1], tr.Settled, tr.AuxNodes)
+			}
+			return false, err
+		}
+		s.printExplain(res, tr)
+	case "routefrom":
+		if err := argc(1); err != nil {
+			return false, err
+		}
+		st, err := s.eng.RouteFrom(ints[0])
+		if err != nil {
+			return false, err
+		}
+		n := s.eng.Base().NumNodes()
+		for t := 0; t < n; t++ {
+			if !st.Reachable(t) {
+				fmt.Fprintf(s.w, "  %d -> %d: unreachable\n", ints[0], t)
+				continue
+			}
+			fmt.Fprintf(s.w, "  %d -> %d: cost %g\n", ints[0], t, st.Dist(t))
+		}
+	case "kshortest":
+		if err := argc(3); err != nil {
+			return false, err
+		}
+		paths, err := s.eng.KShortest(ints[0], ints[1], ints[2])
+		if err != nil {
+			return false, err
+		}
+		for i, p := range paths {
+			fmt.Fprintf(s.w, "  #%d cost %g  %s\n", i+1, p.Cost, p.Path.String(s.eng.Base()))
+		}
+	case "protect":
+		if err := argc(2); err != nil {
+			return false, err
+		}
+		pair, err := s.eng.RouteProtected(ints[0], ints[1], nil)
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(s.w, "  primary cost %g  %s\n", pair.Primary.Cost, pair.Primary.Path.String(s.eng.Base()))
+		fmt.Fprintf(s.w, "  backup  cost %g  %s\n", pair.Backup.Cost, pair.Backup.Path.String(s.eng.Base()))
+	case "batch":
+		if len(ints) == 0 || len(ints)%2 != 0 {
+			return false, fmt.Errorf("batch: want an even number of endpoints")
+		}
+		reqs := make([]engine.Request, 0, len(ints)/2)
+		for i := 0; i < len(ints); i += 2 {
+			reqs = append(reqs, engine.Request{From: ints[i], To: ints[i+1]})
+		}
+		snap := s.eng.Snapshot()
+		out := snap.RouteBatch(reqs, s.workers)
+		fmt.Fprintf(s.w, "batch of %d at epoch %d:\n", len(reqs), snap.Epoch())
+		for _, r := range out {
+			switch {
+			case errors.Is(r.Err, core.ErrNoRoute):
+				fmt.Fprintf(s.w, "  %d -> %d: blocked\n", r.From, r.To)
+			case r.Err != nil:
+				fmt.Fprintf(s.w, "  %d -> %d: error: %v\n", r.From, r.To, r.Err)
+			default:
+				fmt.Fprintf(s.w, "  %d -> %d: cost %g\n", r.From, r.To, r.Result.Cost)
+			}
+		}
+	case "alloc":
+		if err := argc(2); err != nil {
+			return false, err
+		}
+		lease := s.eng.ReserveOwner()
+		var (
+			res *core.Result
+			tr  *obs.RouteTrace
+			err error
+		)
+		if s.tracing {
+			res, tr, err = s.eng.RouteAndAllocateTraced(lease, ints[0], ints[1])
+		} else {
+			res, err = s.eng.RouteAndAllocate(lease, ints[0], ints[1])
+		}
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(s.w, "lease %d (epoch %d): ", lease, s.eng.Epoch())
+		s.printResult(res)
+		if tr != nil {
+			fmt.Fprintf(s.w, "  %s\n", tr)
+		}
+	case "release":
+		if err := argc(1); err != nil {
+			return false, err
+		}
+		if err := s.eng.Release(int64(ints[0])); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(s.w, "released %d (epoch %d)\n", ints[0], s.eng.Epoch())
+	case "fail":
+		if err := argc(1); err != nil {
+			return false, err
+		}
+		riders, err := s.eng.FailLink(ints[0])
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(s.w, "failed link %d (epoch %d), riding leases: %v\n", ints[0], s.eng.Epoch(), riders)
+	case "repair":
+		if err := argc(1); err != nil {
+			return false, err
+		}
+		if err := s.eng.RepairLink(ints[0]); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(s.w, "repaired link %d (epoch %d)\n", ints[0], s.eng.Epoch())
+	case "epoch":
+		fmt.Fprintf(s.w, "epoch %d\n", s.eng.Epoch())
+	case "stats":
+		st := s.eng.Stats()
+		cs := s.eng.CacheStats()
+		snap := s.eng.Metrics().Snapshot()
+		fmt.Fprintf(s.w, "epoch %d  allocs %d  releases %d  conflicts %d  owners %d  held %d  util %.3f\n",
+			st.Epoch, st.Allocations, st.Releases, st.Conflicts, st.ActiveOwners, st.HeldChannels,
+			s.eng.Utilization())
+		fmt.Fprintf(s.w, "cache: %d/%d entries  lookups %d  hits %d  misses %d  evictions %d  hit rate %.3f\n",
+			cs.Size, cs.Capacity, cs.Lookups, cs.Hits, cs.Misses, cs.Evictions, cs.HitRate())
+		lat := snap["engine_route_latency_ns"].(obs.HistogramSnapshot)
+		fmt.Fprintf(s.w, "routes %d (blocked %d, traced %d)  retries %d  rebuilds %d\n",
+			snap["engine_routes_total"], snap["engine_routes_blocked_total"],
+			snap["engine_traced_routes_total"], snap["engine_alloc_retries_total"], st.Rebuilds)
+		fmt.Fprintf(s.w, "route latency: p50 %s  p95 %s  p99 %s  (n=%d, max %s)\n",
+			nsDuration(lat.P50), nsDuration(lat.P95), nsDuration(lat.P99), lat.Count, nsDuration(lat.Max))
+	case "metrics":
+		if err := s.eng.Metrics().WriteJSON(s.w); err != nil {
+			return false, err
+		}
+	case "quit", "exit":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown command %q", cmd)
+	}
+	return false, nil
+}
+
+// execTrace toggles (or reports) per-answer trace summaries.
+func (s *Session) execTrace(args []string) error {
+	switch {
+	case len(args) == 0:
+		state := "off"
+		if s.tracing {
+			state = "on"
+		}
+		fmt.Fprintf(s.w, "trace %s\n", state)
+		return nil
+	case len(args) == 1 && args[0] == "on":
+		s.tracing = true
+		fmt.Fprintln(s.w, "trace on")
+		return nil
+	case len(args) == 1 && args[0] == "off":
+		s.tracing = false
+		fmt.Fprintln(s.w, "trace off")
+		return nil
+	default:
+		return fmt.Errorf("trace: want on|off, got %q", strings.Join(args, " "))
+	}
+}
+
+// printExplain renders the per-hop Eq. (1) cost anatomy of a traced
+// route: which junction paid which conversion, what each link
+// traversal cost, and the totals that reconcile to the route cost.
+func (s *Session) printExplain(res *core.Result, tr *obs.RouteTrace) {
+	cacheState := "cache miss"
+	if tr.CacheHit {
+		cacheState = "cache hit"
+	}
+	fmt.Fprintf(s.w, "explain %d -> %d (epoch %d, %s, %s)\n",
+		tr.Source, tr.Dest, tr.Epoch, cacheState, tr.Elapsed)
+	if len(tr.Hops) == 0 {
+		fmt.Fprintln(s.w, "  trivial path (source == destination)")
+		return
+	}
+	for i, h := range tr.Hops {
+		fmt.Fprintf(s.w, "  hop %d: %d -[λ%d]-> %d  conv %g + link %g  (cum %g)\n",
+			i+1, h.From, h.Wavelength+1, h.To, h.ConvCost, h.LinkCost, h.Cumulative)
+	}
+	fmt.Fprintf(s.w, "  totals: links %g + conversions %g = %g\n",
+		tr.LinkCostTotal(), tr.ConvCostTotal(), tr.LinkCostTotal()+tr.ConvCostTotal())
+	fmt.Fprintf(s.w, "  cost %g  %s\n", res.Cost, res.Path.String(s.eng.Base()))
+	fmt.Fprintf(s.w, "  search: aux %d nodes / %d arcs, settled %d, relaxed %d, conversions %d/%d taken/available\n",
+		tr.AuxNodes, tr.AuxArcs, tr.Settled, tr.Relaxed, tr.ConversionsTaken, tr.ConversionsAvailable)
+}
+
+// nsDuration renders a nanosecond quantity from a histogram as a
+// human-readable duration.
+func nsDuration(ns float64) time.Duration {
+	return time.Duration(ns) * time.Nanosecond
+}
+
+// printResult renders one routing answer.
+func (s *Session) printResult(res *core.Result) {
+	fmt.Fprintf(s.w, "cost %g  %s\n", res.Cost, res.Path.String(s.eng.Base()))
+}

@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"lightpath/internal/engine"
+)
+
+// DefaultQueueDepth is the admission-queue capacity when
+// ServerConfig.QueueDepth is zero.
+const DefaultQueueDepth = 64
+
+// ServerConfig tunes the TCP front-end's overload and timeout policy.
+type ServerConfig struct {
+	// QueueDepth bounds how many requests may be admitted (executing or
+	// waiting for an execution slot) at once, across all connections.
+	// When the queue is full, further requests are shed with a "busy"
+	// reply instead of queueing unboundedly. Zero means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// RequestTimeout bounds how long a request may wait for an
+	// admission slot before it is shed; execution itself (microseconds
+	// against a compiled snapshot) is not interruptible. <= 0 sheds
+	// immediately whenever the queue is full.
+	RequestTimeout time.Duration
+	// IdleTimeout is the per-connection read deadline between requests;
+	// a client silent for longer is disconnected. 0 means no limit.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds flushing one reply to a connection. 0 means
+	// no limit.
+	WriteTimeout time.Duration
+	// Workers sets each session's batch worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Telemetry receives connection/shed/latency instruments; nil
+	// disables serve-layer metrics.
+	Telemetry *Telemetry
+
+	// testExecDelay artificially lengthens request execution while the
+	// admission slot is held — package tests use it to make shedding and
+	// drain timing deterministic. Unexported: only in-package tests can
+	// set it.
+	testExecDelay time.Duration
+}
+
+// Server accepts TCP clients speaking the wdmserve line protocol, one
+// Session per connection, all sharing one engine. Replies are exactly
+// what the stdin REPL prints, plus one transport-level reply the REPL
+// never needs: a lone "busy" line when the admission queue sheds the
+// request.
+//
+// The zero value is not usable; build with NewServer, run with Serve,
+// stop with Shutdown (graceful drain).
+type Server struct {
+	eng     *engine.Engine
+	cfg     ServerConfig
+	slots   chan struct{}
+	drainCh chan struct{}
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// NewServer builds a TCP front-end over eng.
+func NewServer(eng *engine.Engine, cfg *ServerConfig) *Server {
+	s := &Server{eng: eng, drainCh: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+	if cfg != nil {
+		s.cfg = *cfg
+	}
+	if s.cfg.QueueDepth <= 0 {
+		s.cfg.QueueDepth = DefaultQueueDepth
+	}
+	s.slots = make(chan struct{}, s.cfg.QueueDepth)
+	return s
+}
+
+// Serve accepts connections on ln until Shutdown (or a listener error)
+// and blocks for the lifetime of the accept loop. Connection handlers
+// run in their own goroutines and may outlive Serve; Shutdown waits for
+// them.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining() {
+				return nil
+			}
+			return fmt.Errorf("serve: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.draining() {
+			// Raced with Shutdown: the listener was closed after this
+			// accept succeeded. Refuse the connection.
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Shutdown drains the server: it stops accepting, lets every
+// in-flight request finish and its reply flush, then closes the
+// connections. Requests already queued but not yet admitted are shed.
+// If ctx expires first, remaining connections are force-closed and a
+// non-nil error reports how many. Nothing is released implicitly:
+// leases held by clients survive the drain (teardown policy belongs to
+// the operator, exactly as with the REPL).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	select {
+	case <-s.drainCh:
+	default:
+		close(s.drainCh)
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Unblock reads waiting for the next request: a connection parked
+	// in Read has nothing in flight, so its handler can exit now. A
+	// handler mid-request finishes and flushes first (it only returns
+	// to Read after replying).
+	for conn := range s.conns {
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		forced := len(s.conns)
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return fmt.Errorf("serve: drain deadline exceeded, force-closed %d connections", forced)
+	}
+}
+
+// draining reports whether Shutdown has begun.
+func (s *Server) draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// handle drives one connection: read a line, admit it through the
+// bounded queue (or shed with "busy"), execute it on the connection's
+// session, flush the reply.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		if s.cfg.Telemetry != nil {
+			s.cfg.Telemetry.ConnClosed()
+		}
+	}()
+	if s.cfg.Telemetry != nil {
+		s.cfg.Telemetry.ConnOpened()
+	}
+
+	out := bufio.NewWriter(conn)
+	sess := NewSession(s.eng, out, &SessionOptions{Workers: s.cfg.Workers, Telemetry: s.cfg.Telemetry})
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		if !scanner.Scan() {
+			return // EOF, idle timeout, or a drain-induced deadline
+		}
+		line := CleanLine(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if s.draining() {
+			return // request arrived after drain began: refuse it
+		}
+		if !s.admit() {
+			if s.cfg.Telemetry != nil {
+				s.cfg.Telemetry.Shed()
+			}
+			fmt.Fprintln(out, "busy")
+			if !s.flush(conn, out) {
+				return
+			}
+			continue
+		}
+		if s.cfg.testExecDelay > 0 {
+			time.Sleep(s.cfg.testExecDelay)
+		}
+		quit, err := sess.Exec(line)
+		<-s.slots
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+		}
+		if !s.flush(conn, out) {
+			return
+		}
+		if quit || s.draining() {
+			return
+		}
+	}
+}
+
+// admit claims an admission slot, waiting at most RequestTimeout (not
+// at all when the timeout is zero, and never past the start of a
+// drain). A false result means the request must be shed.
+func (s *Server) admit() bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if s.cfg.RequestTimeout <= 0 {
+		return false
+	}
+	t := time.NewTimer(s.cfg.RequestTimeout)
+	defer t.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-s.drainCh:
+		return false
+	}
+}
+
+// flush pushes one buffered reply to the wire under WriteTimeout; a
+// false result means the connection is unusable.
+func (s *Server) flush(conn net.Conn, out *bufio.Writer) bool {
+	if s.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	return out.Flush() == nil
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"time"
+
+	"lightpath/internal/obs"
+)
+
+// Telemetry is the serve layer's slice of the shared metrics registry:
+// connection and request counters, the shed counter the load-shedding
+// admission queue increments, and request latency histograms — one
+// overall plus one per protocol verb, so a saturated deployment can see
+// which verb class is paying (batch and routefrom fan out, alloc
+// publishes an epoch, route is read-only).
+//
+// Build one Telemetry per engine registry and share it across every
+// session and server on that engine; all instruments are atomics.
+type Telemetry struct {
+	connsActive *obs.Gauge   // serve_connections_active
+	connsTotal  *obs.Counter // serve_connections_total
+	requests    *obs.Counter // serve_requests_total
+	errors      *obs.Counter // serve_request_errors_total
+	shed        *obs.Counter // serve_shed_total
+	reqLatency  *obs.Histogram
+	verbLatency map[string]*obs.Histogram
+}
+
+// NewTelemetry registers (or re-binds, get-or-create) the serve-layer
+// instruments on reg.
+func NewTelemetry(reg *obs.Registry) *Telemetry {
+	b := obs.DefaultLatencyBuckets()
+	return &Telemetry{
+		connsActive: reg.Gauge("serve_connections_active"),
+		connsTotal:  reg.Counter("serve_connections_total"),
+		requests:    reg.Counter("serve_requests_total"),
+		errors:      reg.Counter("serve_request_errors_total"),
+		shed:        reg.Counter("serve_shed_total"),
+		reqLatency:  reg.Histogram("serve_request_latency_ns", b),
+		verbLatency: map[string]*obs.Histogram{
+			"route":     reg.Histogram("serve_verb_route_latency_ns", b),
+			"routefrom": reg.Histogram("serve_verb_routefrom_latency_ns", b),
+			"kshortest": reg.Histogram("serve_verb_kshortest_latency_ns", b),
+			"protect":   reg.Histogram("serve_verb_protect_latency_ns", b),
+			"batch":     reg.Histogram("serve_verb_batch_latency_ns", b),
+			"alloc":     reg.Histogram("serve_verb_alloc_latency_ns", b),
+			"release":   reg.Histogram("serve_verb_release_latency_ns", b),
+			"fail":      reg.Histogram("serve_verb_fail_latency_ns", b),
+			"repair":    reg.Histogram("serve_verb_repair_latency_ns", b),
+			"epoch":     reg.Histogram("serve_verb_epoch_latency_ns", b),
+			"stats":     reg.Histogram("serve_verb_stats_latency_ns", b),
+			"explain":   reg.Histogram("serve_verb_explain_latency_ns", b),
+			"trace":     reg.Histogram("serve_verb_trace_latency_ns", b),
+			"metrics":   reg.Histogram("serve_verb_metrics_latency_ns", b),
+		},
+	}
+}
+
+// observe records one executed request (sheds never reach here — they
+// are counted where the admission queue rejects them).
+func (t *Telemetry) observe(verb string, elapsed time.Duration, err error) {
+	t.requests.Inc()
+	if err != nil {
+		t.errors.Inc()
+	}
+	t.reqLatency.ObserveDuration(elapsed)
+	if h, ok := t.verbLatency[verb]; ok {
+		h.ObserveDuration(elapsed)
+	}
+}
+
+// Shed counts one request rejected by the admission queue.
+func (t *Telemetry) Shed() { t.shed.Inc() }
+
+// ConnOpened / ConnClosed track the live-connection gauge and the
+// lifetime connection counter.
+func (t *Telemetry) ConnOpened() {
+	t.connsTotal.Inc()
+	t.connsActive.Add(1)
+}
+
+// ConnClosed records one connection teardown.
+func (t *Telemetry) ConnClosed() { t.connsActive.Add(-1) }

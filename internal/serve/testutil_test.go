@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"flag"
+	"net"
+	"testing"
+	"time"
+
+	"lightpath/internal/cli"
+	"lightpath/internal/engine"
+	"lightpath/internal/wdm"
+)
+
+// buildNetErr resolves cli-style instance flags ("-topo", "nsfnet",
+// ...) into a network, exactly the way the wdmserve binary does, so
+// tests here and client-side oracles see the same deterministic
+// instance. The error form exists for callers without a testing.TB
+// (the fuzz worker's sync.Once).
+func buildNetErr(args ...string) (*wdm.Network, error) {
+	var nf cli.NetFlags
+	fs := flag.NewFlagSet("serve-test", flag.ContinueOnError)
+	nf.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return nf.Build()
+}
+
+// buildNet is buildNetErr failing the test on error.
+func buildNet(t testing.TB, args ...string) *wdm.Network {
+	t.Helper()
+	nw, err := buildNetErr(args...)
+	if err != nil {
+		t.Fatalf("build net: %v", err)
+	}
+	return nw
+}
+
+// newEngine builds an engine over the given instance flags.
+func newEngine(t testing.TB, args ...string) *engine.Engine {
+	t.Helper()
+	eng, err := engine.New(buildNet(t, args...), nil)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	return eng
+}
+
+// startServer runs a Server on a loopback listener and tears it down
+// (with a generous drain budget) at test end. It returns the server and
+// its dialable address.
+func startServer(t testing.TB, eng *engine.Engine, cfg *ServerConfig) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := NewServer(eng, cfg)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("cleanup shutdown: %v", err)
+		}
+		if err := <-errCh; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+// dialT dials the test server, failing the test on error.
+func dialT(t testing.TB, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.SetDeadline(time.Now().Add(30 * time.Second)); err != nil {
+		t.Fatalf("deadline: %v", err)
+	}
+	return c
+}

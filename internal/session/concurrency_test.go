@@ -1,0 +1,136 @@
+package session
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"lightpath/internal/topo"
+	"lightpath/internal/workload"
+)
+
+// TestManagerConcurrentAdmitRelease hammers one Manager from many
+// goroutines mixing every admission policy with releases, protected
+// pairs, fiber cuts and stats reads. Under -race this proves the
+// manager's bookkeeping is serialized correctly; the final invariants
+// prove no circuit or channel leaks through the interleavings.
+func TestManagerConcurrentAdmitRelease(t *testing.T) {
+	nw, err := workload.Build(topo.NSFNET(), workload.Spec{
+		K: 8, AvailProb: 0.8, Conv: workload.ConvUniform, ConvCost: 0.5,
+	}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	iters := 200
+	if testing.Short() {
+		iters = 50
+	}
+	n := nw.NumNodes()
+	var wg sync.WaitGroup
+	leftover := make([][]ID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 100))
+			var mine []ID
+			policies := []Policy{PolicyOptimal, PolicyFirstFit, PolicyMostUsed, PolicyLeastUsed, PolicyRandomFit}
+			for i := 0; i < iters; i++ {
+				s := rng.Intn(n)
+				d := rng.Intn(n - 1)
+				if d >= s {
+					d++
+				}
+				switch op := rng.Intn(10); {
+				case op < 5: // admit with a random policy
+					c, err := m.AdmitPolicy(s, d, policies[rng.Intn(len(policies))])
+					if err != nil && !errors.Is(err, ErrBlocked) {
+						t.Errorf("worker %d: admit: %v", w, err)
+						return
+					}
+					if c != nil {
+						mine = append(mine, c.ID)
+					}
+				case op < 6: // protected pair; track both halves — a fiber
+					// cut can promote the backup to stand-alone, after
+					// which releasing the primary no longer cascades
+					p, b, err := m.AdmitProtected(s, d)
+					if err != nil && !errors.Is(err, ErrBlocked) {
+						t.Errorf("worker %d: protected: %v", w, err)
+						return
+					}
+					if p != nil {
+						mine = append(mine, b.ID, p.ID)
+					}
+				case op < 9: // release one of ours (cuts may have beaten us to it)
+					if len(mine) == 0 {
+						continue
+					}
+					id := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if err := m.Release(id); err != nil && !errors.Is(err, ErrUnknownSession) {
+						t.Errorf("worker %d: release %d: %v", w, id, err)
+						return
+					}
+				default: // worker 0 cuts fibers; everyone else reads stats
+					if w == 0 {
+						link := rng.Intn(nw.NumLinks())
+						if _, err := m.FailLink(link); err != nil {
+							t.Errorf("worker 0: fail %d: %v", link, err)
+							return
+						}
+						if err := m.RepairLink(link); err != nil {
+							t.Errorf("worker 0: repair %d: %v", link, err)
+							return
+						}
+					} else {
+						_ = m.Stats()
+						_ = m.ActiveCircuits()
+						_ = m.Utilization()
+					}
+				}
+			}
+			leftover[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Drain every circuit the workers still hold. Fiber cuts and backup
+	// cascades may have torn some down already; that must surface as
+	// ErrUnknownSession, never as corruption.
+	for w, ids := range leftover {
+		for _, id := range ids {
+			if err := m.Release(id); err != nil && !errors.Is(err, ErrUnknownSession) {
+				t.Fatalf("drain worker %d circuit %d: %v", w, id, err)
+			}
+		}
+	}
+
+	st := m.Stats()
+	if got := m.ActiveCircuits(); got != 0 {
+		t.Errorf("%d circuits active after drain", got)
+	}
+	if st.Admitted-st.Released != m.ActiveCircuits() {
+		t.Errorf("admitted %d - released %d != active %d", st.Admitted, st.Released, m.ActiveCircuits())
+	}
+	if held := m.Engine().HeldChannels(); held != 0 {
+		t.Errorf("%d channels still held after drain", held)
+	}
+	if st.Admitted == 0 || st.Blocked == 0 {
+		t.Errorf("degenerate run (admitted %d, blocked %d): tune the load", st.Admitted, st.Blocked)
+	}
+	es := m.Engine().Stats()
+	if es.Allocations-es.Releases != uint64(es.ActiveOwners) {
+		t.Errorf("engine lease accounting diverged: %+v", es)
+	}
+}

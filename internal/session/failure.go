@@ -26,6 +26,8 @@ type FailureReport struct {
 // residual snapshot and the fixed-route heuristics both treat them as
 // channel-less.
 func (m *Manager) FailLink(link int) (*FailureReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if link < 0 || link >= m.base.NumLinks() {
 		return nil, fmt.Errorf("session: link %d out of range", link)
 	}
@@ -61,7 +63,7 @@ func (m *Manager) FailLink(link int) (*FailureReport, error) {
 				continue
 			}
 		}
-		if err := m.Release(id); err != nil {
+		if err := m.releaseLocked(id); err != nil {
 			return nil, fmt.Errorf("session: teardown after failure: %w", err)
 		}
 		report.Dropped = append(report.Dropped, id)
@@ -70,9 +72,14 @@ func (m *Manager) FailLink(link int) (*FailureReport, error) {
 }
 
 // RepairLink returns a failed link to service. Unknown or healthy links
-// are a no-op. The error surfaces a failed snapshot rebuild — the
-// repaired capacity is not routable until a later mutation succeeds.
+// are a no-op (the engine's stricter range error is swallowed here to
+// keep repair idempotent for operators replaying failure logs). The
+// error surfaces a failed snapshot rebuild — the repaired capacity is
+// not routable until a later mutation succeeds.
 func (m *Manager) RepairLink(link int) error {
+	if link < 0 || link >= m.base.NumLinks() {
+		return nil
+	}
 	return m.eng.RepairLink(link)
 }
 

@@ -44,9 +44,11 @@ func (p Policy) String() string {
 
 // AdmitPolicy admits a circuit with the chosen policy. See Admit.
 func (m *Manager) AdmitPolicy(s, t int, policy Policy) (*Circuit, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	switch policy {
 	case 0, PolicyOptimal:
-		return m.Admit(s, t)
+		return m.admitOptimal(s, t)
 	case PolicyFirstFit:
 		return m.admitFirstFit(s, t)
 	case PolicyMostUsed:

@@ -17,6 +17,8 @@ import (
 // Protection admission blocks when either path cannot be provisioned;
 // nothing is claimed on failure (all-or-nothing).
 func (m *Manager) AdmitProtected(s, t int) (primary, backup *Circuit, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	start := time.Now()
 	defer func() { m.tele.admitLatency.ObserveDuration(time.Since(start)) }()
 	pair, err := m.eng.RouteProtected(s, t, &core.ProtectOptions{

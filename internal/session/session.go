@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"lightpath/internal/core"
@@ -68,9 +69,13 @@ func (s Stats) BlockingProbability() float64 {
 
 // Manager admits and releases circuits. Channel occupancy lives in the
 // embedded routing engine (circuit IDs double as engine owner IDs).
-// Manager is not safe for concurrent use; the engine underneath is, so
-// wrap only the Manager's own bookkeeping if needed.
+// Manager is safe for concurrent use: one mutex serializes its own
+// bookkeeping (admission is check-then-claim, so the heuristic policies
+// depend on the occupancy they just observed staying put). Read-only
+// routing queries scale concurrently through Engine(), which never
+// takes the manager's lock.
 type Manager struct {
+	mu      sync.Mutex // guards every field below; engine has its own locking
 	base    *wdm.Network
 	eng     *engine.Engine
 	tele    sessionTelemetry
@@ -149,20 +154,34 @@ func (m *Manager) Engine() *engine.Engine { return m.eng }
 
 // SetQueue overrides the Dijkstra queue used for admission routing.
 func (m *Manager) SetQueue(kind graph.QueueKind) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.queue = kind
 	m.eng.SetQueue(kind)
 }
 
 // Stats returns the admission counters so far.
-func (m *Manager) Stats() Stats { return m.stats }
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
 
 // ActiveCircuits reports the number of circuits currently holding
 // channels.
-func (m *Manager) ActiveCircuits() int { return len(m.active) }
+func (m *Manager) ActiveCircuits() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
 
 // PeakActiveCircuits reports the maximum concurrently-active circuits
 // observed.
-func (m *Manager) PeakActiveCircuits() int { return m.maxHeld }
+func (m *Manager) PeakActiveCircuits() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxHeld
+}
 
 // Utilization is the fraction of installed (link, wavelength) channels
 // currently held by circuits.
@@ -179,6 +198,13 @@ func (m *Manager) Residual() (*wdm.Network, error) {
 // success, claims its channels. A nil error means the circuit is active
 // until Release.
 func (m *Manager) Admit(s, t int) (*Circuit, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.admitOptimal(s, t)
+}
+
+// admitOptimal is Admit's body; callers hold m.mu.
+func (m *Manager) admitOptimal(s, t int) (*Circuit, error) {
 	start := time.Now()
 	defer func() { m.tele.admitLatency.ObserveDuration(time.Since(start)) }()
 	result, err := m.eng.RouteAndAllocate(int64(m.nextID+1), s, t)
@@ -210,6 +236,14 @@ func (m *Manager) register(c *Circuit) {
 // Release tears the circuit down, freeing its channels. Releasing a
 // protected primary (see AdmitProtected) also releases its backup.
 func (m *Manager) Release(id ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.releaseLocked(id)
+}
+
+// releaseLocked is Release's body; callers hold m.mu (FailLink's
+// teardown cascade reuses it under its own critical section).
+func (m *Manager) releaseLocked(id ID) error {
 	_, ok := m.active[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownSession, id)

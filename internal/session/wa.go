@@ -36,6 +36,8 @@ func (m *Manager) waRand() *rand.Rand {
 
 // SeedRandomFit reseeds the PolicyRandomFit wavelength picker.
 func (m *Manager) SeedRandomFit(seed int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.rng = rand.New(rand.NewSource(seed))
 }
 

@@ -1,0 +1,98 @@
+#!/bin/sh
+# bench_serve.sh — regenerate BENCH_serve.json, the committed record of
+# the TCP service soak, in two phases against live wdmserve processes:
+#
+#   soak      64 closed-loop connections, 50k mixed route/alloc/release
+#             requests against NSFNET: throughput, latency quantiles and
+#             WDM blocking rate. Requests are microseconds here, so the
+#             admission queue never fills — the phase asserts zero
+#             protocol errors and a graceful SIGTERM drain.
+#   overload  the shedding demonstration: a large instance with the
+#             SourceTree cache disabled makes every route ~10ms, and a
+#             depth-2 immediate-shed queue under 64 connections must
+#             answer "busy" (not hang). The phase asserts sheds > 0 and,
+#             again, zero protocol errors and a graceful drain.
+#
+# Both reports land in BENCH_serve.json as {"soak": ..., "overload": ...}.
+# Tunables (env): ADDR, CONNS, REQUESTS, QUEUE_DEPTH, SEED, OUT.
+set -eu
+
+ADDR=${ADDR:-127.0.0.1:7421}
+CONNS=${CONNS:-64}
+REQUESTS=${REQUESTS:-50000}
+QUEUE_DEPTH=${QUEUE_DEPTH:-8}
+SEED=${SEED:-1}
+OUT=${OUT:-BENCH_serve.json}
+
+cd "$(dirname "$0")/.."
+mkdir -p bin
+${GO:-go} build -o bin/wdmserve ./cmd/wdmserve
+${GO:-go} build -o bin/wdmload ./cmd/wdmload
+
+SRV=""
+LOG=bin/bench_serve.log
+trap '[ -n "$SRV" ] && kill "$SRV" 2>/dev/null || true' EXIT
+
+# start_server <wdmserve flags...>: launch and wait for the listener.
+start_server() {
+    rm -f "$LOG"
+    bin/wdmserve -listen "$ADDR" "$@" >"$LOG" 2>&1 &
+    SRV=$!
+    i=0
+    until grep -q "listening on" "$LOG" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 300 ] || ! kill -0 "$SRV" 2>/dev/null; then
+            echo "bench_serve: server failed to start:" >&2
+            cat "$LOG" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+# stop_server: SIGTERM, require clean exit and a graceful drain line.
+stop_server() {
+    kill -TERM "$SRV"
+    if ! wait "$SRV"; then
+        echo "bench_serve: server exited nonzero after SIGTERM:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    SRV=""
+    if ! grep -q "drained in" "$LOG"; then
+        echo "bench_serve: no graceful drain in server log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    cat "$LOG"
+}
+
+echo "=== phase 1: throughput soak (nsfnet, $CONNS conns, $REQUESTS requests) ==="
+start_server -topo nsfnet -k 8 -seed "$SEED" \
+    -queue-depth "$QUEUE_DEPTH" -request-timeout 1ms -drain-timeout 10s
+bin/wdmload -addr "$ADDR" -conns "$CONNS" -requests "$REQUESTS" \
+    -seed "$SEED" -json bin/bench_soak.json
+stop_server
+
+echo "=== phase 2: overload probe (slow routes, depth-2 queue, immediate shed) ==="
+start_server -topo waxman -n 1200 -k 8 -seed "$SEED" -cache -1 \
+    -queue-depth 2 -request-timeout 0s -drain-timeout 10s
+bin/wdmload -addr "$ADDR" -conns "$CONNS" -requests 1024 \
+    -mix route=1 -seed "$SEED" -timeout 30s -json bin/bench_overload.json
+stop_server
+if grep -q '"shed": 0,' bin/bench_overload.json; then
+    echo "bench_serve: overload phase produced no sheds — queue policy broken?" >&2
+    cat bin/bench_overload.json >&2
+    exit 1
+fi
+
+{
+    printf '{\n"soak": '
+    cat bin/bench_soak.json
+    printf ',\n"overload": '
+    cat bin/bench_overload.json
+    printf '}\n'
+} >"$OUT"
+
+echo "--- $OUT ---"
+cat "$OUT"
