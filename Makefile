@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-hot vet lint lint-vet verify bench-engine bench-obs bench-churn bench-smoke fuzz-smoke bench-serve
+.PHONY: all build test race race-hot race-obs vet lint lint-vet verify bench-engine bench-obs bench-churn bench-smoke fuzz-smoke bench-serve
 
 all: verify
 
@@ -46,10 +46,19 @@ verify: build vet lint test race-hot race
 bench-engine:
 	$(GO) run ./cmd/wdmbench -experiment "" -engine-json BENCH_engine.json
 
-# Regenerate the committed telemetry overhead record (tracer off/on vs
-# the uninstrumented core route).
+# Regenerate the committed telemetry overhead record (tracer off/on and
+# flight recorder on vs the uninstrumented core route) and gate the
+# always-on contracts: tracer-off overhead <= 1% of baseline, zero
+# allocations on the recorder-off spanned path.
 bench-obs:
-	$(GO) run ./cmd/wdmbench -experiment "" -reps 7 -obs-json BENCH_obs.json
+	./scripts/bench_obs.sh
+
+# Focused race pass over the span-tracing layer and its TCP consumer —
+# the flight recorder's lock-free ring and the serve request lifecycle
+# are only considered verified under the race detector, run twice to
+# vary goroutine interleavings.
+race-obs:
+	$(GO) test -race -count=2 ./internal/obs ./internal/serve
 
 # Regenerate the committed churn record: epoch publication latency with
 # incremental delta maintenance vs full recompiles (DESIGN.md §10).
@@ -75,6 +84,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDeltaChurn$$' -fuzztime $(FUZZTIME) ./internal/engine
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalNetwork$$' -fuzztime $(FUZZTIME) ./internal/wdm
 	$(GO) test -run '^$$' -fuzz '^FuzzEngineAllocateRelease$$' -fuzztime $(FUZZTIME) ./internal/wdm
+	$(GO) test -run '^$$' -fuzz '^FuzzSpanEncode$$' -fuzztime $(FUZZTIME) ./internal/obs
 
 # Regenerate the committed TCP service benchmark record: build wdmserve
 # and wdmload, soak a live server (64 connections, 50k requests, an

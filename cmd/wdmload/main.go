@@ -33,7 +33,21 @@ import (
 	"sync"
 	"time"
 
+	"lightpath/internal/obs"
 	"lightpath/internal/serve"
+)
+
+// Client-side span names: every request the generator sends is traced
+// as a load_request with a load_send child (writing the command line)
+// and a load_recv child (waiting for the reply — network plus the
+// server's queue wait and execution). The recv:total ratio decomposes
+// observed latency into client-side and server-side shares without any
+// server cooperation; mean send/recv times are reported and the newest
+// traces are retained in a client-side flight recorder.
+const (
+	spanLoadRequest = "load_request"
+	spanLoadSend    = "load_send"
+	spanLoadRecv    = "load_recv"
 )
 
 func main() {
@@ -82,6 +96,8 @@ type workerStats struct {
 	cleanup                           int
 	firstProtoErr                     string
 	latencies                         []int64 // ns, non-shed replies only
+	spanned                           int     // requests with span decomposition
+	sendNs, recvNs                    int64   // summed client-span durations
 }
 
 // report is the JSON shape written by -json.
@@ -110,6 +126,13 @@ type report struct {
 		Max  float64 `json:"max_ns"`
 		Mean float64 `json:"mean_ns"`
 	} `json:"latency"`
+	// Client decomposes mean request latency from the generator's own
+	// spans: send is the client-side write, recv is everything after it
+	// (network plus the server's queue wait and execution).
+	Client struct {
+		SendMean float64 `json:"send_mean_ns"`
+		RecvMean float64 `json:"recv_mean_ns"`
+	} `json:"client"`
 }
 
 func run(args []string, w io.Writer) error {
@@ -145,6 +168,11 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("server topology has %d nodes; need >= 2", nodes)
 	}
 
+	// Client-side flight recorder: every request is spanned (the cost
+	// is nanoseconds against a network round trip) so latency can be
+	// split into client and server+network shares.
+	tracer := obs.NewTracer(&obs.TracerOptions{SlowThreshold: -1})
+
 	stats := make([]workerStats, *conns)
 	errs := make([]error, *conns)
 	var wg sync.WaitGroup
@@ -158,7 +186,7 @@ func run(args []string, w io.Writer) error {
 		go func(id, n int) {
 			defer wg.Done()
 			errs[id] = worker(*addr, nodes, n, mix,
-				rand.New(rand.NewSource(*seed+int64(id))), *dialTimeout, *timeout, &stats[id])
+				rand.New(rand.NewSource(*seed+int64(id))), *dialTimeout, *timeout, tracer, &stats[id])
 		}(i, n)
 	}
 	wg.Wait()
@@ -176,6 +204,8 @@ func run(args []string, w io.Writer) error {
 		rep.OK, rep.Shed, rep.ShedRate, rep.Blocked, rep.BlockingRate, rep.ProtocolErrors)
 	fmt.Fprintf(w, "latency: p50 %s  p90 %s  p95 %s  p99 %s  max %s\n",
 		ns(rep.Latency.P50), ns(rep.Latency.P90), ns(rep.Latency.P95), ns(rep.Latency.P99), ns(rep.Latency.Max))
+	fmt.Fprintf(w, "client spans: send mean %s  recv mean %s (server+network)\n",
+		ns(rep.Client.SendMean), ns(rep.Client.RecvMean))
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -242,7 +272,7 @@ func probeNodes(addr string, dialTimeout, timeout time.Duration) (int, error) {
 
 // worker runs one closed-loop connection.
 func worker(addr string, nodes, n int, mix mixWeights, rng *rand.Rand,
-	dialTimeout, timeout time.Duration, st *workerStats) error {
+	dialTimeout, timeout time.Duration, tracer *obs.Tracer, st *workerStats) error {
 	c, err := serve.Dial(addr, dialTimeout)
 	if err != nil {
 		return err
@@ -256,9 +286,23 @@ func worker(addr string, nodes, n int, mix mixWeights, rng *rand.Rand,
 			return 0, err
 		}
 		start := time.Now()
-		reply, err := c.Do(line)
+		req := tracer.Start(spanLoadRequest)
+		ssp := req.Root().StartChild(spanLoadSend)
+		if err := c.Send(line); err != nil {
+			return 0, fmt.Errorf("%q: %w", line, err)
+		}
+		ssp.End()
+		rsp := req.Root().StartChild(spanLoadRecv)
+		reply, err := c.ReadLine()
+		rsp.End()
+		tracer.Finish(req)
 		if err != nil {
 			return 0, fmt.Errorf("%q: %w", line, err)
+		}
+		if req != nil {
+			st.spanned++
+			st.sendNs += ssp.Duration().Nanoseconds()
+			st.recvNs += rsp.Duration().Nanoseconds()
 		}
 		lat := time.Since(start).Nanoseconds()
 		if cleanup {
@@ -340,6 +384,8 @@ func aggregate(stats []workerStats, addr string, conns, planned int, mix string,
 		Mix: mix, Seed: seed, Nodes: nodes,
 	}
 	var all []int64
+	var spanned int
+	var sendNs, recvNs int64
 	for _, st := range stats {
 		rep.Sent += st.sent + st.cleanup
 		rep.OK += st.ok
@@ -348,6 +394,13 @@ func aggregate(stats []workerStats, addr string, conns, planned int, mix string,
 		rep.ProtocolErrors += st.protoErr
 		rep.CleanupReleases += st.cleanup
 		all = append(all, st.latencies...)
+		spanned += st.spanned
+		sendNs += st.sendNs
+		recvNs += st.recvNs
+	}
+	if spanned > 0 {
+		rep.Client.SendMean = float64(sendNs) / float64(spanned)
+		rep.Client.RecvMean = float64(recvNs) / float64(spanned)
 	}
 	if rep.Sent > 0 {
 		rep.ShedRate = float64(rep.Shed) / float64(rep.Sent)

@@ -34,10 +34,22 @@
 //	explain S T        route S->T and print the per-hop Eq. (1) cost breakdown
 //	trace on|off       attach a trace summary to every route/alloc answer
 //	metrics            full telemetry registry as JSON
+//	recent [N]         newest flight-recorder traces (one line each)
+//	slow [N]           newest slow-log traces (>= -slow-threshold)
+//	tracejson ID       one retained trace as its full JSON span tree
 //	quit               exit
+//
+// Every request is recorded as a span tree in an always-on flight
+// recorder (disable with -recorder=false): queue wait, per-verb
+// dispatch, engine cache/allocate/publish, and the core search with its
+// per-lambda expansion counts. Requests at or above -slow-threshold
+// are additionally retained in a separate slow log that fast traffic
+// cannot evict.
 //
 // With -debug-addr HOST:PORT the service also runs an HTTP debug
 // endpoint exposing /metrics (the telemetry registry as JSON),
+// /metrics.prom (Prometheus text format), /debug/requests and
+// /debug/slow (flight-recorder traces as JSON, ?n= bounds the count),
 // /debug/vars (expvar) and /debug/pprof.
 package main
 
@@ -90,7 +102,15 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Second,
 		"TCP: graceful drain budget on SIGINT/SIGTERM before force-closing connections")
 	debugAddr := fs.String("debug-addr", "",
-		"serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
+		"serve /metrics, /metrics.prom, /debug/requests, /debug/slow, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
+	recorder := fs.Bool("recorder", true,
+		"record every request as a span tree in the flight recorder")
+	recorderSize := fs.Int("recorder-size", obs.DefaultRingSize,
+		"flight-recorder capacity in retained request traces")
+	slowThreshold := fs.Duration("slow-threshold", obs.DefaultSlowThreshold,
+		"retain requests at or above this duration in the slow log (<0 disables)")
+	traceSample := fs.Int("trace-sample", 1,
+		"head-sample recording: record every Nth request (1 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -120,14 +140,25 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 	fmt.Fprintf(w, "serving %d nodes, %d links, k=%d (epoch %d)\n",
 		nw.NumNodes(), nw.NumLinks(), nw.K(), eng.Epoch())
 
+	tracer := obs.NewTracer(&obs.TracerOptions{
+		RingSize: *recorderSize,
+		Sample:   *traceSample,
+		Disabled: !*recorder,
+	})
+	// Set the threshold after construction: the flag value is literal
+	// (0 retains everything, negative disables the slow log), unlike the
+	// options field where 0 selects the default.
+	tracer.SetSlowThreshold(*slowThreshold)
+	tracer.RegisterMetrics(eng.Metrics())
+
 	if *debugAddr != "" {
 		ln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
 		defer ln.Close()
-		go func() { _ = http.Serve(ln, debugMux(eng)) }()
-		fmt.Fprintf(w, "debug server on %s (/metrics, /debug/vars, /debug/pprof)\n", ln.Addr())
+		go func() { _ = http.Serve(ln, debugMux(eng, tracer)) }()
+		fmt.Fprintf(w, "debug server on %s (/metrics, /metrics.prom, /debug/requests, /debug/slow, /debug/vars, /debug/pprof)\n", ln.Addr())
 	}
 
 	tel := serve.NewTelemetry(eng.Metrics())
@@ -139,6 +170,7 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 			WriteTimeout:   *writeTimeout,
 			Workers:        *workers,
 			Telemetry:      tel,
+			Tracer:         tracer,
 		}
 		return serveTCP(eng, w, *listen, cfg, *drainTimeout)
 	}
@@ -152,7 +184,7 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 		defer f.Close()
 		input = f
 	}
-	sess := serve.NewSession(eng, w, &serve.SessionOptions{Workers: *workers, Telemetry: tel})
+	sess := serve.NewSession(eng, w, &serve.SessionOptions{Workers: *workers, Telemetry: tel, Tracer: tracer})
 	return serve.RunScript(sess, input)
 }
 
@@ -205,14 +237,22 @@ func serveTCP(eng *engine.Engine, w io.Writer, addr string, cfg *serve.ServerCon
 }
 
 // debugMux assembles the HTTP debug surface: the engine's telemetry
-// registry as JSON at /metrics, the same registry through expvar at
-// /debug/vars, and the standard pprof handlers. The registry is also
-// published under the expvar name "lightpath" (first engine in the
-// process wins — expvar's namespace is global).
-func debugMux(eng *engine.Engine) *http.ServeMux {
+// registry as JSON at /metrics and Prometheus text format at
+// /metrics.prom, the flight recorder and slow log as JSON trace arrays
+// at /debug/requests and /debug/slow, the same registry through expvar
+// at /debug/vars, and the standard pprof handlers. The registry is
+// also published under the expvar name "lightpath" (first engine in
+// the process wins — expvar's namespace is global).
+func debugMux(eng *engine.Engine, tracer *obs.Tracer) *http.ServeMux {
 	obs.PublishExpvar("lightpath", eng.Metrics())
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", eng.Metrics())
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = eng.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/requests", tracer.ServeRecent)
+	mux.HandleFunc("/debug/slow", tracer.ServeSlow)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

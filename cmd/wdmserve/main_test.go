@@ -15,6 +15,7 @@ import (
 
 	"lightpath/internal/cli"
 	"lightpath/internal/engine"
+	"lightpath/internal/obs"
 	"lightpath/internal/wdm"
 )
 
@@ -254,8 +255,9 @@ func TestServeDebugAddrFlagAndMux(t *testing.T) {
 		t.Fatalf("debug server banner missing:\n%s", out)
 	}
 
-	// Handler surface: /metrics serves the registry, /debug/vars expvar,
-	// /debug/pprof/ the profile index.
+	// Handler surface: /metrics serves the registry (JSON and
+	// Prometheus text), /debug/requests+/debug/slow the flight
+	// recorder, /debug/vars expvar, /debug/pprof/ the profile index.
 	nw, err := cliBuildPaper()
 	if err != nil {
 		t.Fatal(err)
@@ -267,12 +269,25 @@ func TestServeDebugAddrFlagAndMux(t *testing.T) {
 	if _, err := eng.Route(0, 6); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(debugMux(eng))
+	tracer := obs.NewTracer(&obs.TracerOptions{SlowThreshold: -1})
+	if req := tracer.Start("serve_request"); req != nil {
+		res, err := eng.RouteSpanned(0, 6, req.Root())
+		if err != nil || res == nil {
+			t.Fatalf("traced route: %v", err)
+		}
+		tracer.Finish(req)
+	} else {
+		t.Fatal("tracer did not record")
+	}
+	srv := httptest.NewServer(debugMux(eng, tracer))
 	defer srv.Close()
 	for path, want := range map[string]string{
-		"/metrics":      "engine_routes_total",
-		"/debug/vars":   "lightpath",
-		"/debug/pprof/": "profile",
+		"/metrics":        "engine_routes_total",
+		"/metrics.prom":   "engine_route_latency_ns_bucket{le=",
+		"/debug/requests": "core_search",
+		"/debug/slow":     "[",
+		"/debug/vars":     "lightpath",
+		"/debug/pprof/":   "profile",
 	} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
@@ -286,6 +301,34 @@ func TestServeDebugAddrFlagAndMux(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("GET %s: body missing %q:\n%.400s", path, want, body)
 		}
+	}
+}
+
+func TestServeRecorderFlagsAndVerbs(t *testing.T) {
+	// Default: the recorder is on, so recent lists the route request
+	// and tracejson decodes (smoke: the reply opens a JSON object).
+	out := runScript(t, []string{"-topo", "paper"}, "route 0 6\nrecent 1\nquit\n")
+	if !strings.Contains(out, "verb route") || !strings.Contains(out, "outcome ok") {
+		t.Fatalf("recent missing route trace:\n%s", out)
+	}
+
+	// -recorder=false: nothing retained.
+	out = runScript(t, []string{"-topo", "paper", "-recorder=false"}, "route 0 6\nrecent\nquit\n")
+	if !strings.Contains(out, "no traces retained") {
+		t.Fatalf("disabled recorder still lists traces:\n%s", out)
+	}
+
+	// -slow-threshold=0: every request also lands in the slow log.
+	out = runScript(t, []string{"-topo", "paper", "-slow-threshold", "0s"}, "route 0 6\nslow\nquit\n")
+	if !strings.Contains(out, "verb route") {
+		t.Fatalf("slow log missing route trace:\n%s", out)
+	}
+
+	// -trace-sample=2: only every other request is recorded.
+	out = runScript(t, []string{"-topo", "paper", "-trace-sample", "2"},
+		"route 0 6\nroute 0 6\nroute 0 6\nroute 0 6\nrecent 10\nquit\n")
+	if got := strings.Count(out, "verb route"); got >= 4 {
+		t.Fatalf("sampling 1/2 recorded all %d requests:\n%s", got, out)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"testing"
 	"time"
 
 	"lightpath/internal/core"
@@ -22,7 +23,7 @@ import (
 // answers the question the obs layer must keep answering across
 // revisions: what does instrumentation cost a routing query?
 //
-// Three variants of the same request stream are timed:
+// Four variants of the same request stream are timed:
 //
 //   - baseline: core.Aux.Route straight against the snapshot's compiled
 //     auxiliary graph — the pre-telemetry behaviour, no counters, no
@@ -30,7 +31,15 @@ import (
 //   - tracer off: engine.Route — the production path, which records
 //     latency histograms and outcome counters but no per-route trace;
 //   - tracer on: engine.TraceRoute — full anatomy recording (search
-//     counters, per-hop Eq. (1) breakdown, cache peek).
+//     counters, per-hop Eq. (1) breakdown, cache peek);
+//   - recorder on: engine.RouteSpanned under an active flight-recorder
+//     trace — every request builds a span tree and is retained in the
+//     recorder ring, the always-on wdmserve configuration.
+//
+// The result also records span-layer allocation counts on the cached
+// RouteFrom path (testing.AllocsPerRun): with the recorder off the
+// spanned call must not allocate at all — that is the contract letting
+// the span plumbing stay compiled into the hot path.
 type ObsBenchResult struct {
 	Topology string `json:"topology"`
 	Nodes    int    `json:"nodes"`
@@ -38,14 +47,21 @@ type ObsBenchResult struct {
 	K        int    `json:"k"`
 	Requests int    `json:"requests"`
 
-	BaselineNsPerOp  int64 `json:"baseline_ns_per_op"`
-	TracerOffNsPerOp int64 `json:"tracer_off_ns_per_op"`
-	TracerOnNsPerOp  int64 `json:"tracer_on_ns_per_op"`
+	BaselineNsPerOp   int64 `json:"baseline_ns_per_op"`
+	TracerOffNsPerOp  int64 `json:"tracer_off_ns_per_op"`
+	TracerOnNsPerOp   int64 `json:"tracer_on_ns_per_op"`
+	RecorderOnNsPerOp int64 `json:"recorder_on_ns_per_op"`
 
 	// Overheads are relative to baseline; the tracer-off figure is the
 	// always-on cost of metrics and must stay under a few percent.
-	TracerOffOverheadPct float64 `json:"tracer_off_overhead_pct"`
-	TracerOnOverheadPct  float64 `json:"tracer_on_overhead_pct"`
+	TracerOffOverheadPct  float64 `json:"tracer_off_overhead_pct"`
+	TracerOnOverheadPct   float64 `json:"tracer_on_overhead_pct"`
+	RecorderOnOverheadPct float64 `json:"recorder_on_overhead_pct"`
+
+	// Allocations per op on the cached RouteFromSpanned path, recorder
+	// off (must be zero) and recorder on (the span tree's cost).
+	SpanAllocsOffPerOp float64 `json:"span_allocs_off_per_op"`
+	SpanAllocsOnPerOp  float64 `json:"span_allocs_on_per_op"`
 
 	// Route latency quantiles as the engine's own histogram reports
 	// them after the timed runs — the same numbers `stats` prints.
@@ -55,6 +71,10 @@ type ObsBenchResult struct {
 
 	GeneratedAt string `json:"generated_at"`
 }
+
+// spanBenchRequest is the root span name of the benchmark's
+// recorder-on request stream.
+const spanBenchRequest = "bench_request"
 
 // ObsReport measures the telemetry overhead benchmark on NSFNET and
 // returns the machine-readable result. All three variants route the
@@ -142,28 +162,76 @@ func ObsReport(cfg Config) (*ObsBenchResult, error) {
 		return nil, err
 	}
 
+	// Recorder on: the always-on wdmserve configuration — every request
+	// carries a span tree into the flight recorder ring.
+	recTracer := obs.NewTracer(&obs.TracerOptions{SlowThreshold: -1})
+	recorderOn, err := bestRep(cfg.reps(), func() error {
+		for _, p := range pairs {
+			req := recTracer.Start(spanBenchRequest)
+			_, err := eng.RouteSpanned(p[0], p[1], req.Root())
+			recTracer.Finish(req)
+			if err != nil && !errors.Is(err, core.ErrNoRoute) {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Span-layer allocation counts on the cached RouteFrom path. Warm
+	// the SourceTree cache first so both measurements hit it.
+	src := pairs[0][0]
+	if _, err := eng.RouteFrom(src); err != nil {
+		return nil, err
+	}
+	offTracer := obs.NewTracer(&obs.TracerOptions{Disabled: true})
+	var allocErr error
+	allocsOff := testing.AllocsPerRun(200, func() {
+		req := offTracer.Start(spanBenchRequest)
+		if _, err := eng.RouteFromSpanned(src, req.Root()); err != nil {
+			allocErr = err
+		}
+		offTracer.Finish(req)
+	})
+	allocsOn := testing.AllocsPerRun(200, func() {
+		req := recTracer.Start(spanBenchRequest)
+		if _, err := eng.RouteFromSpanned(src, req.Root()); err != nil {
+			allocErr = err
+		}
+		recTracer.Finish(req)
+	})
+	if allocErr != nil {
+		return nil, allocErr
+	}
+
 	hist, ok := eng.Metrics().Snapshot()["engine_route_latency_ns"].(obs.HistogramSnapshot)
 	if !ok {
 		return nil, errors.New("bench: engine registry has no route latency histogram")
 	}
 
 	res := &ObsBenchResult{
-		Topology:          "nsfnet",
-		Nodes:             n,
-		Links:             nw.NumLinks(),
-		K:                 nw.K(),
-		Requests:          requests,
-		BaselineNsPerOp:   baseline.Nanoseconds() / int64(requests),
-		TracerOffNsPerOp:  tracerOff.Nanoseconds() / int64(requests),
-		TracerOnNsPerOp:   tracerOn.Nanoseconds() / int64(requests),
-		RouteLatencyP50Ns: hist.P50,
-		RouteLatencyP95Ns: hist.P95,
-		RouteLatencyP99Ns: hist.P99,
-		GeneratedAt:       time.Now().UTC().Format(time.RFC3339),
+		Topology:           "nsfnet",
+		Nodes:              n,
+		Links:              nw.NumLinks(),
+		K:                  nw.K(),
+		Requests:           requests,
+		BaselineNsPerOp:    baseline.Nanoseconds() / int64(requests),
+		TracerOffNsPerOp:   tracerOff.Nanoseconds() / int64(requests),
+		TracerOnNsPerOp:    tracerOn.Nanoseconds() / int64(requests),
+		RecorderOnNsPerOp:  recorderOn.Nanoseconds() / int64(requests),
+		SpanAllocsOffPerOp: allocsOff,
+		SpanAllocsOnPerOp:  allocsOn,
+		RouteLatencyP50Ns:  hist.P50,
+		RouteLatencyP95Ns:  hist.P95,
+		RouteLatencyP99Ns:  hist.P99,
+		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
 	}
 	if res.BaselineNsPerOp > 0 {
 		res.TracerOffOverheadPct = 100 * float64(res.TracerOffNsPerOp-res.BaselineNsPerOp) / float64(res.BaselineNsPerOp)
 		res.TracerOnOverheadPct = 100 * float64(res.TracerOnNsPerOp-res.BaselineNsPerOp) / float64(res.BaselineNsPerOp)
+		res.RecorderOnOverheadPct = 100 * float64(res.RecorderOnNsPerOp-res.BaselineNsPerOp) / float64(res.BaselineNsPerOp)
 	}
 	return res, nil
 }
@@ -207,16 +275,20 @@ func RunObs(w io.Writer, cfg Config) error {
 	}
 	t := &Table{
 		Title: "Obs — telemetry overhead on the routing hot path (NSFNET, k=8)",
-		Note: "baseline = core Aux.Route, no telemetry; tracer off = engine.Route (metrics only); tracer on = engine.TraceRoute\n" +
-			"(cmd/wdmbench -obs-json writes this as BENCH_obs.json)",
+		Note: "baseline = core Aux.Route, no telemetry; tracer off = engine.Route (metrics only); tracer on = engine.TraceRoute;\n" +
+			"recorder on = engine.RouteSpanned under a flight-recorder trace (scripts/bench_obs.sh writes this as BENCH_obs.json)",
 		Headers: []string{"metric", "value"},
 	}
 	t.AddRow("requests", r.Requests)
 	t.AddRow("baseline ns/op", r.BaselineNsPerOp)
 	t.AddRow("tracer off ns/op", r.TracerOffNsPerOp)
 	t.AddRow("tracer on ns/op", r.TracerOnNsPerOp)
+	t.AddRow("recorder on ns/op", r.RecorderOnNsPerOp)
 	t.AddRow("tracer off overhead", fmt.Sprintf("%+.2f%%", r.TracerOffOverheadPct))
 	t.AddRow("tracer on overhead", fmt.Sprintf("%+.2f%%", r.TracerOnOverheadPct))
+	t.AddRow("recorder on overhead", fmt.Sprintf("%+.2f%%", r.RecorderOnOverheadPct))
+	t.AddRow("span allocs/op (recorder off)", r.SpanAllocsOffPerOp)
+	t.AddRow("span allocs/op (recorder on)", r.SpanAllocsOnPerOp)
 	t.AddRow("route latency p50", time.Duration(r.RouteLatencyP50Ns))
 	t.AddRow("route latency p95", time.Duration(r.RouteLatencyP95Ns))
 	t.AddRow("route latency p99", time.Duration(r.RouteLatencyP99Ns))

@@ -20,8 +20,18 @@ func TestObsReportMeasures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.BaselineNsPerOp <= 0 || r.TracerOffNsPerOp <= 0 || r.TracerOnNsPerOp <= 0 {
+	if r.BaselineNsPerOp <= 0 || r.TracerOffNsPerOp <= 0 || r.TracerOnNsPerOp <= 0 || r.RecorderOnNsPerOp <= 0 {
 		t.Fatalf("unmeasured variant: %+v", r)
+	}
+	// The zero-alloc contract of the disabled span path holds at any
+	// scale — this is the machine-checked half of the recorder-off
+	// acceptance gate (the other half, overhead %, is noise at test
+	// scale and gated by scripts/bench_obs.sh instead).
+	if r.SpanAllocsOffPerOp != 0 {
+		t.Fatalf("recorder-off spanned RouteFrom allocates %v/op, want 0", r.SpanAllocsOffPerOp)
+	}
+	if r.SpanAllocsOnPerOp <= 0 {
+		t.Fatalf("recorder-on spanned RouteFrom reports %v allocs/op, want > 0", r.SpanAllocsOnPerOp)
 	}
 	if r.RouteLatencyP50Ns <= 0 {
 		t.Fatalf("route latency histogram empty: %+v", r)
@@ -38,7 +48,10 @@ func TestObsReportJSONRoundTrips(t *testing.T) {
 	r := &ObsBenchResult{
 		Topology: "nsfnet", Nodes: 14, Links: 42, K: 8, Requests: 2000,
 		BaselineNsPerOp: 5000, TracerOffNsPerOp: 5050, TracerOnNsPerOp: 5600,
+		RecorderOnNsPerOp:    5300,
 		TracerOffOverheadPct: 1.0, TracerOnOverheadPct: 12.0,
+		RecorderOnOverheadPct: 6.0,
+		SpanAllocsOffPerOp:    0, SpanAllocsOnPerOp: 7,
 		RouteLatencyP50Ns: 5000, RouteLatencyP95Ns: 9000, RouteLatencyP99Ns: 12000,
 		GeneratedAt: "2026-08-06T00:00:00Z",
 	}
@@ -64,6 +77,8 @@ func TestObsReportJSONRoundTrips(t *testing.T) {
 	for _, key := range []string{
 		"baseline_ns_per_op", "tracer_off_ns_per_op", "tracer_on_ns_per_op",
 		"tracer_off_overhead_pct", "tracer_on_overhead_pct", "route_latency_p50_ns",
+		"recorder_on_ns_per_op", "recorder_on_overhead_pct",
+		"span_allocs_off_per_op", "span_allocs_on_per_op",
 	} {
 		if _, ok := loose[key]; !ok {
 			t.Fatalf("JSON record missing %q: %s", key, data)

@@ -62,8 +62,11 @@ func (a *Aux) RouteFrom(s int, opts *Options) (*SourceTree, error) {
 		return nil, fmt.Errorf("%w: source %d", ErrNodeRange, s)
 	}
 	n := a.nw.NumNodes()
+	sp := opts.span().StartChild(spanTreeSearch)
+	defer sp.End()
 	seeds := a.sourceSeeds(s)
 	if len(seeds) == 0 {
+		sp.SetBool(attrBlocked, true)
 		// No outgoing channels: only s itself is reachable.
 		st := &SourceTree{aux: a, source: s, bestX: make([]int32, n), dist: make([]float64, n)}
 		for t := range st.dist {
@@ -82,6 +85,13 @@ func (a *Aux) RouteFrom(s int, opts *Options) (*SourceTree, error) {
 		tr.AuxArcs = a.g.NumArcs()
 		tr.Settled = tree.Settled
 		tr.Relaxed = tree.Relaxed
+	}
+	if sp != nil {
+		sp.SetInt(attrAuxNodes, int64(a.NumAuxNodes()+1))
+		sp.SetInt(attrAuxArcs, int64(a.g.NumArcs()))
+		sp.SetInt(attrSettled, int64(tree.Settled))
+		sp.SetInt(attrRelaxed, int64(tree.Relaxed))
+		sp.SetStr(attrReachedPerLambda, a.reachedPerLambda(tree))
 	}
 	st := &SourceTree{
 		aux:    a,

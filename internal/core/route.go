@@ -22,6 +22,14 @@ type Options struct {
 	// costs one Breakdown pass over the result path — leave nil on hot
 	// paths that don't need it.
 	Trace *obs.RouteTrace
+
+	// Span, when non-nil, is the parent under which the query opens its
+	// own timed child span (core_search for Route, core_tree_search for
+	// RouteFrom) annotated with the search's work counters and per-λ
+	// expansion profile. A nil Span — the default, and what a disabled
+	// request tracer yields — costs nothing: every span call is
+	// nil-receiver safe and the annotation work is skipped entirely.
+	Span *obs.Span
 }
 
 func (o *Options) queue() graph.QueueKind {
@@ -36,6 +44,13 @@ func (o *Options) trace() *obs.RouteTrace {
 		return nil
 	}
 	return o.Trace
+}
+
+func (o *Options) span() *obs.Span {
+	if o == nil {
+		return nil
+	}
+	return o.Span
 }
 
 // SearchStats reports work counters of one shortest-path query.
@@ -85,6 +100,8 @@ func (a *Aux) Route(s, t int, opts *Options) (*Result, error) {
 		// The trivial semilightpath: no links, no conversions, cost 0.
 		return &Result{Path: &wdm.Semilightpath{}, Source: s, Dest: t}, nil
 	}
+	sp := opts.span().StartChild(spanSearch)
+	defer sp.End()
 
 	// Borrow pooled per-query scratch: seed/goal backings plus the
 	// Dijkstra arrays and heap store. Everything the scratch backs is
@@ -101,6 +118,7 @@ func (a *Aux) Route(s, t int, opts *Options) (*Result, error) {
 		if tr != nil {
 			tr.Blocked = true
 		}
+		sp.SetBool(attrBlocked, true)
 		return nil, fmt.Errorf("%w: from %d to %d (no outgoing channels at source)", ErrNoRoute, s, t)
 	}
 	// Early termination: stop once every X_t shore node is settled (the
@@ -135,10 +153,18 @@ func (a *Aux) Route(s, t int, opts *Options) (*Result, error) {
 		tr.AuxNodes, tr.AuxArcs = stats.AuxNodes, stats.AuxArcs
 		tr.Settled, tr.Relaxed = stats.Settled, stats.Relaxed
 	}
+	if sp != nil {
+		sp.SetInt(attrAuxNodes, int64(stats.AuxNodes))
+		sp.SetInt(attrAuxArcs, int64(stats.AuxArcs))
+		sp.SetInt(attrSettled, int64(stats.Settled))
+		sp.SetInt(attrRelaxed, int64(stats.Relaxed))
+		sp.SetStr(attrReachedPerLambda, a.reachedPerLambda(tree))
+	}
 	if bestNode < 0 {
 		if tr != nil {
 			tr.Blocked = true
 		}
+		sp.SetBool(attrBlocked, true)
 		return nil, fmt.Errorf("%w: from %d to %d", ErrNoRoute, s, t)
 	}
 
@@ -149,6 +175,7 @@ func (a *Aux) Route(s, t int, opts *Options) (*Result, error) {
 	if tr != nil {
 		a.fillPathTrace(tr, path, bestDist)
 	}
+	sp.SetFloat(attrCost, bestDist)
 	return &Result{Path: path, Cost: bestDist, Source: s, Dest: t, Stats: stats}, nil
 }
 

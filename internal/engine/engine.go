@@ -184,7 +184,7 @@ func New(nw *wdm.Network, opts *Options) (*Engine, error) {
 	// Metrics must exist before the first rebuild so the epoch-0 compile
 	// is measured too.
 	e.metrics = newMetrics(e)
-	if err := e.publish(0, nil); err != nil {
+	if err := e.publish(0, nil, nil); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -201,7 +201,7 @@ func (e *Engine) SetQueue(kind graph.QueueKind) {
 	e.queue = kind
 	// Republish so the change takes effect without waiting for churn.
 	// The residual is unchanged, so this is an empty (zero-link) delta.
-	_ = e.publish(e.Epoch()+1, []int{})
+	_ = e.publish(e.Epoch()+1, []int{}, nil)
 }
 
 // Epoch reports the current epoch: 0 at construction, +1 per mutation.
@@ -225,7 +225,13 @@ func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 // Otherwise (chain too deep, deltas disabled, or an inexpressible
 // shape) it falls back to the full compile, which also recompacts the
 // arc arena the patch chain fragments.
-func (e *Engine) publish(epoch uint64, changed []int) error {
+//
+// A non-nil sp times the publication as an engine_publish child span
+// annotated with the epoch and the path taken (mode=delta|full).
+func (e *Engine) publish(epoch uint64, changed []int, sp *obs.Span) error {
+	psp := sp.StartChild(spanPublish)
+	defer psp.End()
+	psp.SetInt(attrEpoch, int64(epoch))
 	start := time.Now()
 	if prev := e.snap.Load(); prev != nil && changed != nil &&
 		e.maxDeltaDepth >= 0 && prev.aux.DeltaDepth() < e.maxDeltaDepth {
@@ -234,6 +240,7 @@ func (e *Engine) publish(epoch uint64, changed []int) error {
 			e.rebuilds.Add(1)
 			e.deltaApplies.Add(1)
 			e.metrics.deltaLatency.ObserveDuration(time.Since(start))
+			psp.SetStr(attrMode, "delta")
 			return nil
 		}
 		if !errors.Is(err, core.ErrDeltaShape) {
@@ -262,6 +269,7 @@ func (e *Engine) publish(epoch uint64, changed []int) error {
 	e.rebuilds.Add(1)
 	e.fullRebuilds.Add(1)
 	e.metrics.rebuildLatency.ObserveDuration(time.Since(start))
+	psp.SetStr(attrMode, "full")
 	return nil
 }
 
@@ -323,6 +331,18 @@ func changedLinks(chans []Channel) []int {
 // channel already held, or a hop on a failed link) nothing is claimed.
 // Each owner ID may hold at most one lease at a time.
 func (e *Engine) Allocate(owner int64, path *wdm.Semilightpath) error {
+	return e.allocate(owner, path, nil, -1)
+}
+
+// allocate is Allocate with an optional parent span (an engine_allocate
+// child covers the claim and the publish) and retry-loop ordinal
+// (attempt ≥ 0 is annotated; pass -1 outside the loop).
+func (e *Engine) allocate(owner int64, path *wdm.Semilightpath, parent *obs.Span, attempt int) error {
+	sp := parent.StartChild(spanAllocate)
+	defer sp.End()
+	if sp != nil && attempt >= 0 {
+		sp.SetInt(attrAttempt, int64(attempt))
+	}
 	if path == nil {
 		return errors.New("engine: nil path")
 	}
@@ -342,10 +362,12 @@ func (e *Engine) Allocate(owner int64, path *wdm.Semilightpath) error {
 		c := Channel{Link: h.Link, Lambda: h.Wavelength}
 		if holder, taken := e.inUse[c]; taken {
 			e.conflicts.Add(1)
+			sp.SetBool(attrConflict, true)
 			return fmt.Errorf("%w: (link %d, λ%d) held by %d", ErrConflict, c.Link, c.Lambda, holder)
 		}
 		if e.failed[h.Link] {
 			e.conflicts.Add(1)
+			sp.SetBool(attrConflict, true)
 			return fmt.Errorf("%w: link %d is failed", ErrConflict, h.Link)
 		}
 		chans = append(chans, c)
@@ -357,6 +379,7 @@ func (e *Engine) Allocate(owner int64, path *wdm.Semilightpath) error {
 	for _, c := range chans {
 		if seen[c] {
 			e.conflicts.Add(1)
+			sp.SetBool(attrConflict, true)
 			return fmt.Errorf("%w: path uses (link %d, λ%d) twice", ErrConflict, c.Link, c.Lambda)
 		}
 		seen[c] = true
@@ -366,12 +389,20 @@ func (e *Engine) Allocate(owner int64, path *wdm.Semilightpath) error {
 	}
 	e.owners[owner] = chans
 	e.allocations.Add(1)
-	return e.publish(e.Epoch()+1, changedLinks(chans))
+	return e.publish(e.Epoch()+1, changedLinks(chans), sp)
 }
 
 // Release frees every channel owner holds, bumps the epoch and
 // publishes the new snapshot.
 func (e *Engine) Release(owner int64) error {
+	return e.release(owner, nil)
+}
+
+// release is Release with an optional parent span (an engine_release
+// child covers the teardown and the publish).
+func (e *Engine) release(owner int64, parent *obs.Span) error {
+	sp := parent.StartChild(spanRelease)
+	defer sp.End()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	chans, ok := e.owners[owner]
@@ -383,7 +414,7 @@ func (e *Engine) Release(owner int64) error {
 	}
 	delete(e.owners, owner)
 	e.releases.Add(1)
-	return e.publish(e.Epoch()+1, changedLinks(chans))
+	return e.publish(e.Epoch()+1, changedLinks(chans), sp)
 }
 
 // RouteAndAllocate routes s→t on the current snapshot and immediately
@@ -394,7 +425,7 @@ func (e *Engine) Release(owner int64) error {
 // from any attempt is returned as-is (the request is blocked). Every
 // retry round lands on the engine_alloc_retries_total counter.
 func (e *Engine) RouteAndAllocate(owner int64, s, t int) (*core.Result, error) {
-	res, _, err := e.routeAndAllocate(owner, s, t, false)
+	res, _, err := e.routeAndAllocate(owner, s, t, false, nil)
 	return res, err
 }
 
@@ -403,10 +434,10 @@ func (e *Engine) RouteAndAllocate(owner int64, s, t int) (*core.Result, error) {
 // the attempt count). The trace is non-nil whenever at least one route
 // attempt ran, including when the overall call fails.
 func (e *Engine) RouteAndAllocateTraced(owner int64, s, t int) (*core.Result, *obs.RouteTrace, error) {
-	return e.routeAndAllocate(owner, s, t, true)
+	return e.routeAndAllocate(owner, s, t, true, nil)
 }
 
-func (e *Engine) routeAndAllocate(owner int64, s, t int, traced bool) (*core.Result, *obs.RouteTrace, error) {
+func (e *Engine) routeAndAllocate(owner int64, s, t int, traced bool, sp *obs.Span) (*core.Result, *obs.RouteTrace, error) {
 	const maxRetries = 8
 	var lastErr error
 	var tr *obs.RouteTrace
@@ -424,12 +455,12 @@ func (e *Engine) routeAndAllocate(owner int64, s, t int, traced bool) (*core.Res
 				tr.Attempts = attempt + 1
 			}
 		} else {
-			res, err = e.Snapshot().Route(s, t)
+			res, err = e.Snapshot().RouteSpanned(s, t, sp)
 		}
 		if err != nil {
 			return nil, tr, err
 		}
-		err = e.Allocate(owner, res.Path)
+		err = e.allocate(owner, res.Path, sp, attempt)
 		if err == nil {
 			return res, tr, nil
 		}
@@ -465,7 +496,7 @@ func (e *Engine) FailLink(link int) ([]int64, error) {
 		}
 	}
 	sort.Slice(riders, func(i, j int) bool { return riders[i] < riders[j] })
-	if err := e.publish(e.Epoch()+1, []int{link}); err != nil {
+	if err := e.publish(e.Epoch()+1, []int{link}, nil); err != nil {
 		return nil, err
 	}
 	return riders, nil
@@ -484,7 +515,7 @@ func (e *Engine) RepairLink(link int) error {
 		return nil
 	}
 	delete(e.failed, link)
-	return e.publish(e.Epoch()+1, []int{link})
+	return e.publish(e.Epoch()+1, []int{link}, nil)
 }
 
 // LinkFailed reports whether the link is currently out of service.

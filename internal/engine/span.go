@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"time"
+
+	"lightpath/internal/core"
+	"lightpath/internal/obs"
+	"lightpath/internal/wdm"
+)
+
+// Span names and attribute keys for the engine layer (compile-time
+// constants, verified by the metricname analyzer). The *Spanned query
+// variants thread a request span through the engine into core; a nil
+// parent span — the disabled-recorder default — makes every variant
+// delegate to its unspanned twin, preserving the allocation-free hot
+// path (pinned by TestCachedRouteFromSpannedAllocationFree).
+const (
+	spanRoute       = "engine_route"
+	spanRouteFrom   = "engine_routefrom"
+	spanCacheLookup = "engine_cache_lookup"
+	spanAllocate    = "engine_allocate"
+	spanRelease     = "engine_release"
+	spanPublish     = "engine_publish"
+)
+
+const (
+	attrEpoch    = "epoch"
+	attrHit      = "hit"
+	attrAttempt  = "attempt"
+	attrConflict = "conflict"
+	attrMode     = "mode"
+)
+
+// RouteSpanned is Snapshot.Route with the query timed as an
+// engine_route child of parent (and a core_search grandchild carrying
+// the Dijkstra counters). A nil parent is exactly Route.
+func (s *Snapshot) RouteSpanned(src, dst int, parent *obs.Span) (*core.Result, error) {
+	if parent == nil {
+		return s.Route(src, dst)
+	}
+	sp := parent.StartChild(spanRoute)
+	defer sp.End()
+	sp.SetInt(attrEpoch, int64(s.epoch))
+	start := time.Now()
+	res, err := s.aux.Route(src, dst, &core.Options{Queue: s.queue, Span: sp})
+	s.eng.metrics.observeRoute(time.Since(start), err)
+	return res, err
+}
+
+// RouteFromSpanned is Snapshot.RouteFrom with the query timed as an
+// engine_routefrom child of parent. The SourceTree cache probe becomes
+// an engine_cache_lookup grandchild annotated hit=true/false; a miss
+// additionally carries the core_tree_search span of the Dijkstra pass
+// that fills the cache. A nil parent is exactly RouteFrom.
+func (s *Snapshot) RouteFromSpanned(src int, parent *obs.Span) (*core.SourceTree, error) {
+	if parent == nil {
+		return s.RouteFrom(src)
+	}
+	sp := parent.StartChild(spanRouteFrom)
+	defer sp.End()
+	sp.SetInt(attrEpoch, int64(s.epoch))
+	start := time.Now()
+	defer func() { s.eng.metrics.routeFromLatency.ObserveDuration(time.Since(start)) }()
+	cache := s.eng.cache
+	if cache == nil {
+		return s.aux.RouteFrom(src, &core.Options{Queue: s.queue, Span: sp})
+	}
+	look := sp.StartChild(spanCacheLookup)
+	st, ok := cache.get(treeKey{source: src, epoch: s.epoch})
+	look.SetBool(attrHit, ok)
+	look.End()
+	if ok {
+		return st, nil
+	}
+	st, err := s.aux.RouteFrom(src, &core.Options{Queue: s.queue, Span: sp})
+	if err != nil {
+		return nil, err
+	}
+	cache.put(treeKey{source: src, epoch: s.epoch}, st)
+	return st, nil
+}
+
+// RouteFromSpanned answers one spanned single-source query on the
+// current snapshot, through the SourceTree cache.
+func (e *Engine) RouteFromSpanned(src int, parent *obs.Span) (*core.SourceTree, error) {
+	return e.Snapshot().RouteFromSpanned(src, parent)
+}
+
+// RouteSpanned answers one spanned point-to-point query on the current
+// snapshot.
+func (e *Engine) RouteSpanned(src, dst int, parent *obs.Span) (*core.Result, error) {
+	return e.Snapshot().RouteSpanned(src, dst, parent)
+}
+
+// AllocateSpanned is Allocate with the claim (and the snapshot
+// publication it triggers) timed as an engine_allocate child of parent.
+func (e *Engine) AllocateSpanned(owner int64, path *wdm.Semilightpath, parent *obs.Span) error {
+	return e.allocate(owner, path, parent, -1)
+}
+
+// ReleaseSpanned is Release with the teardown timed as an
+// engine_release child of parent.
+func (e *Engine) ReleaseSpanned(owner int64, parent *obs.Span) error {
+	return e.release(owner, parent)
+}
+
+// RouteAndAllocateSpanned is RouteAndAllocate with every attempt of the
+// route→claim retry loop recorded under parent: one engine_route and
+// one engine_allocate child per attempt (the allocate span carries the
+// attempt ordinal, and conflict=true when the claim lost the race).
+func (e *Engine) RouteAndAllocateSpanned(owner int64, s, t int, parent *obs.Span) (*core.Result, error) {
+	res, _, err := e.routeAndAllocate(owner, s, t, false, parent)
+	return res, err
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format (version 0.0.4), deterministically ordered by
+// metric name, so the registry is scrapeable by standard tooling
+// without an adapter:
+//
+//	# TYPE engine_routes_total counter
+//	engine_routes_total 42
+//	# TYPE engine_route_latency_ns histogram
+//	engine_route_latency_ns_bucket{le="1000"} 0
+//	...
+//	engine_route_latency_ns_bucket{le="+Inf"} 7
+//	engine_route_latency_ns_sum 123456
+//	engine_route_latency_ns_count 7
+//
+// Counters are exposed as counters; gauges and gauge functions as
+// gauges; histograms as native Prometheus histograms with *cumulative*
+// bucket counts (the internal representation is per-bucket, so the
+// running sum is taken here). Metric names are already legal Prometheus
+// names — the metricname analyzer enforces lower_snake compile-time
+// constants.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type metric struct {
+		name string
+		typ  string // "counter" | "gauge" | "histogram"
+		num  float64
+		hist HistogramSnapshot
+	}
+	r.mu.Lock()
+	metrics := make([]metric, 0, len(r.counters)+len(r.gauges)+len(r.gaugeFuncs)+len(r.histograms))
+	for name, c := range r.counters {
+		metrics = append(metrics, metric{name: name, typ: "counter", num: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		metrics = append(metrics, metric{name: name, typ: "gauge", num: float64(g.Value())})
+	}
+	for name, h := range r.histograms {
+		metrics = append(metrics, metric{name: name, typ: "histogram", hist: h.Snapshot()})
+	}
+	funcs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for name, fn := range r.gaugeFuncs {
+		funcs[name] = fn
+	}
+	r.mu.Unlock()
+	// Gauge functions run outside the lock — they may re-enter the
+	// registry or take other locks (Snapshot has the same contract).
+	for name, fn := range funcs {
+		metrics = append(metrics, metric{name: name, typ: "gauge", num: fn()})
+	}
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+
+	var b strings.Builder
+	for _, m := range metrics {
+		b.WriteString("# TYPE ")
+		b.WriteString(m.name)
+		b.WriteByte(' ')
+		b.WriteString(m.typ)
+		b.WriteByte('\n')
+		if m.typ != "histogram" {
+			b.WriteString(m.name)
+			b.WriteByte(' ')
+			b.WriteString(promFloat(m.num))
+			b.WriteByte('\n')
+			continue
+		}
+		cum := uint64(0)
+		for _, bk := range m.hist.Buckets {
+			cum += bk.Count
+			b.WriteString(m.name)
+			b.WriteString(`_bucket{le="`)
+			if math.IsInf(bk.UpperBound, 1) {
+				b.WriteString("+Inf")
+			} else {
+				b.WriteString(promFloat(bk.UpperBound))
+			}
+			b.WriteString(`"} `)
+			b.WriteString(strconv.FormatUint(cum, 10))
+			b.WriteByte('\n')
+		}
+		b.WriteString(m.name)
+		b.WriteString("_sum ")
+		b.WriteString(promFloat(m.hist.Sum))
+		b.WriteByte('\n')
+		b.WriteString(m.name)
+		b.WriteString("_count ")
+		b.WriteString(strconv.FormatUint(m.hist.Count, 10))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promFloat renders a sample value the way Prometheus expects: shortest
+// decimal form, "+Inf"/"-Inf"/"NaN" for non-finite values.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

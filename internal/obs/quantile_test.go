@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge-case coverage for HistogramSnapshot.Quantile: the estimator is
+// used by the stats verb and the bench harness, so its behaviour at the
+// boundaries (empty distribution, degenerate buckets, clamped q) is
+// part of the observable contract.
+
+func TestQuantileEmptySnapshot(t *testing.T) {
+	var s HistogramSnapshot
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty snapshot Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// An allocated-but-never-observed histogram behaves the same.
+	s = NewHistogram([]float64{10, 100}).Snapshot()
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("unobserved histogram Quantile(0.5) = %v, want 0", got)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	h.Observe(42)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 42 {
+			t.Errorf("single-value Quantile(%v) = %v, want 42 (min/max clamp)", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleBucketHistogram(t *testing.T) {
+	// No finite bounds at all: everything lands in the overflow bucket,
+	// so every quantile is the observed max.
+	h := NewHistogram(nil)
+	h.Observe(5)
+	h.Observe(15)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 15 {
+			t.Errorf("overflow-only Quantile(%v) = %v, want max 15", q, got)
+		}
+	}
+}
+
+func TestQuantileClampsOutOfRangeQ(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	for _, v := range []float64{5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got, want := s.Quantile(-0.5), s.Quantile(0); got != want {
+		t.Errorf("Quantile(-0.5) = %v, want Quantile(0) = %v", got, want)
+	}
+	if got, want := s.Quantile(1.5), s.Quantile(1); got != want {
+		t.Errorf("Quantile(1.5) = %v, want Quantile(1) = %v", got, want)
+	}
+	if got := s.Quantile(1); got != 500 {
+		t.Errorf("Quantile(1) = %v, want max 500", got)
+	}
+	if got := s.Quantile(0); got < 5 || got > 10 {
+		t.Errorf("Quantile(0) = %v, want within first occupied bucket clamped to min", got)
+	}
+}
+
+// TestQuantileValuesOnBucketBounds: observations exactly on an upper
+// bound count into that bucket (le semantics), and the interpolated
+// estimate stays within [min, max].
+func TestQuantileValuesOnBucketBounds(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	for _, v := range []float64{10, 20, 30} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le semantics: each bucket holds exactly its bound.
+	wantCounts := []uint64{1, 1, 1, 0}
+	for i, b := range s.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, wantCounts[i])
+		}
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := s.Quantile(q)
+		if got < s.Min || got > s.Max {
+			t.Errorf("Quantile(%v) = %v outside [%v, %v]", q, got, s.Min, s.Max)
+		}
+	}
+	if got := s.Quantile(1); got != 30 {
+		t.Errorf("Quantile(1) = %v, want 30", got)
+	}
+}
+
+// TestQuantileSkipsEmptyBuckets: a rank landing on the boundary of an
+// empty bucket must resolve inside an occupied one.
+func TestQuantileSkipsEmptyBuckets(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30, 40})
+	h.Observe(5)  // bucket le=10
+	h.Observe(35) // bucket le=40
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got < 5 || got > 10 {
+		// rank = 1.0 falls exactly on the first bucket's cumulative count.
+		t.Errorf("Quantile(0.5) = %v, want inside first occupied bucket", got)
+	}
+	if got := s.Quantile(0.9); got < 30 || got > 40 {
+		t.Errorf("Quantile(0.9) = %v, want inside the le=40 bucket", got)
+	}
+}
+
+func TestQuantileMonotoneInQ(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets())
+	for v := 1.0; v <= 1e6; v *= 3 {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%v) = %v < %v", q, got, prev)
+		}
+		prev = got
+	}
+}

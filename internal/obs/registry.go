@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"expvar"
 	"io"
@@ -105,6 +106,46 @@ func (r *Registry) Snapshot() map[string]any {
 	return out
 }
 
+// NamedValue is one metric of an ordered snapshot: the registered name
+// plus its rendered value (uint64 for counters, int64 for gauges,
+// float64 for gauge functions, HistogramSnapshot for histograms).
+type NamedValue struct {
+	Name  string
+	Value any
+}
+
+// SnapshotOrdered renders every metric like Snapshot but as a slice
+// sorted by name — the deterministic form WriteJSON and soak tooling
+// consume, immune to map iteration order. GaugeFuncs are evaluated
+// outside the registry lock, exactly as in Snapshot.
+func (r *Registry) SnapshotOrdered() []NamedValue {
+	r.mu.Lock()
+	out := make([]NamedValue, 0, len(r.counters)+len(r.gauges)+len(r.gaugeFuncs)+len(r.histograms))
+	for name, c := range r.counters {
+		out = append(out, NamedValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, NamedValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		out = append(out, NamedValue{Name: name, Value: h.Snapshot()})
+	}
+	type namedFunc struct {
+		name string
+		fn   func() float64
+	}
+	funcs := make([]namedFunc, 0, len(r.gaugeFuncs))
+	for name, fn := range r.gaugeFuncs {
+		funcs = append(funcs, namedFunc{name: name, fn: fn})
+	}
+	r.mu.Unlock()
+	for _, nf := range funcs {
+		out = append(out, NamedValue{Name: nf.name, Value: nf.fn()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Names lists every registered metric name, sorted.
 func (r *Registry) Names() []string {
 	r.mu.Lock()
@@ -127,14 +168,37 @@ func (r *Registry) Names() []string {
 }
 
 // WriteJSON renders the snapshot as indented JSON with a trailing
-// newline.
+// newline. Keys are emitted in sorted name order by construction (the
+// object is assembled from SnapshotOrdered, not from a map), so two
+// scrapes of an unchanged registry are byte-identical — the property
+// soak tooling diffs against, pinned by a golden test.
 func (r *Registry) WriteJSON(w io.Writer) error {
-	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
-	if err != nil {
+	ordered := r.SnapshotOrdered()
+	if len(ordered) == 0 {
+		_, err := io.WriteString(w, "{}\n")
 		return err
 	}
-	data = append(data, '\n')
-	_, err = w.Write(data)
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, nv := range ordered {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString("\n  ")
+		key, err := json.Marshal(nv.Name)
+		if err != nil {
+			return err
+		}
+		buf.Write(key)
+		buf.WriteString(": ")
+		val, err := json.MarshalIndent(nv.Value, "  ", "  ")
+		if err != nil {
+			return err
+		}
+		buf.Write(val)
+	}
+	buf.WriteString("\n}\n")
+	_, err := w.Write(buf.Bytes())
 	return err
 }
 

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerConcurrentRecordAndRead hammers the flight recorder from
+// writer goroutines (Start/child spans/Finish) while reader goroutines
+// continuously snapshot Recent/Slow/Find and encode what they see —
+// the exact interleaving the debug endpoints produce under live
+// traffic. Run under -race this pins the lock-free ring's publication
+// safety; the final quiescent checks pin exactness.
+func TestTracerConcurrentRecordAndRead(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 200
+		readers   = 4
+		ringSize  = 64
+	)
+	tr := NewTracer(&TracerOptions{RingSize: ringSize, SlowThreshold: -1})
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, r := range tr.Recent(ringSize) {
+					// Every published trace must be complete and encodable.
+					if r.Root() == nil || r.DurationNs < 0 {
+						t.Error("reader observed an unfinished trace")
+						return
+					}
+					var buf bytes.Buffer
+					if err := EncodeReqTrace(&buf, r); err != nil {
+						t.Errorf("encode of live trace failed: %v", err)
+						return
+					}
+					tr.Find(r.ID)
+				}
+				tr.Slow(ringSize)
+			}
+		}()
+	}
+
+	var writerWG sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for j := 0; j < perWriter; j++ {
+				req := tr.Start("request")
+				sp := req.Root().StartChild("work")
+				sp.SetInt("iter", int64(j))
+				sp.End()
+				tr.Finish(req)
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	// Quiescent exactness: every slot holds a distinct completed trace.
+	if got := tr.Recorded(); got != writers*perWriter {
+		t.Errorf("recorded = %d, want %d", got, writers*perWriter)
+	}
+	recent := tr.Recent(ringSize)
+	if len(recent) != ringSize {
+		t.Fatalf("recorder retains %d traces, want %d", len(recent), ringSize)
+	}
+	seen := make(map[uint64]bool, ringSize)
+	for _, r := range recent {
+		if seen[r.ID] {
+			t.Errorf("trace %d retained twice", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Duration() < 0 || r.Span("work") == nil {
+			t.Errorf("trace %d incomplete at quiescence", r.ID)
+		}
+	}
+}
+
+// TestTracerConcurrentReconfigure flips enabled/sample/threshold while
+// traffic records — the wdmserve admin path against live load.
+func TestTracerConcurrentReconfigure(t *testing.T) {
+	tr := NewTracer(nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr.SetEnabled(i%2 == 0)
+			tr.SetSample(1 + i%4)
+			tr.SetSlowThreshold(time.Duration(i%3-1) * time.Millisecond)
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		tr.Finish(tr.Start("request"))
+	}
+	close(stop)
+	wg.Wait()
+}

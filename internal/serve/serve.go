@@ -39,6 +39,12 @@ type SessionOptions struct {
 	// outcome counters. Sessions sharing an engine should share one
 	// Telemetry built from that engine's registry.
 	Telemetry *Telemetry
+	// Tracer, when non-nil, is the request-span recorder: Exec records
+	// each command as a span tree (and the recent/slow/tracejson verbs
+	// answer from its flight recorder). Sessions sharing an engine should
+	// share one Tracer. A nil Tracer disables recording at zero cost and
+	// makes the trace-query verbs answer "recorder not configured".
+	Tracer *obs.Tracer
 }
 
 // Session executes protocol commands for one client against a shared
@@ -48,6 +54,7 @@ type Session struct {
 	w       io.Writer
 	workers int
 	tel     *Telemetry
+	tracer  *obs.Tracer
 	tracing bool // trace on: append a trace summary to route/alloc answers
 }
 
@@ -58,6 +65,7 @@ func NewSession(eng *engine.Engine, w io.Writer, opts *SessionOptions) *Session 
 	if opts != nil {
 		s.workers = opts.Workers
 		s.tel = opts.Telemetry
+		s.tracer = opts.Tracer
 	}
 	return s
 }
@@ -75,21 +83,49 @@ func CleanLine(line string) string {
 // non-nil error is a protocol-level answer (blocked request, bad
 // arguments, unknown lease) the transport should render as an "error:"
 // line — it never means the session is broken. Blank lines are no-ops.
+//
+// When the session has a Tracer, Exec owns the whole request-trace
+// lifecycle: one serve_request root per command. Transports that start
+// the trace earlier (the TCP server starts it before admission so queue
+// wait is visible) call ExecReq with their trace instead.
 func (s *Session) Exec(line string) (quit bool, err error) {
+	req := s.tracer.Start(spanRequest)
+	quit, err = s.ExecReq(line, req)
+	s.tracer.Finish(req)
+	return quit, err
+}
+
+// ExecReq is Exec executing inside the caller's request trace (nil for
+// none): the verb and outcome land on the root span and the dispatch
+// runs under a serve_exec child, with engine and core spans nested
+// below it.
+func (s *Session) ExecReq(line string, req *obs.ReqTrace) (quit bool, err error) {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return false, nil
 	}
 	cmd := fields[0]
+	root := req.Root()
+	root.SetStr(attrVerb, cmd)
 	if s.tel != nil {
 		start := time.Now()
 		defer func() { s.tel.observe(cmd, time.Since(start), err) }()
 	}
-	return s.exec(cmd, fields[1:])
+	sp := root.StartChild(spanExec)
+	quit, err = s.exec(cmd, fields[1:], sp)
+	sp.End()
+	if err != nil {
+		root.SetStr(attrOutcome, outcomeError)
+	} else {
+		root.SetStr(attrOutcome, outcomeOK)
+	}
+	return quit, err
 }
 
-// exec dispatches one parsed command.
-func (s *Session) exec(cmd string, rest []string) (bool, error) {
+// exec dispatches one parsed command; sp (possibly nil) is the request's
+// serve_exec span, threaded into the engine for the verbs that route or
+// mutate.
+func (s *Session) exec(cmd string, rest []string, sp *obs.Span) (bool, error) {
 	// trace takes a keyword argument, every other verb integers.
 	if cmd == "trace" {
 		return false, s.execTrace(rest)
@@ -126,7 +162,7 @@ func (s *Session) exec(cmd string, rest []string) (bool, error) {
 			fmt.Fprintf(s.w, "  %s\n", tr)
 			return false, nil
 		}
-		res, err := s.eng.Route(ints[0], ints[1])
+		res, err := s.eng.RouteSpanned(ints[0], ints[1], sp)
 		if err != nil {
 			return false, err
 		}
@@ -148,7 +184,7 @@ func (s *Session) exec(cmd string, rest []string) (bool, error) {
 		if err := argc(1); err != nil {
 			return false, err
 		}
-		st, err := s.eng.RouteFrom(ints[0])
+		st, err := s.eng.RouteFromSpanned(ints[0], sp)
 		if err != nil {
 			return false, err
 		}
@@ -215,7 +251,7 @@ func (s *Session) exec(cmd string, rest []string) (bool, error) {
 		if s.tracing {
 			res, tr, err = s.eng.RouteAndAllocateTraced(lease, ints[0], ints[1])
 		} else {
-			res, err = s.eng.RouteAndAllocate(lease, ints[0], ints[1])
+			res, err = s.eng.RouteAndAllocateSpanned(lease, ints[0], ints[1], sp)
 		}
 		if err != nil {
 			return false, err
@@ -229,7 +265,7 @@ func (s *Session) exec(cmd string, rest []string) (bool, error) {
 		if err := argc(1); err != nil {
 			return false, err
 		}
-		if err := s.eng.Release(int64(ints[0])); err != nil {
+		if err := s.eng.ReleaseSpanned(int64(ints[0]), sp); err != nil {
 			return false, err
 		}
 		fmt.Fprintf(s.w, "released %d (epoch %d)\n", ints[0], s.eng.Epoch())
@@ -267,6 +303,47 @@ func (s *Session) exec(cmd string, rest []string) (bool, error) {
 			snap["engine_traced_routes_total"], snap["engine_alloc_retries_total"], st.Rebuilds)
 		fmt.Fprintf(s.w, "route latency: p50 %s  p95 %s  p99 %s  (n=%d, max %s)\n",
 			nsDuration(lat.P50), nsDuration(lat.P95), nsDuration(lat.P99), lat.Count, nsDuration(lat.Max))
+	case "recent", "slow":
+		if len(ints) > 1 {
+			return false, fmt.Errorf("%s: want at most one argument, got %d", cmd, len(ints))
+		}
+		if s.tracer == nil {
+			return false, fmt.Errorf("%s: request recorder not configured", cmd)
+		}
+		n := DefaultTraceList
+		if len(ints) == 1 {
+			if ints[0] <= 0 {
+				return false, fmt.Errorf("%s: count must be positive, got %d", cmd, ints[0])
+			}
+			n = ints[0]
+		}
+		var traces []*obs.ReqTrace
+		if cmd == "recent" {
+			traces = s.tracer.Recent(n)
+		} else {
+			traces = s.tracer.Slow(n)
+		}
+		if len(traces) == 0 {
+			fmt.Fprintln(s.w, "no traces retained")
+			return false, nil
+		}
+		for _, r := range traces {
+			s.printTraceLine(r)
+		}
+	case "tracejson":
+		if err := argc(1); err != nil {
+			return false, err
+		}
+		if s.tracer == nil {
+			return false, fmt.Errorf("tracejson: request recorder not configured")
+		}
+		r := s.tracer.Find(uint64(ints[0]))
+		if r == nil {
+			return false, fmt.Errorf("tracejson: trace %d not retained", ints[0])
+		}
+		if err := obs.EncodeReqTrace(s.w, r); err != nil {
+			return false, err
+		}
 	case "metrics":
 		if err := s.eng.Metrics().WriteJSON(s.w); err != nil {
 			return false, err
@@ -325,6 +402,28 @@ func (s *Session) printExplain(res *core.Result, tr *obs.RouteTrace) {
 	fmt.Fprintf(s.w, "  cost %g  %s\n", res.Cost, res.Path.String(s.eng.Base()))
 	fmt.Fprintf(s.w, "  search: aux %d nodes / %d arcs, settled %d, relaxed %d, conversions %d/%d taken/available\n",
 		tr.AuxNodes, tr.AuxArcs, tr.Settled, tr.Relaxed, tr.ConversionsTaken, tr.ConversionsAvailable)
+}
+
+// printTraceLine renders one flight-recorder entry as a summary line:
+// id, total duration, verb, outcome and span count, with the dominant
+// child span (queue wait vs execution) split out when present.
+func (s *Session) printTraceLine(r *obs.ReqTrace) {
+	verb, outcome := "-", "-"
+	if a, ok := r.Root().Attr(attrVerb); ok {
+		verb = a.Str
+	}
+	if a, ok := r.Root().Attr(attrOutcome); ok {
+		outcome = a.Str
+	}
+	fmt.Fprintf(s.w, "  trace %d  %s  verb %s  outcome %s  spans %d",
+		r.ID, r.Duration(), verb, outcome, len(r.Spans()))
+	if q := r.Span(spanQueueWait); q != nil {
+		fmt.Fprintf(s.w, "  queue %s", q.Duration())
+	}
+	if e := r.Span(spanExec); e != nil {
+		fmt.Fprintf(s.w, "  exec %s", e.Duration())
+	}
+	fmt.Fprintln(s.w)
 }
 
 // nsDuration renders a nanosecond quantity from a histogram as a

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lightpath/internal/engine"
+	"lightpath/internal/obs"
 )
 
 // DefaultQueueDepth is the admission-queue capacity when
@@ -39,6 +40,12 @@ type ServerConfig struct {
 	// Telemetry receives connection/shed/latency instruments; nil
 	// disables serve-layer metrics.
 	Telemetry *Telemetry
+	// Tracer, when non-nil, records every request (subject to its own
+	// sampling) as a span tree in the flight recorder: the trace starts
+	// before admission so queue wait is measured, and shed requests are
+	// retained with outcome=shed. Connection lifetimes are recorded as
+	// serve_conn traces. Nil disables recording at zero cost.
+	Tracer *obs.Tracer
 
 	// testExecDelay artificially lengthens request execution while the
 	// admission slot is held — package tests use it to make shedding and
@@ -184,9 +191,24 @@ func (s *Server) handle(conn net.Conn) {
 	if s.cfg.Telemetry != nil {
 		s.cfg.Telemetry.ConnOpened()
 	}
+	// The connection's own lifetime is a one-span trace; the remote
+	// address is rendered only when the trace is actually recorded.
+	// Connection lifetimes are not latencies: keep them out of the slow
+	// log, where they would always exceed the threshold.
+	connReq := s.cfg.Tracer.Start(spanConn)
+	var remote string
+	if connReq != nil {
+		remote = conn.RemoteAddr().String()
+		connReq.Root().SetStr(attrRemote, remote)
+		defer s.cfg.Tracer.FinishRecentOnly(connReq)
+	}
 
 	out := bufio.NewWriter(conn)
-	sess := NewSession(s.eng, out, &SessionOptions{Workers: s.cfg.Workers, Telemetry: s.cfg.Telemetry})
+	sess := NewSession(s.eng, out, &SessionOptions{
+		Workers:   s.cfg.Workers,
+		Telemetry: s.cfg.Telemetry,
+		Tracer:    s.cfg.Tracer,
+	})
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for {
@@ -203,7 +225,21 @@ func (s *Server) handle(conn net.Conn) {
 		if s.draining() {
 			return // request arrived after drain began: refuse it
 		}
-		if !s.admit() {
+		// Start the request trace before admission so the queue wait —
+		// the dominant latency term under overload — is inside it.
+		req := s.cfg.Tracer.Start(spanRequest)
+		if req != nil {
+			if remote == "" {
+				remote = conn.RemoteAddr().String()
+			}
+			req.Root().SetStr(attrRemote, remote)
+		}
+		qsp := req.Root().StartChild(spanQueueWait)
+		admitted := s.admit()
+		qsp.End()
+		if !admitted {
+			req.Root().SetStr(attrOutcome, outcomeShed)
+			s.cfg.Tracer.Finish(req)
 			if s.cfg.Telemetry != nil {
 				s.cfg.Telemetry.Shed()
 			}
@@ -216,8 +252,9 @@ func (s *Server) handle(conn net.Conn) {
 		if s.cfg.testExecDelay > 0 {
 			time.Sleep(s.cfg.testExecDelay)
 		}
-		quit, err := sess.Exec(line)
+		quit, err := sess.ExecReq(line, req)
 		<-s.slots
+		s.cfg.Tracer.Finish(req)
 		if err != nil {
 			fmt.Fprintf(out, "error: %v\n", err)
 		}

@@ -51,6 +51,9 @@ func NewTelemetry(reg *obs.Registry) *Telemetry {
 			"explain":   reg.Histogram("serve_verb_explain_latency_ns", b),
 			"trace":     reg.Histogram("serve_verb_trace_latency_ns", b),
 			"metrics":   reg.Histogram("serve_verb_metrics_latency_ns", b),
+			"recent":    reg.Histogram("serve_verb_recent_latency_ns", b),
+			"slow":      reg.Histogram("serve_verb_slow_latency_ns", b),
+			"tracejson": reg.Histogram("serve_verb_tracejson_latency_ns", b),
 		},
 	}
 }
