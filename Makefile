@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-hot race-obs vet lint lint-vet verify bench-engine bench-obs bench-churn bench-smoke fuzz-smoke bench-serve
+.PHONY: all build test race race-hot race-obs vet lint lint-vet lint-audit verify bench-engine bench-obs bench-churn bench-smoke fuzz-smoke bench-serve
 
 all: verify
 
@@ -40,7 +40,15 @@ lint-vet:
 	$(GO) build -o bin/wdmlint ./cmd/wdmlint
 	$(GO) vet -vettool=bin/wdmlint ./...
 
-verify: build vet lint test race-hot race
+# Suppression audit: every //lint:ignore must carry a known analyzer
+# and a written reason, and the total count is pinned so it can only
+# grow deliberately (bump LINT_SUPPRESSIONS_MAX in the same commit that
+# adds a justified directive).
+LINT_SUPPRESSIONS_MAX ?= 6
+lint-audit:
+	$(GO) run ./cmd/wdmlint -audit -audit-max $(LINT_SUPPRESSIONS_MAX)
+
+verify: build vet test race-hot race
 
 # Regenerate the committed engine benchmark record.
 bench-engine:

@@ -62,7 +62,7 @@ func TestBrokenFixtureExitsNonZero(t *testing.T) {
 		t.Fatalf("want exit 1 on broken fixture, got %v\nstdout: %s\nstderr: %s", err, stdout.String(), stderr.String())
 	}
 	got := stdout.String()
-	for _, analyzer := range []string{"snapshotescape", "errdrop", "infcost"} {
+	for _, analyzer := range []string{"snapshotescape", "errdrop", "infcost", "spanfinish", "leasepair", "lockorder", "deadlinecheck"} {
 		if !strings.Contains(got, analyzer) {
 			t.Errorf("broken fixture output missing %s finding:\n%s", analyzer, got)
 		}
@@ -97,5 +97,66 @@ func TestVettoolRuns(t *testing.T) {
 	cmd.Dir = root
 	if out, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("go vet -vettool on clean package: %v\n%s", err, out)
+	}
+}
+
+// TestAuditFlag covers the suppression inventory: exit 0 with the
+// count summary on the committed tree, exit 1 when -audit-max pins the
+// count below what the tree carries.
+func TestAuditFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the module; skipped in -short")
+	}
+	bin, root := buildLint(t)
+
+	cmd := exec.Command(bin, "-audit")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("-audit on the committed tree: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "suppression(s)") {
+		t.Errorf("-audit output missing count summary:\n%s", out)
+	}
+
+	cmd = exec.Command(bin, "-audit", "-audit-max", "0")
+	cmd.Dir = root
+	out, err = cmd.CombinedOutput()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 1 {
+		t.Fatalf("-audit -audit-max 0 should exit 1 on a tree with suppressions, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "exceeds budget") {
+		t.Errorf("budget overflow not explained:\n%s", out)
+	}
+}
+
+// TestListSorted pins the -list contract: one line per analyzer, in
+// lexicographic order.
+func TestListSorted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the module; skipped in -short")
+	}
+	bin, _ := buildLint(t)
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-list: %v\n%s", err, out)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	var names []string
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		names = append(names, fields[0])
+	}
+	if len(names) != 9 {
+		t.Fatalf("-list printed %d analyzers, want 9:\n%s", len(names), out)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Errorf("-list not sorted: %q after %q", names[i], names[i-1])
+		}
 	}
 }

@@ -57,17 +57,17 @@ func vetUnit(cfgPath string) int {
 		return 0
 	}
 
-	// The contracts wdmlint enforces are production-code contracts; test
-	// files deliberately violate them (re-registering metric names to
-	// assert get-or-create, comparing histogram bounds against +Inf), so
-	// vet mode skips them like the standalone driver does. Test-only
-	// units dissolve to nothing and pass trivially.
-	var goFiles []string
-	for _, f := range cfg.GoFiles {
-		if !strings.HasSuffix(f, "_test.go") {
-			goFiles = append(goFiles, f)
-		}
+	// Test files are kept and marked: the lifecycle analyzers check
+	// test helpers too, while the expression-level analyzers are
+	// handed the non-test subset by RunSuite (test files deliberately
+	// violate those contracts — re-registering metric names to assert
+	// get-or-create, comparing histogram bounds against +Inf).
+	// External test binaries (ImportPath "pkg.test") contain only
+	// generated mains and pass trivially.
+	if strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
 	}
+	goFiles := cfg.GoFiles
 	if len(goFiles) == 0 {
 		return 0
 	}
@@ -104,6 +104,7 @@ func vetUnit(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "wdmlint:", err)
 		return 1
 	}
+	pkg.MarkTestFiles(func(name string) bool { return strings.HasSuffix(name, "_test.go") })
 	diags, err := analysis.RunSuite([]*analysis.Package{pkg}, analysis.Suite())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wdmlint:", err)

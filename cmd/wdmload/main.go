@@ -289,6 +289,8 @@ func worker(addr string, nodes, n int, mix mixWeights, rng *rand.Rand,
 		req := tracer.Start(spanLoadRequest)
 		ssp := req.Root().StartChild(spanLoadSend)
 		if err := c.Send(line); err != nil {
+			ssp.End()
+			tracer.Finish(req)
 			return 0, fmt.Errorf("%q: %w", line, err)
 		}
 		ssp.End()

@@ -1,9 +1,11 @@
 // Package analysis is the repository's domain-aware static-analysis
 // suite: a small analyzer framework on stdlib go/ast + go/types (the
 // build environment has no module proxy, so golang.org/x/tools is
-// deliberately not a dependency), plus five project-specific analyzers
-// that mechanically enforce the engine's concurrency and cost-model
-// contracts:
+// deliberately not a dependency), plus nine project-specific analyzers
+// that mechanically enforce the engine's concurrency, lifecycle, and
+// cost-model contracts.
+//
+// Expression-level analyzers (first generation):
 //
 //   - snapshotescape: *engine.Snapshot values must not outlive the
 //     call that pinned them, and must not be used after an
@@ -16,6 +18,21 @@
 //     constants in lower_snake form.
 //   - errdrop: error returns of engine/session/core public APIs are
 //     never silently discarded.
+//
+// Flow- and call-graph-aware analyzers (second generation, built on the
+// CFG/dataflow core in cfg.go and the summary store in summary.go):
+//
+//   - spanfinish: traces from Tracer.Start and spans from StartChild
+//     are finished/ended on every path, never twice, never mutated
+//     after the finish.
+//   - leasepair: engine leases and session circuits acquired in cmd/
+//     binaries, benchmarks, and test helpers are released, stored, or
+//     returned — never silently dropped.
+//   - lockorder: the cross-package mutex acquisition graph is acyclic,
+//     and no locked exported method is re-entered while the same
+//     receiver's lock is held.
+//   - deadlinecheck: conn reads/writes in internal/serve are dominated
+//     by a matching SetReadDeadline/SetWriteDeadline on every path.
 //
 // cmd/wdmlint is the driver; `make lint` runs it over the module.
 package analysis
@@ -42,11 +59,16 @@ func (d Diagnostic) String() string {
 }
 
 // Pass is everything an analyzer sees for one type-checked package.
+// Files is pre-filtered per Analyzer.TestFiles; TestFile reports
+// whether a file in it is an in-package test file.
 type Pass struct {
 	Fset  *token.FileSet
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// TestFile reports whether f was compiled from a _test.go file.
+	TestFile func(f *ast.File) bool
 
 	analyzer string
 	diags    *[]Diagnostic
@@ -70,12 +92,24 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 }
 
 // Analyzer is one named check. Run is called once per package; analyzers
-// that need cross-package state (metricname uniqueness) keep it in the
-// closure, so a fresh Suite must be built per lint run.
+// that need cross-package state (metricname uniqueness, function
+// summaries, the lock graph) keep it in the closure, so a fresh Suite
+// must be built per lint run.
 type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass) error
+
+	// TestFiles includes in-package _test.go files in Pass.Files. The
+	// expression-level analyzers from the first generation keep their
+	// production-only scope; lifecycle analyzers opt in because test
+	// helpers hold leases and spans too.
+	TestFiles bool
+
+	// Finalize, if set, runs once after every package has been analyzed
+	// — the hook for whole-program findings such as lock-order cycles,
+	// which no single package can see.
+	Finalize func(report func(Diagnostic))
 }
 
 // Suite builds fresh instances of every analyzer, in stable order.
@@ -87,6 +121,10 @@ func Suite() []*Analyzer {
 		NewInfCost(),
 		NewMetricName(),
 		NewErrDrop(),
+		NewSpanFinish(),
+		NewLeasePair(),
+		NewLockOrder(),
+		NewDeadlineCheck(),
 	}
 }
 
@@ -98,17 +136,27 @@ func RunSuite(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			files := pkg.Files
+			if !a.TestFiles {
+				files = pkg.NonTestFiles()
+			}
 			pass := &Pass{
 				Fset:     pkg.Fset,
-				Files:    pkg.Files,
+				Files:    files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				TestFile: pkg.TestFile,
 				analyzer: a.Name,
 				diags:    &diags,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finalize != nil {
+			a.Finalize(func(d Diagnostic) { diags = append(diags, d) })
 		}
 	}
 	for _, pkg := range pkgs {

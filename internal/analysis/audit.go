@@ -1,0 +1,107 @@
+package analysis
+
+// Suppression audit: `wdmlint -audit` walks the module source and
+// prints every //lint:ignore directive with its file, analyzer, and
+// reason. The audit fails when a directive has no written reason or
+// names an analyzer that does not exist — a suppression nobody can
+// justify or that silences nothing is debt, not an exemption. CI pins
+// the total count (make lint-audit) so it can only grow deliberately.
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Ignore is one //lint:ignore directive found in the tree.
+type Ignore struct {
+	File     string // path relative to the audit root
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+// Problem returns a non-empty description when the directive is
+// unacceptable: an empty reason, or an unknown analyzer name.
+func (ig Ignore) Problem(known map[string]bool) string {
+	if !known[ig.Analyzer] {
+		return fmt.Sprintf("unknown analyzer %q", ig.Analyzer)
+	}
+	if strings.TrimSpace(ig.Reason) == "" {
+		return "empty reason"
+	}
+	return ""
+}
+
+// auditSkipDirs are directory names the audit does not descend into:
+// fixtures carry deliberate violations (and deliberate ignores used by
+// the harness tests), bin holds build artifacts.
+var auditSkipDirs = map[string]bool{
+	"testdata": true,
+	"bin":      true,
+	".git":     true,
+}
+
+// AuditTree scans every .go file under root (test files included,
+// testdata excluded) and returns the suppression directives in
+// deterministic file/line order. Comments are read through go/parser,
+// not textually, so a directive quoted inside a string literal — the
+// analyzers' own diagnostic messages mention the syntax — is not
+// miscounted.
+func AuditTree(root string) ([]Ignore, error) {
+	var out []Ignore
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && (auditSkipDirs[d.Name()] || strings.HasPrefix(d.Name(), ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		af, perr := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return fmt.Errorf("audit %s: %w", path, perr)
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			rel = path
+		}
+		for _, cg := range af.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				analyzer, reason, _ := strings.Cut(rest, " ")
+				out = append(out, Ignore{
+					File:     rel,
+					Line:     fset.Position(c.Pos()).Line,
+					Analyzer: analyzer,
+					Reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}

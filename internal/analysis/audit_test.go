@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAuditTree scans a synthetic tree: real directives are inventoried
+// in file/line order, directive-shaped text inside string literals is
+// not, and testdata subtrees are skipped.
+func TestAuditTree(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.go", `package p
+
+func f() {
+	//lint:ignore spanfinish trace handed to recorder goroutine
+	_ = 1
+}
+
+const msg = "annotate with //lint:ignore spanfinish <reason>"
+`)
+	write("sub/b.go", `package q
+
+//lint:ignore leasepair
+var x = 1
+
+//lint:ignore nosuch because reasons
+var y = 2
+`)
+	write("sub/b_test.go", `package q
+
+//lint:ignore lockorder test holds both locks deliberately
+var z = 3
+`)
+	write("testdata/skip.go", `package skipped
+
+//lint:ignore spanfinish should not be inventoried
+var w = 4
+`)
+
+	ignores, err := AuditTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(ignores))
+	for i, ig := range ignores {
+		got[i] = ig.File + ":" + ig.Analyzer
+	}
+	want := []string{
+		"a.go:spanfinish",
+		filepath.Join("sub", "b.go") + ":leasepair",
+		filepath.Join("sub", "b.go") + ":nosuch",
+		filepath.Join("sub", "b_test.go") + ":lockorder",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("AuditTree = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ignore[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	known := map[string]bool{"spanfinish": true, "leasepair": true, "lockorder": true}
+	problems := 0
+	for _, ig := range ignores {
+		if p := ig.Problem(known); p != "" {
+			problems++
+			switch ig.Analyzer {
+			case "leasepair": // empty reason
+			case "nosuch": // unknown analyzer
+			default:
+				t.Errorf("unexpected problem on %s: %s", ig.Analyzer, p)
+			}
+		}
+	}
+	if problems != 2 {
+		t.Errorf("%d problem directives, want 2 (empty reason + unknown analyzer)", problems)
+	}
+}
+
+// TestAuditTreeRealModule pins the real tree's suppressions to the
+// audited set: every directive has a known analyzer and a reason.
+func TestAuditTreeRealModule(t *testing.T) {
+	ignores, err := AuditTree(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := make(map[string]bool)
+	for _, a := range Suite() {
+		known[a.Name] = true
+	}
+	for _, ig := range ignores {
+		if p := ig.Problem(known); p != "" {
+			t.Errorf("%s:%d: %s", ig.File, ig.Line, p)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package analysis
+
+// deadlinecheck enforces the serve layer's I/O discipline: every read
+// or write on a net.Conn in internal/serve must be dominated by a
+// matching SetReadDeadline/SetWriteDeadline (or SetDeadline) on the
+// same path. An undeadlined read parks a connection goroutine forever
+// on a stalled peer; an undeadlined write can wedge the drain path
+// behind a full kernel buffer. The serve contract is "zero time.Time
+// means no limit", so even the unlimited configuration sets a deadline
+// explicitly — which is exactly what makes the rule checkable.
+//
+// The check is a must-dominate forward dataflow: state maps each conn
+// (keyed by its expression: `conn`, `c.conn`) to the deadline kinds
+// set on every path reaching this point; meet is intersection. bufio
+// wrappers are followed to the conn they were built from; a wrapper
+// built from a non-conn source (a REPL scanner over stdin) is exempt,
+// and a wrapper of unknown origin (a struct field) is conservatively
+// conn-backed but satisfied by any armed conn in scope. Writes into a
+// buffered writer are not conn I/O — the wire is touched at Flush,
+// which is the checked operation (the buffer-overflow mid-write flush
+// is a documented unsound corner). Helper summaries record the
+// deadline bits a callee arms on its conn parameters on all paths, so
+// `arm(conn); conn.Read(..)` is clean across a function boundary.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const (
+	dlRead uint8 = 1 << iota
+	dlWrite
+)
+
+type deadState map[string]uint8
+
+func (s deadState) clone() deadState {
+	c := make(deadState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// deadSummary records the deadline bits a function arms on each conn
+// parameter on every path to return.
+type deadSummary struct {
+	paramSets []uint8
+}
+
+type deadlinecheck struct {
+	sums *summaries[deadSummary]
+}
+
+// NewDeadlineCheck builds the deadlinecheck analyzer.
+func NewDeadlineCheck() *Analyzer {
+	a := &deadlinecheck{sums: newSummaries(deadSummary{})}
+	return &Analyzer{
+		Name: "deadlinecheck",
+		Doc:  "conn reads/writes in internal/serve are dominated by SetRead/WriteDeadline on every path",
+		Run:  a.run,
+	}
+}
+
+func deadlineScopePkg(path string) bool {
+	return path == "lightpath/internal/serve" || strings.HasPrefix(path, "fixture/")
+}
+
+// isConnType reports whether t is net.Conn (or a pointer to one of the
+// concrete net conn types).
+func isConnType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if named(t, "net", "Conn") {
+		return true
+	}
+	for _, concrete := range []string{"TCPConn", "UDPConn", "UnixConn"} {
+		if named(t, "net", concrete) {
+			return true
+		}
+	}
+	return false
+}
+
+func isBufioType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return named(t, "bufio", "Reader") || named(t, "bufio", "Writer") ||
+		named(t, "bufio", "Scanner") || named(t, "bufio", "ReadWriter")
+}
+
+// derivation records where a bufio wrapper came from.
+type derivation struct {
+	connKey  string // non-empty: wraps this conn
+	fromConn bool   // false: wraps a non-conn source, exempt
+}
+
+// bufio reader-side methods that perform underlying I/O.
+var bufioReadOps = map[string]bool{
+	"Scan": true, "Read": true, "ReadString": true, "ReadBytes": true,
+	"ReadSlice": true, "ReadLine": true, "ReadRune": true, "ReadByte": true,
+	"Peek": true, "Discard": true, "WriteTo": true,
+}
+
+func (a *deadlinecheck) run(pass *Pass) error {
+	a.sums.index(pass)
+	if !deadlineScopePkg(pass.Pkg.Path()) {
+		return nil
+	}
+	funcDecls(pass, func(fd *ast.FuncDecl, fn *types.Func) {
+		a.checkBody(pass.Info, fd.Body, pass.Reportf)
+		for _, lit := range funcLits(fd.Body) {
+			a.checkBody(pass.Info, lit.Body, pass.Reportf)
+		}
+	})
+	return nil
+}
+
+// wrappers scans a body flow-insensitively for bufio constructor
+// assignments, mapping wrapper variables to their source.
+func wrappers(info *types.Info, body *ast.BlockStmt) map[*types.Var]derivation {
+	out := make(map[*types.Var]derivation)
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i := range asg.Rhs {
+			call, ok := ast.Unparen(asg.Rhs[i]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			f := calleeFunc(info, call)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "bufio" || len(call.Args) == 0 {
+				continue
+			}
+			if !strings.HasPrefix(f.Name(), "New") {
+				continue
+			}
+			v := exprVar(info, asg.Lhs[i])
+			if v == nil {
+				continue
+			}
+			src := call.Args[0]
+			if isConnType(info.TypeOf(src)) {
+				out[v] = derivation{connKey: exprString(src), fromConn: true}
+			} else {
+				out[v] = derivation{fromConn: false}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+type deadChecker struct {
+	a       *deadlinecheck
+	info    *types.Info
+	wrapped map[*types.Var]derivation
+	report  func(pos token.Pos, format string, args ...any)
+}
+
+func (a *deadlinecheck) checkBody(info *types.Info, body *ast.BlockStmt, reportf func(pos token.Pos, format string, args ...any)) {
+	c := &deadChecker{a: a, info: info, wrapped: wrappers(info, body), report: reportf}
+	c.solve(BuildCFG(info, body), deadState{})
+}
+
+// summarize computes which deadline bits fb arms on each conn
+// parameter on all paths.
+func (a *deadlinecheck) summarize(fb funcBody) deadSummary {
+	fn := fb.info.Defs[fb.decl.Name].(*types.Func)
+	sig := fn.Type().(*types.Signature)
+	c := &deadChecker{a: a, info: fb.info, wrapped: wrappers(fb.info, fb.decl.Body)}
+	exit := c.solve(BuildCFG(fb.info, fb.decl.Body), deadState{})
+	sum := deadSummary{paramSets: make([]uint8, sig.Params().Len())}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if isConnType(p.Type()) {
+			sum.paramSets[i] = exit[p.Name()]
+		}
+	}
+	return sum
+}
+
+func (c *deadChecker) solve(cfg *CFG, entry deadState) deadState {
+	rep := c.report
+	c.report = nil
+	in, reached := Solve(cfg, FlowProblem[deadState]{
+		Entry: entry,
+		Meet: func(x, y deadState) deadState {
+			// Must-dominate: only bits set on every incoming path hold.
+			m := deadState{}
+			for k, bits := range x {
+				if other, ok := y[k]; ok && bits&other != 0 {
+					m[k] = bits & other
+				}
+			}
+			return m
+		},
+		Transfer: func(s deadState, blk *Block) deadState {
+			st := s.clone()
+			for _, n := range blk.Nodes {
+				c.node(st, n)
+			}
+			return st
+		},
+		Equal: func(x, y deadState) bool {
+			if len(x) != len(y) {
+				return false
+			}
+			for k, bits := range x {
+				if y[k] != bits {
+					return false
+				}
+			}
+			return true
+		},
+	})
+	c.report = rep
+	if c.report != nil {
+		for _, blk := range cfg.Blocks {
+			if !reached[blk.Index] {
+				continue
+			}
+			st := in[blk.Index].clone()
+			for _, n := range blk.Nodes {
+				c.node(st, n)
+			}
+		}
+	}
+	return in[cfg.Exit.Index]
+}
+
+// node folds one CFG node over the state, arming deadlines and
+// checking I/O operations in source order.
+func (c *deadChecker) node(st deadState, n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			c.call(st, m)
+			return true
+		}
+		return true
+	})
+}
+
+func (c *deadChecker) call(st deadState, call *ast.CallExpr) {
+	f := calleeFunc(c.info, call)
+	if f == nil {
+		return
+	}
+	sel, hasRecv := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+
+	// Deadline arming and direct conn I/O.
+	if hasRecv && isConnType(c.info.TypeOf(sel.X)) {
+		key := exprString(sel.X)
+		switch f.Name() {
+		case "SetDeadline":
+			st[key] |= dlRead | dlWrite
+		case "SetReadDeadline":
+			st[key] |= dlRead
+		case "SetWriteDeadline":
+			st[key] |= dlWrite
+		case "Read":
+			c.require(st, call.Pos(), key, dlRead)
+		case "Write":
+			c.require(st, call.Pos(), key, dlWrite)
+		}
+		return
+	}
+
+	// bufio wrapper I/O.
+	if hasRecv && isBufioType(c.info.TypeOf(sel.X)) {
+		v := exprVar(c.info, sel.X)
+		var d derivation
+		known := false
+		if v != nil {
+			d, known = c.wrapped[v]
+		}
+		if known && !d.fromConn {
+			return // wraps stdin/strings.Reader/...: exempt
+		}
+		key := "" // unknown origin: satisfied by any armed conn
+		if known {
+			key = d.connKey
+		}
+		switch {
+		case bufioReadOps[f.Name()]:
+			c.require(st, call.Pos(), key, dlRead)
+		case f.Name() == "Flush":
+			c.require(st, call.Pos(), key, dlWrite)
+		}
+		return
+	}
+
+	// Package-level writers/readers taking a conn: fmt.Fprint*,
+	// io.WriteString, io.Copy.
+	if f.Pkg() != nil && (f.Pkg().Path() == "fmt" || f.Pkg().Path() == "io") {
+		if strings.HasPrefix(f.Name(), "Fprint") || f.Name() == "WriteString" || f.Name() == "Copy" {
+			if len(call.Args) > 0 && isConnType(c.info.TypeOf(call.Args[0])) {
+				c.require(st, call.Pos(), exprString(call.Args[0]), dlWrite)
+			}
+			if f.Name() == "Copy" && len(call.Args) > 1 && isConnType(c.info.TypeOf(call.Args[1])) {
+				c.require(st, call.Pos(), exprString(call.Args[1]), dlRead)
+			}
+			return
+		}
+	}
+
+	// Helper call: apply the callee's arming summary to conn args.
+	sum := c.a.sums.of(f, c.a.summarize)
+	if len(sum.paramSets) == 0 {
+		return
+	}
+	sig, _ := c.info.TypeOf(call.Fun).(*types.Signature)
+	for i, arg := range call.Args {
+		if !isConnType(c.info.TypeOf(arg)) {
+			continue
+		}
+		pi := i
+		if sig != nil && sig.Variadic() && pi >= sig.Params().Len()-1 {
+			pi = sig.Params().Len() - 1
+		}
+		if pi < len(sum.paramSets) && sum.paramSets[pi] != 0 {
+			st[exprString(arg)] |= sum.paramSets[pi]
+		}
+	}
+}
+
+// require checks that bit is armed for key (or for any conn when the
+// key is unknown) and reports otherwise.
+func (c *deadChecker) require(st deadState, pos token.Pos, key string, bit uint8) {
+	if key != "" {
+		if st[key]&bit != 0 {
+			return
+		}
+	} else {
+		for _, bits := range st {
+			if bits&bit != 0 {
+				return
+			}
+		}
+	}
+	if c.report == nil {
+		return
+	}
+	kind, set := "read", "SetReadDeadline"
+	if bit == dlWrite {
+		kind, set = "write", "SetWriteDeadline"
+	}
+	c.report(pos, "conn %s is not preceded by %s on every path; arm a deadline first (zero time.Time means no limit) or annotate with //lint:ignore deadlinecheck <reason>", kind, set)
+}

@@ -10,6 +10,7 @@ package analysis
 // stays silent on correct code.
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -79,11 +80,13 @@ func parseWants(t *testing.T, dir string) []*want {
 	return wants
 }
 
-func runFixture(t *testing.T, analyzerName string) {
+// fixtureMismatches runs one analyzer over the fixture in dir and
+// returns every disagreement between its diagnostics and the // want
+// expectations — unexpected findings and unmet expectations alike. An
+// empty result means the fixture is green.
+func fixtureMismatches(t *testing.T, dir, analyzerName string) []string {
 	t.Helper()
-	root := moduleRoot(t)
-	dir := filepath.Join("testdata", "src", analyzerName)
-	pkgs, err := LoadDir(root, dir)
+	pkgs, err := LoadDir(moduleRoot(t), dir)
 	if err != nil {
 		t.Fatalf("load fixture: %v", err)
 	}
@@ -104,6 +107,7 @@ func runFixture(t *testing.T, analyzerName string) {
 	if len(wants) == 0 {
 		t.Fatalf("fixture %s has no // want expectations", dir)
 	}
+	var mismatches []string
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {
@@ -117,13 +121,21 @@ func runFixture(t *testing.T, analyzerName string) {
 			}
 		}
 		if !matched {
-			t.Errorf("unexpected diagnostic: %s", d)
+			mismatches = append(mismatches, fmt.Sprintf("unexpected diagnostic: %s", d))
 		}
 	}
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+			mismatches = append(mismatches, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re))
 		}
+	}
+	return mismatches
+}
+
+func runFixture(t *testing.T, analyzerName string) {
+	t.Helper()
+	for _, m := range fixtureMismatches(t, filepath.Join("testdata", "src", analyzerName), analyzerName) {
+		t.Error(m)
 	}
 }
 
@@ -141,13 +153,51 @@ func TestAtomicFieldFixture(t *testing.T)    { runFixture(t, "atomicfield") }
 func TestInfCostFixture(t *testing.T)        { runFixture(t, "infcost") }
 func TestMetricNameFixture(t *testing.T)     { runFixture(t, "metricname") }
 func TestErrDropFixture(t *testing.T)        { runFixture(t, "errdrop") }
+func TestSpanFinishFixture(t *testing.T)     { runFixture(t, "spanfinish") }
+func TestLeasePairFixture(t *testing.T)      { runFixture(t, "leasepair") }
+func TestLockOrderFixture(t *testing.T)      { runFixture(t, "lockorder") }
+func TestDeadlineCheckFixture(t *testing.T)  { runFixture(t, "deadlinecheck") }
 
-// TestSuiteRoster pins the contract the ISSUE states: at least five
+// TestFixtureHarnessCatchesDrift strips one // want expectation from
+// each lifecycle fixture and proves the harness reports the now-
+// unexpected diagnostic — the guard against fixtures rotting into
+// no-ops when analyzer messages drift.
+func TestFixtureHarnessCatchesDrift(t *testing.T) {
+	for _, name := range []string{"spanfinish", "leasepair", "lockorder", "deadlinecheck"} {
+		t.Run(name, func(t *testing.T) {
+			src := filepath.Join("testdata", "src", name, "fixture.go")
+			data, err := os.ReadFile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(string(data), "\n")
+			stripped := false
+			for i, line := range lines {
+				if idx := strings.Index(line, "// want"); idx >= 0 && !stripped {
+					lines[i] = strings.TrimRight(line[:idx], " \t")
+					stripped = true
+				}
+			}
+			if !stripped {
+				t.Fatalf("fixture %s has no // want line to strip", src)
+			}
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(strings.Join(lines, "\n")), 0o666); err != nil {
+				t.Fatal(err)
+			}
+			if got := fixtureMismatches(t, dir, name); len(got) == 0 {
+				t.Errorf("stripping a want expectation from the %s fixture went undetected", name)
+			}
+		})
+	}
+}
+
+// TestSuiteRoster pins the contract the ISSUE states: nine
 // project-specific analyzers, each with a fixture directory.
 func TestSuiteRoster(t *testing.T) {
 	suite := Suite()
-	if len(suite) < 5 {
-		t.Fatalf("Suite() has %d analyzers, want >= 5", len(suite))
+	if len(suite) != 9 {
+		t.Fatalf("Suite() has %d analyzers, want 9", len(suite))
 	}
 	for _, a := range suite {
 		if a.Name == "" || a.Doc == "" || a.Run == nil {

@@ -4,8 +4,12 @@
 package broken
 
 import (
+	"net"
+	"sync"
+
 	"lightpath/internal/engine"
 	"lightpath/internal/graph"
+	"lightpath/internal/obs"
 )
 
 var pinned *engine.Snapshot
@@ -14,4 +18,32 @@ func leak(e *engine.Engine, d float64) bool {
 	pinned = e.Snapshot()
 	e.Release(1)
 	return d == graph.Inf
+}
+
+// spanfinish: the trace is lost on the error path.
+func droppedTrace(t *obs.Tracer, fail bool) {
+	req := t.Start("broken_req")
+	if fail {
+		return
+	}
+	t.Finish(req)
+}
+
+// leasepair: the lease is never released, stored, or returned.
+func droppedLease(e *engine.Engine, owner int64) {
+	_, _ = e.RouteAndAllocate(owner, 0, 1)
+}
+
+type locked struct{ mu sync.Mutex }
+
+// lockorder: re-lock of a held mutex.
+func relock(l *locked) {
+	l.mu.Lock()
+	l.mu.Lock()
+	l.mu.Unlock()
+}
+
+// deadlinecheck: a conn read with no deadline armed on any path.
+func bareRead(conn net.Conn, buf []byte) {
+	_, _ = conn.Read(buf)
 }

@@ -1,0 +1,148 @@
+// Package deadlinecheck is a golden fixture for the deadlinecheck
+// analyzer: conn reads/writes must be dominated by a matching
+// SetReadDeadline/SetWriteDeadline (or SetDeadline) on every path.
+// bufio wrappers are followed to the conn they wrap; wrappers over
+// non-conn sources are exempt; buffered writes touch the wire at
+// Flush, which is the checked operation.
+package deadlinecheck
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func rawRead(conn net.Conn, buf []byte) {
+	_, _ = conn.Read(buf) // want `conn read is not preceded by SetReadDeadline on every path`
+}
+
+func writeBare(conn net.Conn, p []byte) {
+	_, _ = conn.Write(p) // want `conn write is not preceded by SetWriteDeadline on every path`
+}
+
+// wrongKind: a write deadline does not license a read.
+func wrongKind(conn net.Conn, buf []byte) {
+	_ = conn.SetWriteDeadline(time.Time{})
+	_, _ = conn.Read(buf) // want `conn read is not preceded by SetReadDeadline on every path`
+}
+
+// conditional is the exact bug fixed in internal/serve: arming only
+// when a timeout is configured leaves the other path undeadlined.
+func conditional(conn net.Conn, buf []byte, idle time.Duration) {
+	if idle > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(idle))
+	}
+	_, _ = conn.Read(buf) // want `conn read is not preceded by SetReadDeadline on every path`
+}
+
+// armAfter: domination is path-ordered, arming after the read is too late.
+func armAfter(conn net.Conn, buf []byte) {
+	_, _ = conn.Read(buf) // want `conn read is not preceded by SetReadDeadline on every path`
+	_ = conn.SetReadDeadline(time.Time{})
+}
+
+// partial arms different kinds on the two arms; neither bit survives
+// the must-intersection for the read below.
+func partial(conn net.Conn, buf []byte, retry bool) {
+	if retry {
+		_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	} else {
+		_ = conn.SetWriteDeadline(time.Time{})
+	}
+	_, _ = conn.Read(buf) // want `conn read is not preceded by SetReadDeadline on every path`
+}
+
+func fprintBare(conn net.Conn) {
+	fmt.Fprintln(conn, "hello") // want `conn write is not preceded by SetWriteDeadline on every path`
+}
+
+// flushBare: the Fprintln into the buffer is not conn I/O; the wire is
+// touched at Flush, which is what must be deadlined.
+func flushBare(conn net.Conn) {
+	w := bufio.NewWriter(conn)
+	fmt.Fprintln(w, "queued")
+	_ = w.Flush() // want `conn write is not preceded by SetWriteDeadline on every path`
+}
+
+func scanBare(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() { // want `conn read is not preceded by SetReadDeadline on every path`
+		_ = sc.Text()
+	}
+}
+
+// halfHelper arms only under a condition, so its summary promises
+// nothing and the caller's read is unprotected.
+func halfHelper(conn net.Conn, d time.Duration) {
+	if d > 0 {
+		_ = conn.SetDeadline(time.Now().Add(d))
+	}
+}
+
+func viaHalfHelper(conn net.Conn, buf []byte) {
+	halfHelper(conn, time.Second)
+	_, _ = conn.Read(buf) // want `conn read is not preceded by SetReadDeadline on every path`
+}
+
+// --- clean code the analyzer must stay silent on ---
+
+func armed(conn net.Conn, buf, p []byte) error {
+	if err := conn.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	if _, err := conn.Read(buf); err != nil {
+		return err
+	}
+	_, err := conn.Write(p)
+	return err
+}
+
+// armedScanner mirrors the serve loop after the fix: unconditional
+// arming (zero time.Time = no limit) before every Scan.
+func armedScanner(conn net.Conn, idleTimeout time.Duration) {
+	sc := bufio.NewScanner(conn)
+	for {
+		idle := time.Time{}
+		if idleTimeout > 0 {
+			idle = time.Now().Add(idleTimeout)
+		}
+		_ = conn.SetReadDeadline(idle)
+		if !sc.Scan() {
+			return
+		}
+	}
+}
+
+func armedFlush(conn net.Conn) {
+	w := bufio.NewWriter(conn)
+	fmt.Fprintln(w, "queued")
+	_ = conn.SetWriteDeadline(time.Time{})
+	_ = w.Flush()
+}
+
+// arm promises both deadline kinds on every path: calls through it are
+// as good as arming inline.
+func arm(conn net.Conn, d time.Duration) {
+	_ = conn.SetDeadline(time.Now().Add(d))
+}
+
+func viaHelper(conn net.Conn, buf []byte) {
+	arm(conn, time.Second)
+	_, _ = conn.Read(buf)
+}
+
+// replScanner wraps stdin, not a conn: exempt, like the REPL.
+func replScanner() {
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		_ = sc.Text()
+	}
+}
+
+func stringRead() {
+	r := bufio.NewReader(strings.NewReader("x\n"))
+	_, _ = r.ReadString('\n')
+}

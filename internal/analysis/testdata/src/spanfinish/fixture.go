@@ -1,0 +1,144 @@
+// Package spanfinish is a golden fixture for the spanfinish analyzer:
+// traces from Tracer.Start and spans from StartChild must be finished
+// on every path, never twice, and never mutated after the finish.
+// Escapes (return, store, capture) transfer the obligation; helper
+// summaries make finishing helpers transparent.
+package spanfinish
+
+import (
+	"errors"
+
+	"lightpath/internal/obs"
+)
+
+var errBoom = errors.New("boom")
+
+// dropOnError loses the trace on the error path — the exact bug class
+// this analyzer exists for.
+func dropOnError(t *obs.Tracer, fail bool) error {
+	req := t.Start("fixture_req") // want `trace "fixture_req" started here is not finished on every path`
+	if fail {
+		return errBoom
+	}
+	t.Finish(req)
+	return nil
+}
+
+func doubleFinish(t *obs.Tracer) {
+	req := t.Start("fixture_double")
+	t.Finish(req)
+	t.Finish(req) // want `trace "fixture_double" is finished more than once on this path`
+}
+
+func deferThenExplicit(t *obs.Tracer) {
+	req := t.Start("fixture_defer_twice")
+	defer t.Finish(req)
+	t.Finish(req) // want `trace "fixture_defer_twice" is finished more than once on this path`
+}
+
+func useAfterFinish(t *obs.Tracer) {
+	req := t.Start("fixture_mutate")
+	sp := req.Root().StartChild("fixture_child")
+	sp.End()
+	sp.SetInt("k", 1) // want `span "fixture_child" is used after it is ended`
+	t.Finish(req)
+}
+
+func childNotEnded(t *obs.Tracer, fail bool) error {
+	req := t.Start("fixture_req2")
+	defer t.Finish(req)
+	sp := req.Root().StartChild("fixture_send") // want `span "fixture_send" started here is not ended on every path`
+	if fail {
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+// loopRestart: the continue path carries an unfinished trace back to
+// the Start, which both overwrites it and leaks it at function exit.
+func loopRestart(t *obs.Tracer, n int) {
+	for i := 0; i < n; i++ {
+		req := t.Start("fixture_loop") // want `trace "fixture_loop" overwrites a trace that is not yet finished` `trace "fixture_loop" started here is not finished on every path`
+		if i == 0 {
+			continue
+		}
+		t.Finish(req)
+	}
+}
+
+func overwrite(t *obs.Tracer) {
+	req := t.Start("fixture_first")
+	req = t.Start("fixture_second") // want `trace "fixture_second" overwrites a trace that is not yet finished`
+	t.Finish(req)
+}
+
+func discarded(t *obs.Tracer) {
+	t.Start("fixture_drop") // want `result of Start is discarded; the trace can never be finished`
+	req := t.Start("fixture_kept")
+	_ = req.Root().StartChild("fixture_drop_child") // want `result of StartChild is discarded; the span can never be ended`
+	t.Finish(req)
+}
+
+// peek receives the trace but neither finishes nor stores it, so the
+// obligation stays with the caller (spanFactNone).
+func peek(req *obs.ReqTrace) {
+	if req == nil {
+		return
+	}
+}
+
+func helperKeeps(t *obs.Tracer, fail bool) error {
+	req := t.Start("fixture_peeked") // want `trace "fixture_peeked" started here is not finished on every path`
+	peek(req)
+	if fail {
+		return errBoom
+	}
+	t.Finish(req)
+	return nil
+}
+
+// --- clean code the analyzer must stay silent on ---
+
+func deferFinish(t *obs.Tracer, fail bool) error {
+	req := t.Start("fixture_deferred")
+	defer t.Finish(req)
+	sp := req.Root().StartChild("fixture_step")
+	defer sp.End()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// nilGuard: Finish(nil) is a no-op, so the nil arm owes nothing.
+func nilGuard(t *obs.Tracer) {
+	req := t.Start("fixture_guarded")
+	if req != nil {
+		defer t.Finish(req)
+	}
+}
+
+// handsBack escapes the trace to the caller, which then owns it.
+func handsBack(t *obs.Tracer) *obs.ReqTrace {
+	req := t.Start("fixture_returned")
+	return req
+}
+
+type holder struct{ req *obs.ReqTrace }
+
+// stores escapes the trace into a field; the holder owns it now.
+func stores(t *obs.Tracer, h *holder) {
+	h.req = t.Start("fixture_stored")
+}
+
+// finishHelper finishes its argument on every path (spanFactFinishes):
+// a call to it discharges the caller exactly like a direct Finish.
+func finishHelper(t *obs.Tracer, req *obs.ReqTrace) {
+	t.Finish(req)
+}
+
+func helperFinishes(t *obs.Tracer) {
+	req := t.Start("fixture_handed")
+	finishHelper(t, req)
+}

@@ -75,6 +75,7 @@ func EngineReport(cfg Config) (*EngineBenchResult, error) {
 		for d == s {
 			d = rng.Intn(n)
 		}
+		//lint:ignore leasepair seed occupancy is deliberately held for the whole benchmark; the engine is discarded with the process
 		if _, err := eng.RouteAndAllocate(owner, s, d); err != nil {
 			return nil, fmt.Errorf("bench: seed occupancy: %w", err)
 		}

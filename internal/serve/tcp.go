@@ -212,8 +212,20 @@ func (s *Server) handle(conn net.Conn) {
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for {
+		// Arm the read deadline unconditionally: a zero time.Time means
+		// "no limit", so even the untimed configuration states its
+		// policy explicitly (and deadlinecheck can verify it). Shutdown
+		// closes drainCh before stamping its wake-up deadlines under
+		// s.mu, so if this overwrite races with a drain stamp, the
+		// draining() check below is already true and we return before
+		// parking in Scan.
+		idle := time.Time{}
 		if s.cfg.IdleTimeout > 0 {
-			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+			idle = time.Now().Add(s.cfg.IdleTimeout)
+		}
+		_ = conn.SetReadDeadline(idle)
+		if s.draining() {
+			return
 		}
 		if !scanner.Scan() {
 			return // EOF, idle timeout, or a drain-induced deadline
@@ -294,8 +306,12 @@ func (s *Server) admit() bool {
 // flush pushes one buffered reply to the wire under WriteTimeout; a
 // false result means the connection is unusable.
 func (s *Server) flush(conn net.Conn, out *bufio.Writer) bool {
+	// Zero time.Time = no write limit; arming is unconditional so the
+	// policy is explicit on every path to the wire.
+	wd := time.Time{}
 	if s.cfg.WriteTimeout > 0 {
-		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		wd = time.Now().Add(s.cfg.WriteTimeout)
 	}
+	_ = conn.SetWriteDeadline(wd)
 	return out.Flush() == nil
 }
