@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-hot race-obs vet lint lint-vet lint-audit verify bench-engine bench-obs bench-churn bench-smoke fuzz-smoke bench-serve
+.PHONY: all build test race race-hot race-obs vet lint lint-vet lint-audit verify bench-engine bench-obs bench-churn bench-goal bench-smoke fuzz-smoke bench-serve
 
 all: verify
 
@@ -73,12 +73,19 @@ race-obs:
 bench-churn:
 	$(GO) run ./cmd/wdmbench -experiment "" -churn-json BENCH_churn.json
 
+# Regenerate the committed goal-directed search record (bidirectional
+# Dijkstra and ALT vs plain goal-set Dijkstra across topology tiers) and
+# gate the settled-node reduction claim: bidi must settle at most half
+# the plain search's nodes on the largest tier.
+bench-goal:
+	./scripts/bench_goal.sh
+
 # Fast benchmark smoke pass for CI: runs the route / mutation / Dijkstra
 # benchmarks briefly with -benchmem so an accidental allocation or a
 # gross regression on the hot paths is visible in the job log without
 # paying for a full measurement run. Not a stable-numbers benchmark.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Route|AllocateRelease|Dijkstra' \
+	$(GO) test -run '^$$' -bench 'Route|AllocateRelease|Dijkstra|Bidirectional|AStar' \
 		-benchtime 100ms -benchmem \
 		./internal/graph ./internal/core ./internal/engine
 
@@ -90,6 +97,7 @@ FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzProtocolParse$$' -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzDeltaChurn$$' -fuzztime $(FUZZTIME) ./internal/engine
+	$(GO) test -run '^$$' -fuzz '^FuzzGoalDirected$$' -fuzztime $(FUZZTIME) ./internal/engine
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalNetwork$$' -fuzztime $(FUZZTIME) ./internal/wdm
 	$(GO) test -run '^$$' -fuzz '^FuzzEngineAllocateRelease$$' -fuzztime $(FUZZTIME) ./internal/wdm
 	$(GO) test -run '^$$' -fuzz '^FuzzSpanEncode$$' -fuzztime $(FUZZTIME) ./internal/obs

@@ -12,6 +12,7 @@
 //	wdmbench -scale 0.25 -reps 1   # quick pass
 //	wdmbench -list
 //	wdmbench -experiment engine -engine-json BENCH_engine.json
+//	wdmbench -experiment "" -goal-json BENCH_goal.json
 package main
 
 import (
@@ -43,6 +44,8 @@ func run(args []string, w io.Writer) error {
 		"write the telemetry overhead benchmark as machine-readable JSON to this path (e.g. BENCH_obs.json)")
 	churnJSON := fs.String("churn-json", "",
 		"write the churn (delta vs full rebuild) benchmark as machine-readable JSON to this path (e.g. BENCH_churn.json)")
+	goalJSON := fs.String("goal-json", "",
+		"write the goal-directed search benchmark as machine-readable JSON to this path (e.g. BENCH_goal.json)")
 	list := fs.Bool("list", false, "list experiment names and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +108,23 @@ func run(args []string, w io.Writer) error {
 				tier.Name, tier.Speedup, tier.DeltaMeanNs, tier.FullMeanNs, tier.Epochs)
 		}
 		fmt.Fprintf(w, "churn benchmark written to %s\n", *churnJSON)
+		if *experiment == "" {
+			return nil
+		}
+	}
+	if *goalJSON != "" {
+		report, err := bench.GoalReport(cfg)
+		if err != nil {
+			return fmt.Errorf("goal benchmark: %w", err)
+		}
+		if err := report.WriteJSON(*goalJSON); err != nil {
+			return fmt.Errorf("write %s: %w", *goalJSON, err)
+		}
+		for _, tier := range report.Tiers {
+			fmt.Fprintf(w, "goal %s: settled reduction bidi %.2fx / alt %.2fx, speedup bidi %.2fx / alt %.2fx\n",
+				tier.Tier, tier.BidiSettledReduction, tier.AltSettledReduction, tier.BidiSpeedup, tier.AltSpeedup)
+		}
+		fmt.Fprintf(w, "goal benchmark written to %s\n", *goalJSON)
 		if *experiment == "" {
 			return nil
 		}

@@ -68,6 +68,7 @@ import (
 	"time"
 
 	"lightpath/internal/cli"
+	"lightpath/internal/core"
 	"lightpath/internal/engine"
 	"lightpath/internal/graph"
 	"lightpath/internal/obs"
@@ -86,6 +87,8 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 	var nf cli.NetFlags
 	nf.Register(fs)
 	queue := fs.String("queue", "binary", "dijkstra queue: fibonacci|binary|pairing|linear")
+	directed := fs.String("directed", "plain",
+		"point-query search strategy: plain|bidi|alt (alt maintains epoch-aware landmarks)")
 	cacheSize := fs.Int("cache", engine.DefaultCacheSize, "SourceTree cache capacity (<0 disables)")
 	workers := fs.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	script := fs.String("script", "", "read commands from this file instead of stdin")
@@ -129,16 +132,28 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 		return fmt.Errorf("unknown queue %q", *queue)
 	}
 
+	var mode core.DirectedMode
+	switch *directed {
+	case "plain":
+		mode = core.DirectedPlain
+	case "bidi":
+		mode = core.DirectedBidi
+	case "alt":
+		mode = core.DirectedALT
+	default:
+		return fmt.Errorf("unknown directed mode %q", *directed)
+	}
+
 	nw, err := nf.Build()
 	if err != nil {
 		return err
 	}
-	eng, err := engine.New(nw, &engine.Options{Queue: kind, CacheSize: *cacheSize})
+	eng, err := engine.New(nw, &engine.Options{Queue: kind, CacheSize: *cacheSize, Directed: mode})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "serving %d nodes, %d links, k=%d (epoch %d)\n",
-		nw.NumNodes(), nw.NumLinks(), nw.K(), eng.Epoch())
+	fmt.Fprintf(w, "serving %d nodes, %d links, k=%d (epoch %d, %s search)\n",
+		nw.NumNodes(), nw.NumLinks(), nw.K(), eng.Epoch(), eng.Directed())
 
 	tracer := obs.NewTracer(&obs.TracerOptions{
 		RingSize: *recorderSize,

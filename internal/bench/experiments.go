@@ -52,7 +52,7 @@ var Names = []string{
 	"example", "scaling-n", "scaling-k", "compare", "k-independence",
 	"distributed", "revisit", "all-pairs", "observations", "representation",
 	"heap-ablation", "session", "async", "k-shortest", "rwa-compare", "placement", "wavelength-requirement",
-	"engine", "obs", "churn",
+	"engine", "obs", "churn", "goal",
 }
 
 // Run dispatches one named experiment to w.
@@ -98,6 +98,8 @@ func Run(name string, w io.Writer, cfg Config) error {
 		return RunObs(w, cfg)
 	case "churn":
 		return RunChurn(w, cfg)
+	case "goal":
+		return RunGoal(w, cfg)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (have %v)", name, Names)
 	}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"lightpath/internal/graph"
+)
+
+// This file implements ALT (A*, Landmarks, Triangle inequality)
+// potentials over the auxiliary graph. A landmark L is an auxiliary node
+// with two precomputed distance vectors — fwd[v] = dist(L, v) and
+// bwd[v] = dist(v, L) — from which the triangle inequality yields, for
+// any goal set T:
+//
+//	dist(v, T) ≥ min_{t∈T} fwd[t] − fwd[v]     (L "behind" the goals)
+//	dist(v, T) ≥ bwd[v] − max_{t∈T} bwd[t]     (L "beyond" the goals)
+//
+// The per-query potential takes the max of these bounds over the best
+// few landmarks, clamped at 0. DESIGN.md §14 carries the admissibility
+// and consistency proofs, including the +Inf cases.
+
+// Landmark-count defaults: how many landmarks to precompute and how many
+// of them one query consults (ranked by their bound at the first seed —
+// a landmark helpful for this source/goal geometry stays helpful along
+// the whole search).
+const (
+	DefaultLandmarkCount   = 8
+	defaultActiveLandmarks = 4
+)
+
+// Landmarks is a precomputed set of ALT landmarks for one auxiliary
+// graph (one epoch). It is immutable after ComputeLandmarks and safe for
+// concurrent use; per-query state is pooled internally. It implements
+// PotentialSource.
+type Landmarks struct {
+	nodes []int       // landmark aux-node IDs
+	fwd   [][]float64 // fwd[i][v] = dist(nodes[i], v)
+	bwd   [][]float64 // bwd[i][v] = dist(v, nodes[i])
+
+	active int
+	pool   sync.Pool // *altPotential
+}
+
+// ComputeLandmarks selects count landmarks on a's auxiliary graph by
+// farthest-point traversal (each new landmark maximizes the minimum
+// round-trip distance to the chosen set, falling back to an even spread
+// over disconnected regions) and runs 2·count full Dijkstra passes to
+// fill their distance vectors. count ≤ 0 selects DefaultLandmarkCount.
+func ComputeLandmarks(a *Aux, count int) (*Landmarks, error) {
+	n := a.NumAuxNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("core: landmarks on empty auxiliary graph")
+	}
+	if count <= 0 {
+		count = DefaultLandmarkCount
+	}
+	if count > n {
+		count = n
+	}
+	lm := &Landmarks{active: defaultActiveLandmarks}
+	if lm.active > count {
+		lm.active = count
+	}
+	lm.pool.New = func() any { return newAltPotential(lm) }
+
+	rev := a.ReverseGraph()
+	isLandmark := make([]bool, n)
+	// minRound[v] = min over chosen landmarks of fwd+bwd round trip; the
+	// farthest-point rule picks the next landmark maximizing it.
+	minRound := make([]float64, n)
+	for i := range minRound {
+		minRound[i] = graph.Inf
+	}
+
+	pick := 0
+	for len(lm.nodes) < count {
+		tf, err := graph.DijkstraSeedsUntil(a.g, []int{pick}, nil, graph.QueueBinary)
+		if err != nil {
+			return nil, fmt.Errorf("core: landmark forward pass: %w", err)
+		}
+		tb, err := graph.DijkstraSeedsUntil(rev, []int{pick}, nil, graph.QueueBinary)
+		if err != nil {
+			return nil, fmt.Errorf("core: landmark backward pass: %w", err)
+		}
+		isLandmark[pick] = true
+		lm.nodes = append(lm.nodes, pick)
+		lm.fwd = append(lm.fwd, tf.Dist) // freshly allocated trees: safe to retain
+		lm.bwd = append(lm.bwd, tb.Dist)
+
+		next, best := -1, -1.0
+		for v := 0; v < n; v++ {
+			if graph.Finite(tf.Dist[v]) && graph.Finite(tb.Dist[v]) {
+				if r := tf.Dist[v] + tb.Dist[v]; r < minRound[v] {
+					minRound[v] = r
+				}
+			}
+			if !isLandmark[v] && graph.Finite(minRound[v]) && minRound[v] > best {
+				next, best = v, minRound[v]
+			}
+		}
+		if next < 0 {
+			// No finite candidate (disconnected region): spread evenly.
+			for off := 0; off < n; off++ {
+				v := (len(lm.nodes)*n/count + off) % n
+				if !isLandmark[v] {
+					next = v
+					break
+				}
+			}
+			if next < 0 {
+				break // every node is a landmark already
+			}
+		}
+		pick = next
+	}
+	return lm, nil
+}
+
+// Count reports the number of landmarks.
+func (lm *Landmarks) Count() int { return len(lm.nodes) }
+
+// Nodes returns the landmark aux-node IDs (shared slice; do not modify).
+func (lm *Landmarks) Nodes() []int { return lm.nodes }
+
+// altPotential is the pooled per-query state: the active landmark subset
+// and the goal-set aggregates aL = min_t fwd[t], cL = max_t bwd[t],
+// plus the prebuilt closures handed to the search (built once per pooled
+// object so steady-state queries allocate nothing here).
+type altPotential struct {
+	lm      *Landmarks
+	act     []int     // active landmark indices
+	aAll    []float64 // per landmark: min over goals of fwd[t]
+	cAll    []float64 // per landmark: max over goals of bwd[t]
+	fn      func(int) float64
+	done    func()
+	scoreBy []float64 // per landmark: bound at the first seed
+}
+
+func newAltPotential(lm *Landmarks) *altPotential {
+	L := len(lm.nodes)
+	p := &altPotential{
+		lm:      lm,
+		act:     make([]int, 0, L),
+		aAll:    make([]float64, L),
+		cAll:    make([]float64, L),
+		scoreBy: make([]float64, L),
+	}
+	p.fn = func(v int) float64 {
+		h := 0.0
+		for _, i := range p.act {
+			if graph.Finite(p.aAll[i]) {
+				if d := p.lm.fwd[i][v]; graph.Finite(d) {
+					if b := p.aAll[i] - d; b > h {
+						h = b
+					}
+				}
+			}
+			if graph.Finite(p.cAll[i]) {
+				d := p.lm.bwd[i][v]
+				if graph.IsInf(d) {
+					// Every goal reaches landmark i but v does not, so v
+					// reaches no goal: prune it outright.
+					return graph.Inf
+				}
+				if b := d - p.cAll[i]; b > h {
+					h = b
+				}
+			}
+		}
+		return h
+	}
+	p.done = func() { lm.pool.Put(p) }
+	return p
+}
+
+// Potential implements PotentialSource: per-query goal aggregates, then
+// the best `active` landmarks ranked by their bound at the first seed.
+func (lm *Landmarks) Potential(seeds, goals []int) (func(int) float64, func()) {
+	if len(lm.nodes) == 0 || len(seeds) == 0 || len(goals) == 0 {
+		return nil, nil
+	}
+	p := lm.pool.Get().(*altPotential)
+	s0 := seeds[0]
+	for i := range lm.nodes {
+		aL, cL := graph.Inf, 0.0
+		for _, t := range goals {
+			if d := lm.fwd[i][t]; d < aL {
+				aL = d
+			}
+			if d := lm.bwd[i][t]; d > cL { // max; an Inf goal poisons cL (bound skipped)
+				cL = d
+			}
+		}
+		p.aAll[i], p.cAll[i] = aL, cL
+		// Rank by the bound this landmark gives at the first seed; a +Inf
+		// score (seed provably cut off from the goals) wins outright.
+		score := 0.0
+		if graph.Finite(aL) {
+			if d := lm.fwd[i][s0]; graph.Finite(d) {
+				if b := aL - d; b > score {
+					score = b
+				}
+			}
+		}
+		if graph.Finite(cL) {
+			d := lm.bwd[i][s0]
+			if graph.IsInf(d) {
+				score = graph.Inf
+			} else if b := d - cL; b > score {
+				score = b
+			}
+		}
+		p.scoreBy[i] = score
+	}
+	p.act = p.act[:0]
+	for len(p.act) < lm.active {
+		best, bestScore := -1, -1.0
+		for i := range lm.nodes {
+			if p.scoreBy[i] >= 0 && (best < 0 || p.scoreBy[i] > bestScore) {
+				best, bestScore = i, p.scoreBy[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		p.scoreBy[best] = -1 // taken
+		p.act = append(p.act, best)
+	}
+	return p.fn, p.done
+}

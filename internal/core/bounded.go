@@ -26,7 +26,14 @@ import (
 // most maxHops physical links. It returns ErrNoRoute when t is not
 // reachable within the bound; RouteBounded with a generous bound matches
 // Route exactly.
-func (a *Aux) RouteBounded(s, t, maxHops int, _ *Options) (*Result, error) {
+//
+// Options are honored like Route: Trace is filled with the search
+// anatomy and winning-path breakdown, Span opens a timed
+// core_bounded_search child. The layered DP has no priority queue, so
+// Options.Queue (and Directed) apply only when the bound provably cannot
+// bind — maxHops ≥ |V'|, where any optimal semilightpath fits — in which
+// case the query delegates to Route wholesale.
+func (a *Aux) RouteBounded(s, t, maxHops int, opts *Options) (*Result, error) {
 	if s < 0 || s >= a.nw.NumNodes() {
 		return nil, fmt.Errorf("%w: source %d", ErrNodeRange, s)
 	}
@@ -36,11 +43,26 @@ func (a *Aux) RouteBounded(s, t, maxHops int, _ *Options) (*Result, error) {
 	if maxHops < 0 {
 		return nil, fmt.Errorf("core: maxHops must be non-negative, got %d", maxHops)
 	}
+	tr := opts.trace()
+	if tr != nil {
+		tr.Source, tr.Dest = s, t
+	}
 	if s == t {
 		return &Result{Path: &wdm.Semilightpath{}, Source: s, Dest: t}, nil
 	}
 
 	nAux := a.NumAuxNodes()
+	if maxHops >= nAux {
+		// An optimal semilightpath can always be chosen simple in the
+		// auxiliary graph (non-negative weights), so it crosses fewer
+		// than |V'| E_org arcs and the hop bound cannot exclude it:
+		// delegate to the unbounded search, which honors the configured
+		// queue kind and directed mode.
+		return a.Route(s, t, opts)
+	}
+
+	sp := opts.span().StartChild(spanBoundedSearch)
+	defer sp.End()
 	inf := math.Inf(1)
 	// dist[h][v]: cheapest cost reaching aux node v with exactly ≤h
 	// physical hops consumed. Two rolling layers suffice for the DP, but
@@ -64,6 +86,11 @@ func (a *Aux) RouteBounded(s, t, maxHops int, _ *Options) (*Result, error) {
 		layers[0][seed] = 0
 	}
 
+	// DP work counters, reported through trace/span like Route's: a
+	// "settled" state is one finite (layer, node) expansion, a
+	// "relaxation" one arc examined out of it.
+	settled, relaxed := 0, 0
+
 	// Within a layer, relax gadget arcs to a fixpoint (each aux node has
 	// at most one gadget arc on any path — X→Y — so a single pass over
 	// X-side nodes suffices given our node ordering is per-node X then Y).
@@ -73,10 +100,12 @@ func (a *Aux) RouteBounded(s, t, maxHops int, _ *Options) (*Result, error) {
 			if graph.IsInf(dv) {
 				continue
 			}
+			settled++
 			for i, arc := range a.g.Out(v) {
 				if arc.Tag != tagConversion {
 					continue
 				}
+				relaxed++
 				if nd := dv + arc.Weight; nd < layers[h][arc.To] {
 					layers[h][arc.To] = nd
 					parents[h][arc.To] = parentRef{hop: int16(h), from: int32(v), arcIndex: int32(i)}
@@ -97,10 +126,12 @@ func (a *Aux) RouteBounded(s, t, maxHops int, _ *Options) (*Result, error) {
 			if graph.IsInf(dv) {
 				continue
 			}
+			settled++
 			for i, arc := range a.g.Out(v) {
 				if arc.Tag < 0 {
 					continue // gadget arcs handled per layer
 				}
+				relaxed++
 				if nd := dv + arc.Weight; nd < layers[h][arc.To] {
 					layers[h][arc.To] = nd
 					parents[h][arc.To] = parentRef{hop: int16(h - 1), from: int32(v), arcIndex: int32(i)}
@@ -108,6 +139,23 @@ func (a *Aux) RouteBounded(s, t, maxHops int, _ *Options) (*Result, error) {
 			}
 		}
 		relaxGadgets(h)
+	}
+	stats := SearchStats{
+		AuxNodes: nAux + 2,
+		AuxArcs:  a.g.NumArcs() + len(a.xLambdas[t]),
+		Settled:  settled,
+		Relaxed:  relaxed,
+	}
+	if tr != nil {
+		tr.AuxNodes, tr.AuxArcs = stats.AuxNodes, stats.AuxArcs
+		tr.Settled, tr.Relaxed = stats.Settled, stats.Relaxed
+	}
+	if sp != nil {
+		sp.SetInt(attrAuxNodes, int64(stats.AuxNodes))
+		sp.SetInt(attrAuxArcs, int64(stats.AuxArcs))
+		sp.SetInt(attrSettled, int64(stats.Settled))
+		sp.SetInt(attrRelaxed, int64(stats.Relaxed))
+		sp.SetInt(attrMaxHops, int64(maxHops))
 	}
 
 	// Virtual super sink over X_t at the final layer.
@@ -120,6 +168,10 @@ func (a *Aux) RouteBounded(s, t, maxHops int, _ *Options) (*Result, error) {
 		}
 	}
 	if bestX < 0 {
+		if tr != nil {
+			tr.Blocked = true
+		}
+		sp.SetBool(attrBlocked, true)
 		return nil, fmt.Errorf("%w: from %d to %d within %d hops", ErrNoRoute, s, t, maxHops)
 	}
 
@@ -143,10 +195,16 @@ func (a *Aux) RouteBounded(s, t, maxHops int, _ *Options) (*Result, error) {
 	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
 		hops[i], hops[j] = hops[j], hops[i]
 	}
+	path := &wdm.Semilightpath{Hops: hops}
+	if tr != nil {
+		a.fillPathTrace(tr, path, best)
+	}
+	sp.SetFloat(attrCost, best)
 	return &Result{
-		Path:   &wdm.Semilightpath{Hops: hops},
+		Path:   path,
 		Cost:   best,
 		Source: s,
 		Dest:   t,
+		Stats:  stats,
 	}, nil
 }

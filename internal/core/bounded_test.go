@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"lightpath/internal/graph"
+	"lightpath/internal/obs"
 	"lightpath/internal/topo"
 	"lightpath/internal/wdm"
 	"lightpath/internal/workload"
@@ -122,6 +124,109 @@ func TestRouteBoundedMatchesRouteWhenLoose(t *testing.T) {
 		if got := bounded.Path.Cost(nw); math.Abs(got-bounded.Cost) > 1e-9 {
 			t.Fatalf("trial %d: reported %v, recomputed %v", trial, bounded.Cost, got)
 		}
+	}
+}
+
+// TestRouteBoundedHonorsOptions is the regression test for the bug where
+// RouteBounded accepted *Options but discarded it entirely: no trace, no
+// span, no queue/directed handling. The DP must fill the trace with its
+// work counters and the winning-path breakdown, open a
+// core_bounded_search span carrying the max_hops attribute, and mark
+// blocked queries on both.
+func TestRouteBoundedHonorsOptions(t *testing.T) {
+	nw := detourNet(t)
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer(&obs.TracerOptions{SlowThreshold: -1})
+	req := tracer.Start("request")
+	tr := &obs.RouteTrace{}
+	res, err := a.RouteBounded(0, 2, 2, &Options{Trace: tr, Span: req.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer.Finish(req)
+	if tr.Source != 0 || tr.Dest != 2 {
+		t.Fatalf("trace endpoints = %d→%d, want 0→2", tr.Source, tr.Dest)
+	}
+	if tr.Settled <= 0 || tr.Relaxed <= 0 || tr.AuxNodes <= 0 || tr.AuxArcs <= 0 {
+		t.Fatalf("trace counters unfilled: %+v", tr)
+	}
+	if tr.Cost != res.Cost || len(tr.Hops) != res.Path.Len() {
+		t.Fatalf("trace breakdown: cost %v hops %d, want %v / %d", tr.Cost, len(tr.Hops), res.Cost, res.Path.Len())
+	}
+	if res.Stats.Settled <= 0 || res.Stats.Relaxed <= 0 {
+		t.Fatalf("result stats unfilled: %+v", res.Stats)
+	}
+	bs := req.Span("core_bounded_search")
+	if bs == nil {
+		t.Fatal("no core_bounded_search span recorded")
+	}
+	if attr, ok := bs.Attr("max_hops"); !ok || attr.Int != 2 {
+		t.Errorf("max_hops attr = %+v ok=%v, want 2", attr, ok)
+	}
+	if attr, ok := bs.Attr("cost"); !ok || attr.Float != res.Cost {
+		t.Errorf("cost attr = %+v, want %v", attr, res.Cost)
+	}
+
+	// Blocked query: trace and span both record it.
+	req2 := tracer.Start("request")
+	tr2 := &obs.RouteTrace{}
+	if _, err := a.RouteBounded(0, 2, 0, &Options{Trace: tr2, Span: req2.Root()}); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("zero hops: %v", err)
+	}
+	tracer.Finish(req2)
+	if !tr2.Blocked {
+		t.Error("blocked bounded query did not set Trace.Blocked")
+	}
+	bs2 := req2.Span("core_bounded_search")
+	if bs2 == nil {
+		t.Fatal("no span on blocked bounded query")
+	}
+	if attr, ok := bs2.Attr("blocked"); !ok || !attr.Bool {
+		t.Errorf("blocked attr = %+v ok=%v", attr, ok)
+	}
+}
+
+// TestRouteBoundedDelegatesWhenBoundCannotBind: a bound of at least the
+// aux node count provably cannot exclude the optimum, so the query
+// delegates to Route — honoring queue kind and directed mode, opening a
+// core_search (not core_bounded_search) span, and returning the exact
+// unbounded answer.
+func TestRouteBoundedDelegatesWhenBoundCannotBind(t *testing.T) {
+	nw := detourNet(t)
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := a.Route(0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer(&obs.TracerOptions{SlowThreshold: -1})
+	req := tracer.Start("request")
+	res, err := a.RouteBounded(0, 2, a.NumAuxNodes(), &Options{
+		Queue:    graph.QueueBinary,
+		Directed: DirectedBidi,
+		Span:     req.Root(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer.Finish(req)
+	if res.Cost != free.Cost {
+		t.Fatalf("delegated cost %v, Route %v", res.Cost, free.Cost)
+	}
+	cs := req.Span("core_search")
+	if cs == nil {
+		t.Fatal("delegation should produce a core_search span")
+	}
+	if attr, ok := cs.Attr("directed_mode"); !ok || attr.Str != "bidi" {
+		t.Errorf("directed_mode attr = %+v ok=%v, want bidi (options were honored)", attr, ok)
+	}
+	if req.Span("core_bounded_search") != nil {
+		t.Error("delegated query should not open a bounded-search span")
 	}
 }
 

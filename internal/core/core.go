@@ -22,6 +22,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"lightpath/internal/graph"
 	"lightpath/internal/wdm"
@@ -92,6 +94,13 @@ type Aux struct {
 
 	stats BuildStats
 	depth int // ApplyDelta steps since the last full compile
+
+	// rev caches Reverse() of g for bidirectional search's backward
+	// frontier — built lazily under revMu, then immutable and shared.
+	// ApplyDelta patches it copy-on-write when the parent has one (see
+	// reverse.go), so churn never recomputes it from scratch.
+	rev   atomic.Pointer[graph.Digraph]
+	revMu sync.Mutex
 
 	// pool recycles per-query Dijkstra scratch, keyed by this graph's
 	// node count; delta-built children share their parent's pool since

@@ -67,6 +67,10 @@ func (a *Aux) ApplyDelta(next *wdm.Network, changed []int) (*Aux, error) {
 	// the arcs of *every* link leaving u that carries λ, re-emission
 	// scans all of u's outgoing links for each marked node.
 	touched := make(map[int32]struct{}, len(changed)*2)
+	// The mirror set for the cached reverse graph: each changed link's
+	// layout wavelengths also name the X_v(λ) nodes whose reversed
+	// in-segments may change (see reverse.go).
+	touchedX := make(map[int32]struct{}, len(changed)*2)
 	for _, id := range changed {
 		if id < 0 || id >= a.layout.NumLinks() {
 			return nil, fmt.Errorf("%w: changed link %d of %d", ErrDeltaShape, id, a.layout.NumLinks())
@@ -84,6 +88,11 @@ func (a *Aux) ApplyDelta(next *wdm.Network, changed []int) (*Aux, error) {
 				return nil, fmt.Errorf("%w: λ%d missing from layout shore Y_%d", ErrDeltaShape, ch.Lambda, ll.From)
 			}
 			touched[int32(y)] = struct{}{}
+			x, ok := a.xIndex(ll.To, ch.Lambda)
+			if !ok {
+				return nil, fmt.Errorf("%w: λ%d missing from layout shore X_%d", ErrDeltaShape, ch.Lambda, ll.To)
+			}
+			touchedX[int32(x)] = struct{}{}
 		}
 	}
 
@@ -108,6 +117,15 @@ func (a *Aux) ApplyDelta(next *wdm.Network, changed []int) (*Aux, error) {
 		}
 		if err := child.g.ReplaceOut(int(y), seg); err != nil {
 			return nil, fmt.Errorf("core: patch segment Y_%d(λ%d): %w", u, lam, err)
+		}
+	}
+
+	// Carry a materialized reverse graph forward the same way: COW clone
+	// plus re-emission of the touched X segments. A parent that never
+	// served a backward query stays lazy in the child too.
+	if pr := a.rev.Load(); pr != nil {
+		if err := child.patchReverse(pr, touchedX); err != nil {
+			return nil, err
 		}
 	}
 

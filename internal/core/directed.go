@@ -1,0 +1,63 @@
+package core
+
+import "fmt"
+
+// DirectedMode selects the search strategy for point-to-point queries
+// (Aux.Route). All modes return the same optimal cost; they differ only
+// in how much of the auxiliary graph they settle proving it.
+type DirectedMode uint8
+
+const (
+	// DirectedPlain is the paper's search: multi-seed Dijkstra from the
+	// Y_s shore with goal-set early termination on X_t. The zero value,
+	// and the only mode where Options.Queue selects the priority
+	// structure (the goal-directed kernels are built on the binary heap).
+	DirectedPlain DirectedMode = iota
+
+	// DirectedBidi runs bidirectional Dijkstra: a forward frontier from
+	// Y_s meets a backward frontier from X_t over the cached reverse
+	// graph. No precomputation needed; typically settles a fraction of
+	// the plain search's node count.
+	DirectedBidi
+
+	// DirectedALT runs A* with landmark potentials (Options.Potential).
+	// When no potential source is configured — or it declines the query —
+	// the search falls back to DirectedBidi, which needs nothing
+	// precomputed.
+	DirectedALT
+)
+
+// String names the mode for span attributes and flag parsing.
+func (m DirectedMode) String() string {
+	switch m {
+	case DirectedPlain:
+		return "plain"
+	case DirectedBidi:
+		return "bidi"
+	case DirectedALT:
+		return "alt"
+	default:
+		return fmt.Sprintf("DirectedMode(%d)", uint8(m))
+	}
+}
+
+// PotentialSource supplies goal-distance lower bounds for DirectedALT
+// queries. Potential returns a function pot with, for every auxiliary
+// node v and the query's goal set T:
+//
+//	pot(v) ≤ dist(v, T)   (admissible), and
+//	pot(u) ≤ w(u,v) + pot(v) on every arc   (consistent),
+//
+// where dist is measured in the auxiliary graph the query runs on.
+// pot(v) = +Inf asserts v cannot reach T at all. A source that cannot
+// serve the query returns pot == nil and Route falls back to
+// bidirectional search. release, when non-nil, is called once after the
+// search so pooled sources can recycle per-query state.
+//
+// Admissibility must hold for the graph being queried: a source computed
+// against an older epoch stays valid only while the queried arc set is a
+// subset of the epoch it was computed on (see engine's landmark manager
+// and DESIGN.md §14).
+type PotentialSource interface {
+	Potential(seeds, goals []int) (pot func(int) float64, release func())
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestReverseGraphMatchesFresh(t *testing.T) {
+	nw := deltaNetwork(t, 11)
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.ReverseGraph()
+	want := a.g.Reverse()
+	if got.NumNodes() != want.NumNodes() || got.NumArcs() != want.NumArcs() {
+		t.Fatalf("shape %d/%d, want %d/%d", got.NumNodes(), got.NumArcs(), want.NumNodes(), want.NumArcs())
+	}
+	for v := 0; v < want.NumNodes(); v++ {
+		ga, wa := got.Out(v), want.Out(v)
+		if len(ga) != len(wa) {
+			t.Fatalf("node %d reverse degree %d, want %d", v, len(ga), len(wa))
+		}
+		for i := range ga {
+			if ga[i] != wa[i] {
+				t.Fatalf("node %d reverse arc %d: %+v vs %+v", v, i, ga[i], wa[i])
+			}
+		}
+	}
+}
+
+func TestReverseGraphCachedPerAux(t *testing.T) {
+	nw := deltaNetwork(t, 12)
+	a, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := a.ReverseGraph()
+	if second := a.ReverseGraph(); second != first {
+		t.Fatal("ReverseGraph should return the cached instance on repeat calls")
+	}
+}
+
+// TestApplyDeltaPatchesReverse is the COW-maintenance differential: after
+// a chain of random deltas, the child's patched reverse graph must be
+// arc-for-arc AND order-for-order identical to a from-scratch reverse of
+// the child's forward graph. Segment ordering is part of the contract
+// (reverseInSegment sorts by (source, link) to mirror Digraph.Reverse).
+func TestApplyDeltaPatchesReverse(t *testing.T) {
+	nw := deltaNetwork(t, 13)
+	rng := rand.New(rand.NewSource(14))
+	cur, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the cache so ApplyDelta exercises the patch path.
+	if cur.ReverseGraph() == nil {
+		t.Fatal("nil reverse")
+	}
+	residual := nw
+	for step := 0; step < 10; step++ {
+		res, changed := occupyResidual(t, residual, 4+rng.Intn(6), rng)
+		child, err := cur.ApplyDelta(res, changed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := child.ReverseGraph()
+		want := child.g.Reverse()
+		if got.NumArcs() != want.NumArcs() {
+			t.Fatalf("step %d: reverse arcs %d, want %d", step, got.NumArcs(), want.NumArcs())
+		}
+		for v := 0; v < want.NumNodes(); v++ {
+			ga, wa := got.Out(v), want.Out(v)
+			if len(ga) != len(wa) {
+				t.Fatalf("step %d node %d: reverse degree %d, want %d", step, v, len(ga), len(wa))
+			}
+			for i := range ga {
+				if ga[i] != wa[i] {
+					t.Fatalf("step %d node %d arc %d: %+v vs %+v", step, v, i, ga[i], wa[i])
+				}
+			}
+		}
+		// The parent's cached reverse is untouched by the child's patch.
+		if pr := cur.ReverseGraph(); pr.NumArcs() != cur.g.Reverse().NumArcs() {
+			t.Fatalf("step %d: parent reverse mutated", step)
+		}
+		cur, residual = child, res
+	}
+}
+
+// TestApplyDeltaWithoutPrimedReverse: when the parent never built its
+// reverse, the child computes one lazily on first use and it still
+// matches a fresh transpose.
+func TestApplyDeltaWithoutPrimedReverse(t *testing.T) {
+	nw := deltaNetwork(t, 15)
+	rng := rand.New(rand.NewSource(16))
+	parent, err := NewAux(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, changed := occupyResidual(t, nw, 8, rng)
+	child, err := parent.ApplyDelta(res, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := child.ReverseGraph(), child.g.Reverse()
+	if got.NumArcs() != want.NumArcs() {
+		t.Fatalf("reverse arcs %d, want %d", got.NumArcs(), want.NumArcs())
+	}
+	for v := 0; v < want.NumNodes(); v++ {
+		ga, wa := got.Out(v), want.Out(v)
+		if len(ga) != len(wa) {
+			t.Fatalf("node %d: reverse degree %d, want %d", v, len(ga), len(wa))
+		}
+		for i := range ga {
+			if ga[i] != wa[i] {
+				t.Fatalf("node %d arc %d: %+v vs %+v", v, i, ga[i], wa[i])
+			}
+		}
+	}
+}

@@ -12,7 +12,21 @@ import (
 type Options struct {
 	// Queue selects the priority structure for Dijkstra. The zero value
 	// means graph.QueueFibonacci, the structure Theorem 1's bound cites.
+	// Only DirectedPlain consults it: the goal-directed kernels run on
+	// the binary-heap engine by construction.
 	Queue graph.QueueKind
+
+	// Directed selects the point-query search strategy (plain,
+	// bidirectional, or ALT). All modes return the same optimal cost —
+	// differential-tested across every topology fixture — and differ only
+	// in settled-node counts. Full-tree queries (RouteFrom, AllPairs)
+	// ignore it: a tree wants the whole graph settled.
+	Directed DirectedMode
+
+	// Potential supplies goal-distance lower bounds for DirectedALT
+	// queries (typically engine-managed landmarks). Nil, or a source that
+	// declines the query, degrades DirectedALT to DirectedBidi.
+	Potential PotentialSource
 
 	// Trace, when non-nil, is filled in with the query's search anatomy:
 	// auxiliary graph size, Dijkstra work counters, the per-hop cost
@@ -37,6 +51,20 @@ func (o *Options) queue() graph.QueueKind {
 		return graph.QueueFibonacci
 	}
 	return o.Queue
+}
+
+func (o *Options) directed() DirectedMode {
+	if o == nil {
+		return DirectedPlain
+	}
+	return o.Directed
+}
+
+func (o *Options) potential() PotentialSource {
+	if o == nil {
+		return nil
+	}
+	return o.Potential
 }
 
 func (o *Options) trace() *obs.RouteTrace {
@@ -128,26 +156,95 @@ func (a *Aux) Route(s, t int, opts *Options) (*Result, error) {
 	for xi := range a.xLambdas[t] {
 		qs.goals = append(qs.goals, int(a.xStart[t])+xi)
 	}
-	tree, err := graph.DijkstraSeedsUntilScratch(a.g, qs.seeds, qs.goals, opts.queue(), qs.g)
-	if err != nil {
-		return nil, fmt.Errorf("core: dijkstra: %w", err)
+	if len(qs.goals) == 0 {
+		if tr != nil {
+			tr.Blocked = true
+		}
+		sp.SetBool(attrBlocked, true)
+		return nil, fmt.Errorf("%w: from %d to %d (no incoming channels at destination)", ErrNoRoute, s, t)
 	}
 
-	// Virtual super sink: min over X_t.
-	bestDist := graph.Inf
-	bestNode := -1
-	for xi := range a.xLambdas[t] {
-		x := int(a.xStart[t]) + xi
-		if tree.Dist[x] < bestDist {
-			bestDist = tree.Dist[x]
-			bestNode = x
+	// Mode dispatch: every branch fills the same result variables, so
+	// stats, tracing and extraction below are mode-agnostic. All modes
+	// return the same optimal cost; they differ in nodes settled proving
+	// it (and, among equal-cost optima, possibly in which path they pick).
+	mode := opts.directed()
+	var (
+		fwdTree  *graph.ShortestPathTree // forward tree: extraction + per-λ profile
+		settled  int
+		relaxed  int
+		bestDist = graph.Inf
+		bestNode = -1
+		bidiHops []graph.HopRef // non-nil exactly when bidi found a path
+	)
+	switch mode {
+	case DirectedBidi, DirectedALT:
+		ranALT := false
+		if mode == DirectedALT {
+			if ps := opts.potential(); ps != nil {
+				if pot, release := ps.Potential(qs.seeds, qs.goals); pot != nil {
+					tree, err := graph.AStarSeedsUntilScratch(a.g, qs.seeds, qs.goals, pot, qs.g)
+					if release != nil {
+						release()
+					}
+					if err != nil {
+						return nil, fmt.Errorf("core: goal-directed dijkstra: %w", err)
+					}
+					fwdTree, settled, relaxed = tree, tree.Settled, tree.Relaxed
+					ranALT = true
+				}
+			}
+		}
+		if !ranALT {
+			// No potential source (or it declined): bidirectional search
+			// needs nothing precomputed.
+			mode = DirectedBidi
+			if qs.b == nil {
+				qs.b = graph.NewScratch(a.NumAuxNodes())
+			}
+			rev := a.ReverseGraph()
+			bt, err := graph.BidirectionalDijkstraScratch(a.g, rev, qs.seeds, qs.goals, qs.g, qs.b)
+			if err != nil {
+				return nil, fmt.Errorf("core: bidirectional dijkstra: %w", err)
+			}
+			fwdTree, settled, relaxed = bt.Fwd, bt.Settled, bt.Relaxed
+			if bt.Reached() {
+				bidiHops, err = bt.Path(a.g, rev)
+				if err != nil {
+					return nil, fmt.Errorf("core: reconstruct path: %w", err)
+				}
+				// Forward-order sum: identical accumulation to a plain
+				// search settling the same path.
+				bestDist = graph.PathCost(a.g, bidiHops)
+				bestNode = bt.Meet
+				if len(bidiHops) > 0 {
+					last := bidiHops[len(bidiHops)-1]
+					bestNode = int(a.g.Out(last.From)[last.ArcIndex].To)
+				}
+			}
+		}
+	default:
+		tree, err := graph.DijkstraSeedsUntilScratch(a.g, qs.seeds, qs.goals, opts.queue(), qs.g)
+		if err != nil {
+			return nil, fmt.Errorf("core: dijkstra: %w", err)
+		}
+		fwdTree, settled, relaxed = tree, tree.Settled, tree.Relaxed
+	}
+	if bidiHops == nil {
+		// Virtual super sink: min over X_t on the forward tree.
+		for xi := range a.xLambdas[t] {
+			x := int(a.xStart[t]) + xi
+			if fwdTree.Dist[x] < bestDist {
+				bestDist = fwdTree.Dist[x]
+				bestNode = x
+			}
 		}
 	}
 	stats := SearchStats{
 		AuxNodes: a.NumAuxNodes() + 2,
 		AuxArcs:  a.g.NumArcs() + len(a.xLambdas[t]),
-		Settled:  tree.Settled,
-		Relaxed:  tree.Relaxed,
+		Settled:  settled,
+		Relaxed:  relaxed,
 	}
 	if tr != nil {
 		tr.AuxNodes, tr.AuxArcs = stats.AuxNodes, stats.AuxArcs
@@ -158,7 +255,8 @@ func (a *Aux) Route(s, t int, opts *Options) (*Result, error) {
 		sp.SetInt(attrAuxArcs, int64(stats.AuxArcs))
 		sp.SetInt(attrSettled, int64(stats.Settled))
 		sp.SetInt(attrRelaxed, int64(stats.Relaxed))
-		sp.SetStr(attrReachedPerLambda, a.reachedPerLambda(tree))
+		sp.SetStr(attrDirected, mode.String())
+		sp.SetStr(attrReachedPerLambda, a.reachedPerLambda(fwdTree))
 	}
 	if bestNode < 0 {
 		if tr != nil {
@@ -168,9 +266,15 @@ func (a *Aux) Route(s, t int, opts *Options) (*Result, error) {
 		return nil, fmt.Errorf("%w: from %d to %d", ErrNoRoute, s, t)
 	}
 
-	path, err := a.extractPath(tree, bestNode)
-	if err != nil {
-		return nil, err
+	var path *wdm.Semilightpath
+	if bidiHops != nil {
+		path = a.hopsToPath(bidiHops)
+	} else {
+		var err error
+		path, err = a.extractPath(fwdTree, bestNode)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if tr != nil {
 		a.fillPathTrace(tr, path, bestDist)
@@ -244,6 +348,12 @@ func (a *Aux) extractPath(tree *graph.ShortestPathTree, goal int) (*wdm.Semiligh
 	if err != nil {
 		return nil, fmt.Errorf("core: reconstruct path: %w", err)
 	}
+	return a.hopsToPath(hops), nil
+}
+
+// hopsToPath maps a sequence of auxiliary-graph arc references to the
+// semilightpath they encode, regardless of which search produced them.
+func (a *Aux) hopsToPath(hops []graph.HopRef) *wdm.Semilightpath {
 	path := &wdm.Semilightpath{Hops: make([]wdm.Hop, 0, len(hops)/2+1)}
 	for _, h := range hops {
 		arc := a.g.Out(h.From)[h.ArcIndex]
@@ -255,7 +365,7 @@ func (a *Aux) extractPath(tree *graph.ShortestPathTree, goal int) (*wdm.Semiligh
 			Wavelength: a.info[h.From].Lambda,
 		})
 	}
-	return path, nil
+	return path
 }
 
 // FindSemilightpath is the one-shot convenience API: compile the

@@ -12,6 +12,7 @@ import (
 // nothing inside the search.
 type queryScratch struct {
 	g     *graph.Scratch
+	b     *graph.Scratch // backward-frontier scratch, built on first bidi query
 	seeds []int
 	goals []int
 }

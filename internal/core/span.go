@@ -12,8 +12,9 @@ import (
 // compile-time constants so the metricname analyzer can verify them
 // (lower_snake, unique across the program).
 const (
-	spanSearch     = "core_search"      // one point-to-point query (Route)
-	spanTreeSearch = "core_tree_search" // one single-source pass (RouteFrom)
+	spanSearch        = "core_search"         // one point-to-point query (Route)
+	spanTreeSearch    = "core_tree_search"    // one single-source pass (RouteFrom)
+	spanBoundedSearch = "core_bounded_search" // one hop-bounded DP (RouteBounded)
 )
 
 const (
@@ -23,6 +24,8 @@ const (
 	attrRelaxed          = "relaxed"
 	attrBlocked          = "blocked"
 	attrCost             = "cost"
+	attrDirected         = "directed_mode"
+	attrMaxHops          = "max_hops"
 	attrReachedPerLambda = "reached_per_lambda"
 )
 

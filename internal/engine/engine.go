@@ -80,6 +80,16 @@ type Options struct {
 	// holes into). Zero means DefaultMaxDeltaDepth; negative disables
 	// delta maintenance entirely, forcing a full compile every epoch.
 	MaxDeltaDepth int
+	// Directed selects the point-query search strategy for all snapshots
+	// (core.DirectedPlain, core.DirectedBidi or core.DirectedALT). The
+	// zero value is plain — the paper's exhaustive-toward-the-goal-set
+	// search. DirectedALT additionally maintains landmark vectors across
+	// epochs; while they are stale the engine degrades to bidirectional
+	// search and refreshes them off the query path.
+	Directed core.DirectedMode
+	// Landmarks overrides the ALT landmark count. Zero means
+	// core.DefaultLandmarkCount; ignored unless Directed is DirectedALT.
+	Landmarks int
 }
 
 // DefaultCacheSize is the SourceTree cache capacity when Options.CacheSize
@@ -116,10 +126,12 @@ type Stats struct {
 // publishes immutable routing snapshots. All methods are safe for
 // concurrent use.
 type Engine struct {
-	base    *wdm.Network
-	queue   graph.QueueKind
-	cache   *treeCache
-	metrics *Metrics
+	base      *wdm.Network
+	queue     graph.QueueKind
+	directed  core.DirectedMode
+	landmarks *landmarkManager // non-nil iff directed == DirectedALT
+	cache     *treeCache
+	metrics   *Metrics
 
 	// mu guards the mutable occupancy state below and serializes
 	// mutators; readers of occupancy take it in read mode. Routing never
@@ -167,6 +179,7 @@ func New(nw *wdm.Network, opts *Options) (*Engine, error) {
 		maxDeltaDepth: DefaultMaxDeltaDepth,
 	}
 	cacheSize := DefaultCacheSize
+	landmarks := 0
 	if opts != nil {
 		if opts.Queue != 0 {
 			e.queue = opts.Queue
@@ -177,18 +190,31 @@ func New(nw *wdm.Network, opts *Options) (*Engine, error) {
 		if opts.MaxDeltaDepth != 0 {
 			e.maxDeltaDepth = opts.MaxDeltaDepth
 		}
+		e.directed = opts.Directed
+		landmarks = opts.Landmarks
 	}
 	if cacheSize > 0 {
 		e.cache = newTreeCache(cacheSize)
 	}
+	if e.directed == core.DirectedALT {
+		e.landmarks = newLandmarkManager(e, landmarks)
+	}
 	// Metrics must exist before the first rebuild so the epoch-0 compile
 	// is measured too.
 	e.metrics = newMetrics(e)
-	if err := e.publish(0, nil, nil); err != nil {
+	if err := e.publish(0, nil, nil, mutNone); err != nil {
 		return nil, err
+	}
+	// Seed the landmark vectors eagerly so the very first ALT query runs
+	// goal-directed instead of falling back while an async refresh races.
+	if err := e.RefreshLandmarks(); err != nil {
+		return nil, fmt.Errorf("engine: initial landmarks: %w", err)
 	}
 	return e, nil
 }
+
+// Directed reports the engine's configured point-query search strategy.
+func (e *Engine) Directed() core.DirectedMode { return e.directed }
 
 // Base returns the installed (non-residual) network.
 func (e *Engine) Base() *wdm.Network { return e.base }
@@ -201,7 +227,7 @@ func (e *Engine) SetQueue(kind graph.QueueKind) {
 	e.queue = kind
 	// Republish so the change takes effect without waiting for churn.
 	// The residual is unchanged, so this is an empty (zero-link) delta.
-	_ = e.publish(e.Epoch()+1, []int{}, nil)
+	_ = e.publish(e.Epoch()+1, []int{}, nil, mutNone)
 }
 
 // Epoch reports the current epoch: 0 at construction, +1 per mutation.
@@ -227,15 +253,18 @@ func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 // arc arena the patch chain fragments.
 //
 // A non-nil sp times the publication as an engine_publish child span
-// annotated with the epoch and the path taken (mode=delta|full).
-func (e *Engine) publish(epoch uint64, changed []int, sp *obs.Span) error {
+// annotated with the epoch and the path taken (mode=delta|full). kind
+// classifies the mutation's effect on the residual arc set so the
+// snapshot's add/remove sequence numbers — the landmark-admissibility
+// witnesses — advance correctly.
+func (e *Engine) publish(epoch uint64, changed []int, sp *obs.Span, kind mutationKind) error {
 	psp := sp.StartChild(spanPublish)
 	defer psp.End()
 	psp.SetInt(attrEpoch, int64(epoch))
 	start := time.Now()
 	if prev := e.snap.Load(); prev != nil && changed != nil &&
 		e.maxDeltaDepth >= 0 && prev.aux.DeltaDepth() < e.maxDeltaDepth {
-		err := e.applyDelta(prev, epoch, changed)
+		err := e.applyDelta(prev, epoch, changed, kind)
 		if err == nil {
 			e.rebuilds.Add(1)
 			e.deltaApplies.Add(1)
@@ -265,7 +294,7 @@ func (e *Engine) publish(epoch uint64, changed []int, sp *obs.Span) error {
 	if err != nil {
 		return fmt.Errorf("engine: compile snapshot: %w", err)
 	}
-	e.snap.Store(&Snapshot{epoch: epoch, net: res, aux: aux, eng: e, queue: e.queue, ropts: core.Options{Queue: e.queue}})
+	e.snap.Store(e.newSnapshot(epoch, res, aux, kind))
 	e.rebuilds.Add(1)
 	e.fullRebuilds.Add(1)
 	e.metrics.rebuildLatency.ObserveDuration(time.Since(start))
@@ -276,7 +305,7 @@ func (e *Engine) publish(epoch uint64, changed []int, sp *obs.Span) error {
 // applyDelta builds epoch's snapshot incrementally on top of prev:
 // patch the residual network's changed links, patch the compiled
 // auxiliary graph's affected gadget fragments, publish.
-func (e *Engine) applyDelta(prev *Snapshot, epoch uint64, changed []int) error {
+func (e *Engine) applyDelta(prev *Snapshot, epoch uint64, changed []int, kind mutationKind) error {
 	changes := make(map[int][]wdm.Channel, len(changed))
 	for _, id := range changed {
 		if id < 0 || id >= e.base.NumLinks() {
@@ -292,8 +321,35 @@ func (e *Engine) applyDelta(prev *Snapshot, epoch uint64, changed []int) error {
 	if err != nil {
 		return err
 	}
-	e.snap.Store(&Snapshot{epoch: epoch, net: net, aux: aux, eng: e, queue: e.queue, ropts: core.Options{Queue: e.queue}})
+	e.snap.Store(e.newSnapshot(epoch, net, aux, kind))
 	return nil
+}
+
+// newSnapshot assembles a publishable snapshot: the epoch's residual and
+// compiled aux plus the precomputed read-only query options and the
+// add/remove sequence stamps derived from the previous snapshot and the
+// mutation kind.
+func (e *Engine) newSnapshot(epoch uint64, net *wdm.Network, aux *core.Aux, kind mutationKind) *Snapshot {
+	var addSeq, removeSeq uint64
+	if prev := e.snap.Load(); prev != nil {
+		addSeq, removeSeq = prev.addSeq, prev.removeSeq
+	}
+	switch kind {
+	case mutGrow:
+		addSeq++
+	case mutShrink:
+		removeSeq++
+	}
+	s := &Snapshot{
+		epoch: epoch, net: net, aux: aux, eng: e, queue: e.queue,
+		addSeq: addSeq, removeSeq: removeSeq,
+		ropts: core.Options{Queue: e.queue, Directed: e.directed},
+	}
+	if e.landmarks != nil {
+		s.pot = snapPotential{mgr: e.landmarks, epoch: epoch, addSeq: addSeq, removeSeq: removeSeq}
+		s.ropts.Potential = &s.pot
+	}
+	return s
 }
 
 // freeChannels lists link's currently free channels in base-network
@@ -389,7 +445,7 @@ func (e *Engine) allocate(owner int64, path *wdm.Semilightpath, parent *obs.Span
 	}
 	e.owners[owner] = chans
 	e.allocations.Add(1)
-	return e.publish(e.Epoch()+1, changedLinks(chans), sp)
+	return e.publish(e.Epoch()+1, changedLinks(chans), sp, mutShrink)
 }
 
 // Release frees every channel owner holds, bumps the epoch and
@@ -414,7 +470,7 @@ func (e *Engine) release(owner int64, parent *obs.Span) error {
 	}
 	delete(e.owners, owner)
 	e.releases.Add(1)
-	return e.publish(e.Epoch()+1, changedLinks(chans), sp)
+	return e.publish(e.Epoch()+1, changedLinks(chans), sp, mutGrow)
 }
 
 // RouteAndAllocate routes s→t on the current snapshot and immediately
@@ -496,7 +552,7 @@ func (e *Engine) FailLink(link int) ([]int64, error) {
 		}
 	}
 	sort.Slice(riders, func(i, j int) bool { return riders[i] < riders[j] })
-	if err := e.publish(e.Epoch()+1, []int{link}, nil); err != nil {
+	if err := e.publish(e.Epoch()+1, []int{link}, nil, mutShrink); err != nil {
 		return nil, err
 	}
 	return riders, nil
@@ -515,7 +571,7 @@ func (e *Engine) RepairLink(link int) error {
 		return nil
 	}
 	delete(e.failed, link)
-	return e.publish(e.Epoch()+1, []int{link}, nil)
+	return e.publish(e.Epoch()+1, []int{link}, nil, mutGrow)
 }
 
 // LinkFailed reports whether the link is currently out of service.

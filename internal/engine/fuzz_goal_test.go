@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lightpath/internal/core"
+	"lightpath/internal/topo"
+	"lightpath/internal/workload"
+)
+
+// FuzzGoalDirected churns an ALT engine with an arbitrary mutation
+// sequence and, after every mutation, cross-checks the goal-directed
+// stack against plain Dijkstra on the SAME published snapshot:
+//
+//   - the engine's configured search (ALT when vectors are valid,
+//     bidirectional while they are stale) must agree with a plain search
+//     on blocked/served and on cost;
+//   - an explicitly bidirectional query must agree too (this exercises
+//     the COW-patched reverse graph after every delta);
+//   - the landmark manager's validity bookkeeping must never serve a
+//     potential computed on a smaller arc set (checked implicitly: a
+//     wrong potential breaks cost equality).
+//
+// Release and RepairLink invalidate vectors; the fuzz occasionally calls
+// RefreshLandmarks to swing the manager back to serving ALT, so both the
+// degraded and the restored paths see coverage in one input.
+func FuzzGoalDirected(f *testing.F) {
+	f.Add([]byte{0, 1, 9, 0, 3, 2, 1, 0, 3, 3, 2, 0, 0, 2, 11, 0, 0, 5})
+	f.Add([]byte{2, 0, 2, 0, 1, 5, 3, 0, 2, 1, 0, 0, 0, 4, 7})
+	f.Add([]byte{0, 4, 1, 0, 2, 6, 1, 1, 1, 0, 1, 8, 2, 3, 1})
+
+	base, err := workload.Build(topo.Grid(3, 3), workload.Spec{
+		K:         4,
+		AvailProb: 0.8,
+		Conv:      workload.ConvUniform,
+		ConvCost:  0.3,
+	}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		e, err := New(base, &Options{MaxDeltaDepth: 3, Directed: core.DirectedALT, Landmarks: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := base.NumNodes()
+		m := base.NumLinks()
+		var nextOwner int64
+		var live []int64
+
+		for i := 0; i+2 < len(ops) && i < 120; i += 3 {
+			op, a, b := ops[i]%4, int(ops[i+1]), int(ops[i+2])
+			switch op {
+			case 0: // allocate a→b
+				s, d := a%n, b%n
+				if s == d {
+					continue
+				}
+				nextOwner++
+				if _, err := e.RouteAndAllocate(nextOwner, s, d); err != nil {
+					nextOwner--
+					if errors.Is(err, core.ErrNoRoute) || errors.Is(err, ErrConflict) {
+						continue
+					}
+					t.Fatalf("allocate %d->%d: %v", s, d, err)
+				}
+				live = append(live, nextOwner)
+			case 1: // release
+				if len(live) == 0 {
+					continue
+				}
+				idx := a % len(live)
+				owner := live[idx]
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if err := e.Release(owner); err != nil {
+					t.Fatalf("release %d: %v", owner, err)
+				}
+			case 2: // fail link
+				if _, err := e.FailLink((a*256 + b) % m); err != nil {
+					t.Fatal(err)
+				}
+			case 3: // repair link, sometimes restoring ALT eagerly
+				if err := e.RepairLink((a*256 + b) % m); err != nil {
+					t.Fatal(err)
+				}
+				if b%2 == 0 {
+					if err := e.RefreshLandmarks(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			// Differential: configured goal-directed search vs plain vs
+			// explicit bidi, all on the same pinned snapshot.
+			snap := e.Snapshot()
+			s, d := (a+int(op))%n, b%n
+			if s == d {
+				continue
+			}
+			goal, errG := snap.Route(s, d)
+			plain, errP := snap.Aux().Route(s, d, nil)
+			bidi, errB := snap.Aux().Route(s, d, &core.Options{Directed: core.DirectedBidi})
+			if (errG == nil) != (errP == nil) || (errB == nil) != (errP == nil) {
+				t.Fatalf("epoch %d %d->%d: outcomes goal=%v plain=%v bidi=%v",
+					snap.Epoch(), s, d, errG, errP, errB)
+			}
+			if errP != nil {
+				if !errors.Is(errG, core.ErrNoRoute) {
+					t.Fatalf("epoch %d %d->%d: blocked with %v, want ErrNoRoute", snap.Epoch(), s, d, errG)
+				}
+				continue
+			}
+			if !costsAgree(goal.Cost, plain.Cost) || !costsAgree(bidi.Cost, plain.Cost) {
+				t.Fatalf("epoch %d %d->%d: costs goal=%v plain=%v bidi=%v",
+					snap.Epoch(), s, d, goal.Cost, plain.Cost, bidi.Cost)
+			}
+			if err := goal.Path.Validate(snap.Network(), s, d); err != nil {
+				t.Fatalf("epoch %d %d->%d: goal-directed path invalid: %v", snap.Epoch(), s, d, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"lightpath/internal/core"
+)
+
+// This file manages ALT landmarks across epochs. Computing landmark
+// vectors costs 2·L full Dijkstra passes — far too much to redo inside
+// every publish — so the manager keeps one vector set and reuses it for
+// as long as it provably stays admissible, refreshing asynchronously
+// (off the query path) once it cannot.
+//
+// The validity rule: vectors computed against snapshot C are admissible
+// and consistent lower bounds for a query on snapshot Q iff Q's arc set
+// is a subset of C's (removing arcs only raises true distances, so C's
+// distances stay lower bounds; surviving arcs keep their weights, so
+// consistency survives too — proof sketch in DESIGN.md §14). The engine
+// witnesses the subset relation with two monotone sequence numbers
+// stamped on every snapshot:
+//
+//	addSeq    bumped by arc-adding epochs (Release, RepairLink)
+//	removeSeq bumped by arc-removing epochs (Allocate, FailLink)
+//
+// Then Q ⊆ C holds when either no adds happened since C was computed
+// (C.addSeq == Q.addSeq && C.epoch ≤ Q.epoch — allocation-only churn,
+// the common case, costs nothing) or Q predates C with no removals in
+// between (C.removeSeq == Q.removeSeq && C.epoch ≥ Q.epoch — a pinned
+// older snapshot queried after pure releases).
+
+// mutationKind classifies an epoch's effect on the residual arc set.
+type mutationKind uint8
+
+const (
+	mutNone   mutationKind = iota // SetQueue, initial publish
+	mutGrow                       // arcs added: Release, RepairLink
+	mutShrink                     // arcs removed: Allocate, FailLink
+)
+
+// landmarkVectors is one immutable generation of landmark state: the
+// core vector set plus the identity of the snapshot it was computed on.
+type landmarkVectors struct {
+	lms       *core.Landmarks
+	epoch     uint64
+	addSeq    uint64
+	removeSeq uint64
+}
+
+// valid reports whether these vectors are admissible for a query pinned
+// to snapshot identity (epoch, addSeq, removeSeq).
+func (lv *landmarkVectors) valid(epoch, addSeq, removeSeq uint64) bool {
+	return (lv.addSeq == addSeq && lv.epoch <= epoch) ||
+		(lv.removeSeq == removeSeq && lv.epoch >= epoch)
+}
+
+// landmarkManager owns the current vector generation and its refresh
+// lifecycle. All methods are safe for concurrent use.
+type landmarkManager struct {
+	e          *Engine
+	count      int
+	cur        atomic.Pointer[landmarkVectors]
+	refreshing atomic.Bool
+}
+
+func newLandmarkManager(e *Engine, count int) *landmarkManager {
+	if count <= 0 {
+		count = core.DefaultLandmarkCount
+	}
+	return &landmarkManager{e: e, count: count}
+}
+
+// potentialFor serves one query pinned at the given snapshot identity.
+// Stale vectors decline the query (the caller falls back to
+// bidirectional search, which needs no precomputation) and schedule an
+// asynchronous refresh so subsequent queries upgrade back to ALT.
+func (m *landmarkManager) potentialFor(epoch, addSeq, removeSeq uint64, seeds, goals []int) (func(int) float64, func()) {
+	lv := m.cur.Load()
+	if lv != nil && lv.valid(epoch, addSeq, removeSeq) {
+		return lv.lms.Potential(seeds, goals)
+	}
+	m.refreshAsync()
+	return nil, nil
+}
+
+// refreshAsync recomputes the vectors against the engine's *current*
+// snapshot in a background goroutine, at most one in flight.
+func (m *landmarkManager) refreshAsync() {
+	if !m.refreshing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer m.refreshing.Store(false)
+		// Errors only occur for degenerate (empty) graphs; the manager
+		// then simply stays on its previous generation.
+		_ = m.refresh(m.e.Snapshot())
+	}()
+}
+
+// refresh synchronously recomputes the vectors against snapshot s and
+// publishes them as the current generation.
+func (m *landmarkManager) refresh(s *Snapshot) error {
+	lms, err := core.ComputeLandmarks(s.aux, m.count)
+	if err != nil {
+		return err
+	}
+	m.cur.Store(&landmarkVectors{lms: lms, epoch: s.epoch, addSeq: s.addSeq, removeSeq: s.removeSeq})
+	m.e.metrics.landmarkRebuilds.Inc()
+	return nil
+}
+
+// RefreshLandmarks synchronously recomputes the ALT landmark vectors
+// against the current snapshot. It is a no-op (nil) when the engine was
+// not built with core.DirectedALT. Mutation-heavy callers that know a
+// release/repair burst just ended can call it to restore goal-directed
+// queries immediately instead of waiting for the async refresh.
+func (e *Engine) RefreshLandmarks() error {
+	if e.landmarks == nil {
+		return nil
+	}
+	return e.landmarks.refresh(e.Snapshot())
+}
+
+// snapPotential adapts one snapshot's identity to core.PotentialSource
+// without retaining the snapshot itself. Stored by value on Snapshot so
+// handing it to core costs no allocation per query.
+type snapPotential struct {
+	mgr       *landmarkManager
+	epoch     uint64
+	addSeq    uint64
+	removeSeq uint64
+}
+
+// Potential implements core.PotentialSource.
+func (p *snapPotential) Potential(seeds, goals []int) (func(int) float64, func()) {
+	return p.mgr.potentialFor(p.epoch, p.addSeq, p.removeSeq, seeds, goals)
+}

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lightpath/internal/core"
+	"lightpath/internal/topo"
+	"lightpath/internal/workload"
+)
+
+func altTestEngine(t *testing.T, directed core.DirectedMode) *Engine {
+	t.Helper()
+	nw, err := workload.Build(topo.NSFNET(), workload.Spec{
+		K:         6,
+		AvailProb: 0.7,
+		Conv:      workload.ConvUniform,
+		ConvCost:  0.3,
+	}, rand.New(rand.NewSource(404)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(nw, &Options{Directed: directed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestEngineDirectedModesAgree routes every pair on engines configured
+// plain, bidi and ALT over the same base network and demands identical
+// blocked/served outcomes and costs — the engine-level differential.
+func TestEngineDirectedModesAgree(t *testing.T) {
+	plain := altTestEngine(t, core.DirectedPlain)
+	bidi := altTestEngine(t, core.DirectedBidi)
+	alt := altTestEngine(t, core.DirectedALT)
+	if plain.Directed() != core.DirectedPlain || bidi.Directed() != core.DirectedBidi || alt.Directed() != core.DirectedALT {
+		t.Fatal("Directed() accessor disagrees with configuration")
+	}
+	n := plain.Base().NumNodes()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			rp, errP := plain.Route(s, d)
+			rb, errB := bidi.Route(s, d)
+			ra, errA := alt.Route(s, d)
+			if (errP == nil) != (errB == nil) || (errP == nil) != (errA == nil) {
+				t.Fatalf("%d→%d: outcomes plain=%v bidi=%v alt=%v", s, d, errP, errB, errA)
+			}
+			if errP != nil {
+				continue
+			}
+			if !costsAgree(rp.Cost, rb.Cost) || !costsAgree(rp.Cost, ra.Cost) {
+				t.Fatalf("%d→%d: costs plain=%v bidi=%v alt=%v", s, d, rp.Cost, rb.Cost, ra.Cost)
+			}
+		}
+	}
+}
+
+// TestLandmarkEpochValidity pins the admissibility witness rule across
+// the engine's mutation kinds:
+//
+//   - New() refreshes eagerly, so epoch 0 serves ALT immediately;
+//   - Allocate/FailLink only REMOVE arcs — stale-but-admissible vectors
+//     keep serving with zero rebuilds (the common case is free);
+//   - Release/RepairLink ADD arcs — the vectors are invalidated and the
+//     manager declines queries until RefreshLandmarks (or the async
+//     refresh) recomputes them.
+func TestLandmarkEpochValidity(t *testing.T) {
+	e := altTestEngine(t, core.DirectedALT)
+	if e.landmarks == nil {
+		t.Fatal("ALT engine has no landmark manager")
+	}
+	if got := e.metrics.landmarkRebuilds.Value(); got != 1 {
+		t.Fatalf("initial landmark rebuilds = %d, want 1 (eager refresh in New)", got)
+	}
+	checkValid := func(want bool, when string) {
+		t.Helper()
+		lv := e.landmarks.cur.Load()
+		if lv == nil {
+			t.Fatalf("%s: no landmark vectors", when)
+		}
+		s := e.Snapshot()
+		if got := lv.valid(s.epoch, s.addSeq, s.removeSeq); got != want {
+			t.Fatalf("%s: vectors valid=%v, want %v (vectors@{e%d a%d r%d}, snap@{e%d a%d r%d})",
+				when, got, want, lv.epoch, lv.addSeq, lv.removeSeq, s.epoch, s.addSeq, s.removeSeq)
+		}
+	}
+	checkValid(true, "epoch 0")
+
+	// Arc-removing churn: allocate a path, fail a link. Vectors stay valid.
+	res, err := e.RouteAndAllocate(1, 0, 7)
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	checkValid(true, "after allocate")
+	if _, err := e.FailLink(res.Path.Hops[0].Link); err != nil {
+		t.Fatal(err)
+	}
+	checkValid(true, "after fail")
+	if got := e.metrics.landmarkRebuilds.Value(); got != 1 {
+		t.Fatalf("rebuilds after shrink-only churn = %d, want 1", got)
+	}
+	// Queries on the shrunk snapshot still get a potential.
+	s := e.Snapshot()
+	pot, release := s.pot.Potential([]int{0}, []int{1})
+	if pot == nil {
+		t.Fatal("shrink-only churn must keep serving ALT potentials")
+	}
+	if release != nil {
+		release()
+	}
+
+	// Arc-adding mutation: repair invalidates.
+	if err := e.RepairLink(res.Path.Hops[0].Link); err != nil {
+		t.Fatal(err)
+	}
+	checkValid(false, "after repair")
+
+	if err := e.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	checkValid(false, "after release")
+
+	// Synchronous refresh restores service against the current snapshot.
+	if err := e.RefreshLandmarks(); err != nil {
+		t.Fatal(err)
+	}
+	checkValid(true, "after RefreshLandmarks")
+	if got := e.metrics.landmarkRebuilds.Value(); got != 2 {
+		t.Fatalf("rebuilds after explicit refresh = %d, want 2", got)
+	}
+
+	// And routing still agrees with a plain search on the same snapshot.
+	s = e.Snapshot()
+	for d := 1; d < e.Base().NumNodes(); d++ {
+		got, errG := s.Route(0, d)
+		want, errW := s.Aux().Route(0, d, nil)
+		if (errG == nil) != (errW == nil) {
+			t.Fatalf("0→%d: outcomes %v vs %v", d, errG, errW)
+		}
+		if errG == nil && !costsAgree(got.Cost, want.Cost) {
+			t.Fatalf("0→%d: alt %v vs plain %v", d, got.Cost, want.Cost)
+		}
+	}
+}
+
+// TestLandmarkPinnedOldSnapshot: vectors recomputed at a LATER epoch
+// serve a pinned older snapshot as long as no removals separate them —
+// the C.removeSeq == Q.removeSeq && C.epoch ≥ Q.epoch branch.
+func TestLandmarkPinnedOldSnapshot(t *testing.T) {
+	e := altTestEngine(t, core.DirectedALT)
+	pinned := e.Snapshot() // epoch 0
+	// A fail+repair cycle between the pinned snapshot and the vector
+	// recompute leaves NEITHER subset direction witnessed (both addSeq
+	// and removeSeq moved), so the pinned snapshot must not validate
+	// against the new vectors even though the arc sets happen to be
+	// identical — the rule is conservative by design.
+	if _, err := e.FailLink(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RepairLink(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RefreshLandmarks(); err != nil {
+		t.Fatal(err)
+	}
+	lv := e.landmarks.cur.Load()
+	if lv.valid(pinned.epoch, pinned.addSeq, pinned.removeSeq) {
+		t.Fatal("fail+repair-separated pinned snapshot must not validate")
+	}
+	// Now pin, refresh, then shrink: the pinned snapshot EQUALS the
+	// compute snapshot, later queries on it remain valid forever.
+	pinned2 := e.Snapshot()
+	if _, err := e.RouteAndAllocate(9, 0, 5); err != nil && !errors.Is(err, core.ErrNoRoute) {
+		t.Fatal(err)
+	}
+	lv = e.landmarks.cur.Load()
+	if !lv.valid(pinned2.epoch, pinned2.addSeq, pinned2.removeSeq) {
+		t.Fatal("compute-epoch snapshot must stay valid")
+	}
+}
+
+// TestSetQueueKeepsLandmarks: a queue change republishes without
+// touching the arc set (mutNone) — vectors stay valid.
+func TestSetQueueKeepsLandmarks(t *testing.T) {
+	e := altTestEngine(t, core.DirectedALT)
+	e.SetQueue(2) // graph.QueueBinary re-set; value irrelevant
+	s := e.Snapshot()
+	lv := e.landmarks.cur.Load()
+	if !lv.valid(s.epoch, s.addSeq, s.removeSeq) {
+		t.Fatal("SetQueue must not invalidate landmark vectors")
+	}
+}
+
+// TestRefreshLandmarksNoopOnPlainEngine: engines without ALT have no
+// manager and RefreshLandmarks is a nil no-op.
+func TestRefreshLandmarksNoopOnPlainEngine(t *testing.T) {
+	e := altTestEngine(t, core.DirectedPlain)
+	if e.landmarks != nil {
+		t.Fatal("plain engine built a landmark manager")
+	}
+	if err := e.RefreshLandmarks(); err != nil {
+		t.Fatalf("RefreshLandmarks on plain engine: %v", err)
+	}
+}

@@ -18,18 +18,21 @@ import (
 type Metrics struct {
 	reg *obs.Registry
 
-	routeLatency     *obs.Histogram // engine_route_latency_ns
-	routeFromLatency *obs.Histogram // engine_routefrom_latency_ns
-	batchLatency     *obs.Histogram // engine_batch_latency_ns (whole batch)
-	rebuildLatency   *obs.Histogram // engine_rebuild_latency_ns (full compiles)
-	deltaLatency     *obs.Histogram // engine_delta_latency_ns (incremental applies)
+	routeLatency         *obs.Histogram // engine_route_latency_ns
+	routeFromLatency     *obs.Histogram // engine_routefrom_latency_ns
+	batchLatency         *obs.Histogram // engine_batch_latency_ns (whole batch)
+	rebuildLatency       *obs.Histogram // engine_rebuild_latency_ns (full compiles)
+	deltaLatency         *obs.Histogram // engine_delta_latency_ns (incremental applies)
+	directedRouteLatency *obs.Histogram // engine_directed_route_latency_ns (bidi/ALT only)
 
-	routes        *obs.Counter // engine_routes_total
-	routesBlocked *obs.Counter // engine_routes_blocked_total
-	tracedRoutes  *obs.Counter // engine_traced_routes_total
-	allocRetries  *obs.Counter // engine_alloc_retries_total
-	batchRequests *obs.Counter // engine_batch_requests_total
-	batchInFlight *obs.Gauge   // engine_batch_inflight (queue depth)
+	routes           *obs.Counter // engine_routes_total
+	routesBlocked    *obs.Counter // engine_routes_blocked_total
+	tracedRoutes     *obs.Counter // engine_traced_routes_total
+	allocRetries     *obs.Counter // engine_alloc_retries_total
+	batchRequests    *obs.Counter // engine_batch_requests_total
+	goalSettled      *obs.Counter // engine_goal_settled_total (nodes settled by directed queries)
+	landmarkRebuilds *obs.Counter // engine_landmark_rebuilds_total
+	batchInFlight    *obs.Gauge   // engine_batch_inflight (queue depth)
 }
 
 // newMetrics wires an engine's registry: direct instruments for the
@@ -40,18 +43,21 @@ func newMetrics(e *Engine) *Metrics {
 	reg := obs.NewRegistry()
 	lat := obs.DefaultLatencyBuckets()
 	m := &Metrics{
-		reg:              reg,
-		routeLatency:     reg.Histogram("engine_route_latency_ns", lat),
-		routeFromLatency: reg.Histogram("engine_routefrom_latency_ns", lat),
-		batchLatency:     reg.Histogram("engine_batch_latency_ns", lat),
-		rebuildLatency:   reg.Histogram("engine_rebuild_latency_ns", lat),
-		deltaLatency:     reg.Histogram("engine_delta_latency_ns", lat),
-		routes:           reg.Counter("engine_routes_total"),
-		routesBlocked:    reg.Counter("engine_routes_blocked_total"),
-		tracedRoutes:     reg.Counter("engine_traced_routes_total"),
-		allocRetries:     reg.Counter("engine_alloc_retries_total"),
-		batchRequests:    reg.Counter("engine_batch_requests_total"),
-		batchInFlight:    reg.Gauge("engine_batch_inflight"),
+		reg:                  reg,
+		routeLatency:         reg.Histogram("engine_route_latency_ns", lat),
+		routeFromLatency:     reg.Histogram("engine_routefrom_latency_ns", lat),
+		batchLatency:         reg.Histogram("engine_batch_latency_ns", lat),
+		rebuildLatency:       reg.Histogram("engine_rebuild_latency_ns", lat),
+		deltaLatency:         reg.Histogram("engine_delta_latency_ns", lat),
+		directedRouteLatency: reg.Histogram("engine_directed_route_latency_ns", lat),
+		routes:               reg.Counter("engine_routes_total"),
+		routesBlocked:        reg.Counter("engine_routes_blocked_total"),
+		tracedRoutes:         reg.Counter("engine_traced_routes_total"),
+		allocRetries:         reg.Counter("engine_alloc_retries_total"),
+		batchRequests:        reg.Counter("engine_batch_requests_total"),
+		goalSettled:          reg.Counter("engine_goal_settled_total"),
+		landmarkRebuilds:     reg.Counter("engine_landmark_rebuilds_total"),
+		batchInFlight:        reg.Gauge("engine_batch_inflight"),
 	}
 
 	reg.GaugeFunc("engine_epoch", func() float64 { return float64(e.Epoch()) })
@@ -109,6 +115,20 @@ func (m *Metrics) observeRoute(elapsed time.Duration, err error) {
 	m.routeLatency.ObserveDuration(elapsed)
 	if errors.Is(err, core.ErrNoRoute) {
 		m.routesBlocked.Inc()
+	}
+}
+
+// observeDirected records the goal-directed-only instruments: the
+// directed latency histogram plus the settled-node counter whose ratio
+// to engine_routes_total quantifies the search-space reduction. No-op
+// for plain-mode snapshots so undirected engines pay nothing.
+func (m *Metrics) observeDirected(elapsed time.Duration, res *core.Result, mode core.DirectedMode) {
+	if mode == core.DirectedPlain {
+		return
+	}
+	m.directedRouteLatency.ObserveDuration(elapsed)
+	if res != nil {
+		m.goalSettled.Add(uint64(res.Stats.Settled))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"lightpath/internal/core"
 	"lightpath/internal/graph"
+	"lightpath/internal/obs"
 	"lightpath/internal/wdm"
 )
 
@@ -21,6 +22,15 @@ type Snapshot struct {
 	aux   *core.Aux
 	eng   *Engine
 	queue graph.QueueKind
+	// addSeq/removeSeq are monotone counters of arc-adding and
+	// arc-removing epochs — the witnesses the landmark manager uses to
+	// decide whether its vectors are still admissible here (landmarks.go).
+	addSeq    uint64
+	removeSeq uint64
+	// pot adapts this snapshot's identity to core.PotentialSource for ALT
+	// queries. Held by value so ropts.Potential can point into the
+	// snapshot without a per-query allocation.
+	pot snapPotential
 	// ropts is the precomputed query options for this snapshot's queue.
 	// opts() hands out a pointer into the snapshot instead of allocating
 	// per call, which keeps cache-hit point queries allocation-free.
@@ -42,13 +52,27 @@ func (s *Snapshot) Aux() *core.Aux { return s.aux }
 // need a Trace build their own Options (see TraceRoute).
 func (s *Snapshot) opts() *core.Options { return &s.ropts }
 
+// queryOptions returns options equal to opts() but carrying the given
+// trace and span hooks. The copy keeps the snapshot's shared ropts
+// read-only while preserving queue kind, directed mode and the ALT
+// potential source for instrumented queries.
+func (s *Snapshot) queryOptions(tr *obs.RouteTrace, sp *obs.Span) *core.Options {
+	o := s.ropts
+	o.Trace = tr
+	o.Span = sp
+	return &o
+}
+
 // Route finds an optimal semilightpath from src to dst over this
 // snapshot's residual capacity. Latency and the blocked/served outcome
-// land on the engine's route metrics.
+// land on the engine's route metrics; goal-directed queries additionally
+// feed the directed latency histogram and settled-node counter.
 func (s *Snapshot) Route(src, dst int) (*core.Result, error) {
 	start := time.Now()
 	res, err := s.aux.Route(src, dst, s.opts())
-	s.eng.metrics.observeRoute(time.Since(start), err)
+	elapsed := time.Since(start)
+	s.eng.metrics.observeRoute(elapsed, err)
+	s.eng.metrics.observeDirected(elapsed, res, s.ropts.Directed)
 	return res, err
 }
 

@@ -42,8 +42,10 @@ func (s *Snapshot) RouteSpanned(src, dst int, parent *obs.Span) (*core.Result, e
 	defer sp.End()
 	sp.SetInt(attrEpoch, int64(s.epoch))
 	start := time.Now()
-	res, err := s.aux.Route(src, dst, &core.Options{Queue: s.queue, Span: sp})
-	s.eng.metrics.observeRoute(time.Since(start), err)
+	res, err := s.aux.Route(src, dst, s.queryOptions(nil, sp))
+	elapsed := time.Since(start)
+	s.eng.metrics.observeRoute(elapsed, err)
+	s.eng.metrics.observeDirected(elapsed, res, s.ropts.Directed)
 	return res, err
 }
 
@@ -63,7 +65,7 @@ func (s *Snapshot) RouteFromSpanned(src int, parent *obs.Span) (*core.SourceTree
 	defer func() { s.eng.metrics.routeFromLatency.ObserveDuration(time.Since(start)) }()
 	cache := s.eng.cache
 	if cache == nil {
-		return s.aux.RouteFrom(src, &core.Options{Queue: s.queue, Span: sp})
+		return s.aux.RouteFrom(src, s.queryOptions(nil, sp))
 	}
 	look := sp.StartChild(spanCacheLookup)
 	st, ok := cache.get(treeKey{source: src, epoch: s.epoch})
@@ -72,7 +74,7 @@ func (s *Snapshot) RouteFromSpanned(src int, parent *obs.Span) (*core.SourceTree
 	if ok {
 		return st, nil
 	}
-	st, err := s.aux.RouteFrom(src, &core.Options{Queue: s.queue, Span: sp})
+	st, err := s.aux.RouteFrom(src, s.queryOptions(nil, sp))
 	if err != nil {
 		return nil, err
 	}

@@ -35,9 +35,10 @@ func (s *Snapshot) TraceRoute(src, dst int) (*core.Result, *obs.RouteTrace, erro
 	m := s.eng.metrics
 	m.tracedRoutes.Inc()
 	start := time.Now()
-	res, err := s.aux.Route(src, dst, &core.Options{Queue: s.queue, Trace: tr})
+	res, err := s.aux.Route(src, dst, s.queryOptions(tr, nil))
 	tr.Elapsed = time.Since(start)
 	m.observeRoute(tr.Elapsed, err)
+	m.observeDirected(tr.Elapsed, res, s.ropts.Directed)
 	if err != nil {
 		return nil, tr, err
 	}

@@ -348,6 +348,117 @@ func TestDijkstraSeedsUntilEarlyStop(t *testing.T) {
 	}
 }
 
+// TestDijkstraSeedsUntilEdgeCases drives the goal-set API through its
+// boundary shapes — the full-tree sentinel, seeds already inside the goal
+// set, unreachable goals, duplicated seeds and goals — under every queue
+// kind, pinning both distances and the stop behavior each shape implies.
+func TestDijkstraSeedsUntilEdgeCases(t *testing.T) {
+	// Fixture: 0→1→2→3 line (weights 1,2,3) plus isolated node 4.
+	build := func(t *testing.T) *Digraph {
+		g := New(5)
+		mustArc(t, g, 0, 1, 1)
+		mustArc(t, g, 1, 2, 2)
+		mustArc(t, g, 2, 3, 3)
+		return g
+	}
+	cases := []struct {
+		name      string
+		seeds     []int
+		goals     []int
+		wantDist  map[int]float64 // exact distances that must hold
+		wantUnrea []int           // nodes that must stay unreached
+		fullTree  bool            // search must settle every reachable node
+		maxSettle int             // early-stop ceiling, 0 = don't check
+	}{
+		{
+			name:     "empty goal set computes the full tree",
+			seeds:    []int{0},
+			goals:    nil,
+			wantDist: map[int]float64{0: 0, 1: 1, 2: 3, 3: 6},
+			fullTree: true,
+		},
+		{
+			name:     "empty non-nil goal slice is the same sentinel",
+			seeds:    []int{0},
+			goals:    []int{},
+			wantDist: map[int]float64{3: 6},
+			fullTree: true,
+		},
+		{
+			name:      "seed already in the goal set stops immediately",
+			seeds:     []int{1},
+			goals:     []int{1},
+			wantDist:  map[int]float64{1: 0},
+			maxSettle: 1,
+		},
+		{
+			name:      "unreachable goal exhausts without error",
+			seeds:     []int{0},
+			goals:     []int{4},
+			wantDist:  map[int]float64{3: 6},
+			wantUnrea: []int{4},
+		},
+		{
+			name:      "mixed reachable and unreachable goals",
+			seeds:     []int{0},
+			goals:     []int{1, 4},
+			wantDist:  map[int]float64{1: 1},
+			wantUnrea: []int{4},
+		},
+		{
+			name:      "duplicate seeds behave as one",
+			seeds:     []int{0, 0, 0},
+			goals:     []int{2},
+			wantDist:  map[int]float64{2: 3},
+			maxSettle: 3,
+		},
+		{
+			name:      "duplicate goals do not double-count the stop",
+			seeds:     []int{0},
+			goals:     []int{2, 2, 2},
+			wantDist:  map[int]float64{2: 3},
+			maxSettle: 3,
+		},
+		{
+			name:     "multi-seed takes the min over origins",
+			seeds:    []int{0, 2},
+			goals:    []int{3},
+			wantDist: map[int]float64{3: 3, 2: 0},
+		},
+	}
+	for _, tc := range cases {
+		for _, kind := range allKinds {
+			t.Run(tc.name+"/"+kind.String(), func(t *testing.T) {
+				g := build(t)
+				tree, err := DijkstraSeedsUntil(g, tc.seeds, tc.goals, kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v, want := range tc.wantDist {
+					if !almostEq(tree.Dist[v], want) {
+						t.Fatalf("Dist[%d] = %v, want %v", v, tree.Dist[v], want)
+					}
+				}
+				for _, v := range tc.wantUnrea {
+					if tree.Reached(v) {
+						t.Fatalf("node %d should be unreachable, Dist %v", v, tree.Dist[v])
+					}
+				}
+				if tc.fullTree {
+					for v := 0; v <= 3; v++ {
+						if !tree.Reached(v) {
+							t.Fatalf("full-tree run left reachable node %d unsettled", v)
+						}
+					}
+				}
+				if tc.maxSettle > 0 && tree.Settled > tc.maxSettle {
+					t.Fatalf("settled %d nodes, early stop should need ≤%d", tree.Settled, tc.maxSettle)
+				}
+			})
+		}
+	}
+}
+
 func TestDijkstraSeedsUntilUnreachableGoalRunsFull(t *testing.T) {
 	g := New(4)
 	mustArc(t, g, 0, 1, 1)

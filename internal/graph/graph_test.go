@@ -143,6 +143,68 @@ func anyTrue(b []bool) bool {
 	return false
 }
 
+// TestReverseFidelity pins the properties the bidirectional kernel and
+// the core reverse cache build on: Reverse() preserves every arc's weight
+// AND tag exactly (BidiTree.Path matches reverse arcs back to forward
+// ones by that triple), keeps parallel arcs distinct, and orders each
+// reverse adjacency list by ascending source node — the deterministic
+// layout core.reverseInSegment reproduces when patching deltas.
+func TestReverseFidelity(t *testing.T) {
+	g := New(4)
+	mustTaggedArc(t, g, 0, 2, 1.5, 7)
+	mustTaggedArc(t, g, 1, 2, 2.5, 8)
+	mustTaggedArc(t, g, 3, 2, 0.5, 9)
+	mustTaggedArc(t, g, 0, 2, 1.5, 10) // parallel to the first, distinct tag
+	mustTaggedArc(t, g, 2, 0, 4.0, 11)
+	r := g.Reverse()
+	if r.NumNodes() != g.NumNodes() || r.NumArcs() != g.NumArcs() {
+		t.Fatalf("reverse shape %d/%d, want %d/%d", r.NumNodes(), r.NumArcs(), g.NumNodes(), g.NumArcs())
+	}
+	// Arc multiset must be the exact transpose: collect (from,to,w,tag).
+	type key struct {
+		from, to int
+		w        float64
+		tag      int32
+	}
+	fwd := make(map[key]int)
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, a := range g.Out(u) {
+			fwd[key{u, int(a.To), a.Weight, a.Tag}]++
+		}
+	}
+	for v := 0; v < r.NumNodes(); v++ {
+		for _, a := range r.Out(v) {
+			k := key{int(a.To), v, a.Weight, a.Tag}
+			if fwd[k] == 0 {
+				t.Fatalf("reverse arc %d->%d (w=%v tag=%d) has no forward original", v, a.To, a.Weight, a.Tag)
+			}
+			fwd[k]--
+		}
+	}
+	// Reverse adjacency of node 2 must list sources in ascending order
+	// (0, 0, 1, 3) — Reverse() appends scanning forward nodes ascending.
+	in2 := r.Out(2)
+	wantSrc := []int32{0, 0, 1, 3}
+	if len(in2) != len(wantSrc) {
+		t.Fatalf("in(2) = %d arcs, want %d", len(in2), len(wantSrc))
+	}
+	for i, a := range in2 {
+		if a.To != wantSrc[i] {
+			t.Fatalf("in(2)[%d].To = %d, want %d (ascending-source order)", i, a.To, wantSrc[i])
+		}
+	}
+	// Both parallel 0→2 arcs survive with their distinct tags.
+	tags := map[int32]bool{}
+	for _, a := range in2 {
+		if a.To == 0 {
+			tags[a.Tag] = true
+		}
+	}
+	if !tags[7] || !tags[10] {
+		t.Fatalf("parallel arcs lost in reverse: tags %v", tags)
+	}
+}
+
 func mustArc(t *testing.T, g *Digraph, u, v int, w float64) {
 	t.Helper()
 	if err := g.AddArc(u, v, w, 0); err != nil {

@@ -79,6 +79,18 @@ func (h *Heap) Push(item int, key float64) error {
 	return nil
 }
 
+// Min reports the item with the smallest key and that key without
+// removing it. ok is false when the heap is empty. Bidirectional
+// Dijkstra's stopping rule peeks both frontiers' minima every round, so
+// this is O(1) by construction.
+func (h *Heap) Min() (item int, key float64, ok bool) {
+	if len(h.items) == 0 {
+		return 0, 0, false
+	}
+	top := h.items[0]
+	return top, h.keys[top], true
+}
+
 // Pop removes and returns the item with the smallest key.
 func (h *Heap) Pop() (item int, key float64, err error) {
 	if len(h.items) == 0 {

@@ -97,7 +97,8 @@ type (
 	SourceTree = core.SourceTree
 	// AllPairsResult is the n×n optimal cost matrix.
 	AllPairsResult = core.AllPairsResult
-	// Options tunes a query (priority queue selection).
+	// Options tunes a query (priority queue and directed-search
+	// strategy selection).
 	Options = core.Options
 	// BuildStats reports auxiliary graph construction sizes against the
 	// paper's Observation bounds.
@@ -122,6 +123,19 @@ const (
 	QueueBinary    = graph.QueueBinary
 	QueueLinear    = graph.QueueLinear
 	QueuePairing   = graph.QueuePairing
+)
+
+// DirectedMode selects the point-query search strategy (Options.Directed).
+type DirectedMode = core.DirectedMode
+
+// Directed modes: the paper's goal-set Dijkstra (default), bidirectional
+// Dijkstra over the cached reverse graph, and ALT landmark A* (degrades
+// to bidirectional without a potential source). All return identical
+// costs; see DESIGN.md §14.
+const (
+	DirectedPlain = core.DirectedPlain
+	DirectedBidi  = core.DirectedBidi
+	DirectedALT   = core.DirectedALT
 )
 
 // Online circuit-switching re-exports (package session): a
