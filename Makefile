@@ -50,28 +50,34 @@ lint-audit:
 
 verify: build vet test race-hot race
 
-# Regenerate the committed engine benchmark record.
+# Regenerate the committed engine benchmark record and gate the cache's
+# reason to exist: cached/uncached speedup >= 50x, hit rate >= 0.9.
 bench-engine:
-	$(GO) run ./cmd/wdmbench -experiment "" -engine-json BENCH_engine.json
+	./scripts/bench_engine.sh
 
-# Regenerate the committed telemetry overhead record (tracer off/on and
-# flight recorder on vs the uninstrumented core route) and gate the
-# always-on contracts: tracer-off overhead <= 1% of baseline, zero
-# allocations on the recorder-off spanned path.
+# Regenerate the committed telemetry overhead record (tracer off/on,
+# flight recorder on and background sampler on vs the uninstrumented
+# core route) and gate the always-on contracts: tracer-off overhead
+# <= 1% of baseline, sampler-on overhead <= 1% of sampler-off, zero
+# allocations on the recorder-off spanned path and on the cached
+# RouteFrom path with sampling enabled.
 bench-obs:
 	./scripts/bench_obs.sh
 
-# Focused race pass over the span-tracing layer and its TCP consumer —
-# the flight recorder's lock-free ring and the serve request lifecycle
-# are only considered verified under the race detector, run twice to
-# vary goroutine interleavings.
+# Focused race pass over the span-tracing/self-observation layer and
+# its TCP consumer — the flight recorder's and metric history's
+# lock-free rings, health evaluation, bundle capture (including the
+# overload e2e that drives health to failing) and the serve request
+# lifecycle are only considered verified under the race detector, run
+# twice to vary goroutine interleavings.
 race-obs:
 	$(GO) test -race -count=2 ./internal/obs ./internal/serve
 
-# Regenerate the committed churn record: epoch publication latency with
-# incremental delta maintenance vs full recompiles (DESIGN.md §10).
+# Regenerate the committed churn record (epoch publication latency with
+# incremental delta maintenance vs full recompiles, DESIGN.md §10) and
+# gate the delta path: every tier's speedup >= 2x.
 bench-churn:
-	$(GO) run ./cmd/wdmbench -experiment "" -churn-json BENCH_churn.json
+	./scripts/bench_churn.sh
 
 # Regenerate the committed goal-directed search record (bidirectional
 # Dijkstra and ALT vs plain goal-set Dijkstra across topology tiers) and
@@ -85,9 +91,9 @@ bench-goal:
 # gross regression on the hot paths is visible in the job log without
 # paying for a full measurement run. Not a stable-numbers benchmark.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Route|AllocateRelease|Dijkstra|Bidirectional|AStar' \
+	$(GO) test -run '^$$' -bench 'Route|AllocateRelease|Dijkstra|Bidirectional|AStar|Sampler|History' \
 		-benchtime 100ms -benchmem \
-		./internal/graph ./internal/core ./internal/engine
+		./internal/graph ./internal/core ./internal/engine ./internal/obs
 
 # Short fuzzing pass over every fuzz target (go test -fuzz takes one
 # target per invocation, hence the list). 30s each is a smoke budget:

@@ -18,6 +18,12 @@
 // has one line per node), so it needs no topology flags; endpoints are
 // drawn uniformly per connection from a seeded PRNG, making a run
 // reproducible against a deterministically-built server.
+//
+// When the server exposes a debug listener, -healthz takes its /healthz
+// URL and polls it throughout the soak (cadence -healthz-interval,
+// default 200ms): the report then carries how many polls saw each SLO
+// status and the status of a final post-soak poll, so an overload run
+// can assert the server degraded under load and recovered after it.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -133,6 +140,92 @@ type report struct {
 		SendMean float64 `json:"send_mean_ns"`
 		RecvMean float64 `json:"recv_mean_ns"`
 	} `json:"client"`
+	// Health is the server's /healthz as seen during the soak (only when
+	// -healthz was given): how many polls landed in each SLO status, and
+	// the status of the final poll. A soak that drives the server to
+	// failing shows up here even though the TCP replies only say "busy".
+	Health *healthReport `json:"health,omitempty"`
+}
+
+// healthReport accumulates /healthz poll outcomes across a soak.
+type healthReport struct {
+	Polls    int    `json:"polls"`
+	OK       int    `json:"ok"`
+	Degraded int    `json:"degraded"`
+	Failing  int    `json:"failing"`
+	Errors   int    `json:"errors"`
+	Final    string `json:"final"`
+}
+
+// healthPoller samples a wdmserve /healthz endpoint on a fixed cadence
+// while the load runs. The endpoint answers 200 for ok/degraded and 503
+// for failing, with a JSON body carrying the status either way, so the
+// poller decodes the body and ignores the status code.
+type healthPoller struct {
+	url    string
+	every  time.Duration
+	stop   chan struct{}
+	done   chan struct{}
+	report healthReport
+}
+
+func startHealthPoller(url string, every time.Duration) *healthPoller {
+	p := &healthPoller{
+		url:   url,
+		every: every,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(p.every)
+		defer t.Stop()
+		for {
+			p.pollOnce()
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return p
+}
+
+func (p *healthPoller) pollOnce() {
+	p.report.Polls++
+	client := http.Client{Timeout: p.every * 4}
+	resp, err := client.Get(p.url)
+	if err != nil {
+		p.report.Errors++
+		return
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status obs.HealthStatus `json:"status"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil {
+		p.report.Errors++
+		return
+	}
+	switch body.Status {
+	case obs.HealthOK:
+		p.report.OK++
+	case obs.HealthDegraded:
+		p.report.Degraded++
+	case obs.HealthFailing:
+		p.report.Failing++
+	}
+	p.report.Final = body.Status.String()
+}
+
+// Stop halts the poll loop, issues one final poll (so Final reflects
+// the post-soak status), and returns the accumulated report.
+func (p *healthPoller) Stop() *healthReport {
+	close(p.stop)
+	<-p.done
+	p.pollOnce()
+	return &p.report
 }
 
 func run(args []string, w io.Writer) error {
@@ -144,6 +237,8 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "workload PRNG seed")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request reply deadline")
 	dialTimeout := fs.Duration("dial-timeout", 5*time.Second, "connection dial deadline")
+	healthz := fs.String("healthz", "", "wdmserve -debug-addr /healthz URL to poll during the soak (optional)")
+	healthzEvery := fs.Duration("healthz-interval", 200*time.Millisecond, "poll cadence for -healthz")
 	jsonPath := fs.String("json", "", "write the report as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -175,6 +270,13 @@ func run(args []string, w io.Writer) error {
 
 	stats := make([]workerStats, *conns)
 	errs := make([]error, *conns)
+	var poller *healthPoller
+	if *healthz != "" {
+		if *healthzEvery <= 0 {
+			return fmt.Errorf("want -healthz-interval > 0")
+		}
+		poller = startHealthPoller(*healthz, *healthzEvery)
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < *conns; i++ {
@@ -191,6 +293,10 @@ func run(args []string, w io.Writer) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var health *healthReport
+	if poller != nil {
+		health = poller.Stop()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -198,6 +304,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	rep := aggregate(stats, *addr, *conns, *requests, *mixFlag, *seed, nodes, elapsed)
+	rep.Health = health
 	fmt.Fprintf(w, "%d requests on %d conns in %s: %.0f req/s\n",
 		rep.Sent, rep.Conns, elapsed.Round(time.Millisecond), rep.ThroughputRPS)
 	fmt.Fprintf(w, "ok %d  shed %d (%.3f)  blocked %d (%.3f)  protocol errors %d\n",
@@ -206,6 +313,11 @@ func run(args []string, w io.Writer) error {
 		ns(rep.Latency.P50), ns(rep.Latency.P90), ns(rep.Latency.P95), ns(rep.Latency.P99), ns(rep.Latency.Max))
 	fmt.Fprintf(w, "client spans: send mean %s  recv mean %s (server+network)\n",
 		ns(rep.Client.SendMean), ns(rep.Client.RecvMean))
+	if rep.Health != nil {
+		fmt.Fprintf(w, "healthz: %d polls  ok %d  degraded %d  failing %d  errors %d  final %s\n",
+			rep.Health.Polls, rep.Health.OK, rep.Health.Degraded, rep.Health.Failing,
+			rep.Health.Errors, rep.Health.Final)
+	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

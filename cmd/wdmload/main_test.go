@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lightpath/internal/engine"
+	"lightpath/internal/obs"
+	"lightpath/internal/serve"
+	"lightpath/internal/topo"
+	"lightpath/internal/workload"
+)
+
+// startTestServer boots a serve.Server on a loopback listener and
+// registers its shutdown with t.Cleanup, returning the dial address.
+func startTestServer(t *testing.T, eng *engine.Engine, cfg *serve.ServerConfig) string {
+	t.Helper()
+	srv := serve.NewServer(eng, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("route=8,alloc=1,release=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.route != 8 || m.alloc != 1 || m.release != 1 {
+		t.Errorf("mix = %+v", m)
+	}
+	for _, bad := range []string{"", "route", "route=x", "route=-1", "fly=1", "route=0,alloc=0,release=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) must fail", bad)
+		}
+	}
+}
+
+// TestHealthPollerCountsStatuses drives the poller against a fake
+// /healthz that walks ok -> degraded -> failing, and checks every
+// status lands in its own counter with Final reflecting the last poll.
+func TestHealthPollerCountsStatuses(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		status := obs.HealthOK
+		switch {
+		case n > 6:
+			status = obs.HealthFailing
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case n > 3:
+			status = obs.HealthDegraded
+		}
+		fmt.Fprintf(w, `{"status":%q,"rules":[]}`+"\n", status)
+	}))
+	defer srv.Close()
+
+	p := startHealthPoller(srv.URL, 2*time.Millisecond)
+	for calls.Load() < 9 {
+		time.Sleep(time.Millisecond)
+	}
+	rep := p.Stop()
+	if rep.Polls < 9 {
+		t.Fatalf("polls = %d, want >= 9", rep.Polls)
+	}
+	if rep.OK < 3 || rep.Degraded < 3 || rep.Failing < 3 {
+		t.Errorf("counts = %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d on a healthy endpoint", rep.Errors)
+	}
+	if rep.Final != "failing" {
+		t.Errorf("final = %q, want failing", rep.Final)
+	}
+	if rep.Polls != rep.OK+rep.Degraded+rep.Failing {
+		t.Errorf("counters do not sum to polls: %+v", rep)
+	}
+}
+
+// TestHealthPollerCountsErrors points the poller at garbage and at a
+// closed server: every poll must count as an error, never panic.
+func TestHealthPollerCountsErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "not json")
+	}))
+	p := startHealthPoller(srv.URL, 2*time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	srv.Close()
+	rep := p.Stop()
+	if rep.Errors == 0 {
+		t.Error("bad-body polls must count as errors")
+	}
+	if rep.OK+rep.Degraded+rep.Failing != 0 {
+		t.Errorf("no status should have been parsed: %+v", rep)
+	}
+}
+
+// TestRunSoaksServerAndReportsHealth runs the generator end to end
+// against a live wdmserve-style TCP server with a /healthz debug
+// endpoint: the report must carry the health block and the JSON file
+// must round-trip it.
+func TestRunSoaksServerAndReportsHealth(t *testing.T) {
+	nw, err := workload.Build(topo.NSFNET(), workload.Spec{
+		K:         8,
+		AvailProb: 0.7,
+		Conv:      workload.ConvUniform,
+		ConvCost:  0.3,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := obs.NewHealth()
+	if err := engine.RegisterDefaultHealthRules(health); err != nil {
+		t.Fatal(err)
+	}
+	sampler := obs.NewSampler(eng.Metrics(), &obs.SamplerOptions{
+		Interval: 5 * time.Millisecond,
+		Capacity: 64,
+	})
+	sampler.AttachHealth(health)
+	sampler.Start()
+	defer sampler.Stop()
+
+	addr := startTestServer(t, eng, &serve.ServerConfig{
+		Telemetry: serve.NewTelemetry(eng.Metrics()),
+		Sampler:   sampler,
+		Health:    health,
+	})
+
+	hz := httptest.NewServer(health)
+	defer hz.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	err = run([]string{
+		"-addr", addr,
+		"-conns", "4",
+		"-requests", "200",
+		"-healthz", hz.URL,
+		"-healthz-interval", "5ms",
+		"-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("healthz: ")) {
+		t.Errorf("text report must include the healthz line:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Health == nil {
+		t.Fatal("JSON report missing health block")
+	}
+	if rep.Health.Polls < 1 || rep.Health.Polls != rep.Health.OK+rep.Health.Degraded+rep.Health.Failing {
+		t.Errorf("health block inconsistent: %+v", rep.Health)
+	}
+	if rep.Health.Final != "ok" {
+		t.Errorf("final status after a light soak = %q, want ok", rep.Health.Final)
+	}
+	if rep.Sent < 200 || rep.ProtocolErrors != 0 {
+		t.Errorf("soak outcome: %+v", rep)
+	}
+}
+
+// TestRunWithoutHealthzOmitsBlock pins that the health block is absent
+// from both outputs when -healthz is not given.
+func TestRunWithoutHealthzOmitsBlock(t *testing.T) {
+	nw, err := workload.Build(topo.NSFNET(), workload.Spec{
+		K: 4, AvailProb: 0.7, Conv: workload.ConvNone,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startTestServer(t, eng, nil)
+
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	if err := run([]string{"-addr", addr, "-conns", "2", "-requests", "40", "-json", jsonPath}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if bytes.Contains(out.Bytes(), []byte("healthz: ")) {
+		t.Errorf("healthz line must be absent:\n%s", out.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`"health"`)) {
+		t.Errorf("JSON must omit health when not polled:\n%s", data)
+	}
+}

@@ -13,7 +13,9 @@ import (
 // into internal/serve: the extraction (and the TCP front-end riding on
 // it) must not change what scripted deployments see on stdin. The
 // scripts stick to deterministic verbs — stats/metrics/trace-on-route
-// answers embed wall-clock latencies and cannot be pinned.
+// answers embed wall-clock latencies (and now uptime/health columns
+// fed by the live sampler), so those are pinned by substring in
+// TestServeStatsIncludesHitRateEpochAndLatency instead of by bytes.
 func TestREPLGoldenByteIdentical(t *testing.T) {
 	cases := []struct {
 		name   string

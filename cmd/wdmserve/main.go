@@ -30,13 +30,15 @@
 //	fail LINK          take a link out of service (lists riding leases)
 //	repair LINK        return a link to service
 //	epoch              print the current epoch
-//	stats              engine + cache counters and routing latency quantiles
+//	stats              engine + cache counters, latency quantiles, uptime, health
 //	explain S T        route S->T and print the per-hop Eq. (1) cost breakdown
 //	trace on|off       attach a trace summary to every route/alloc answer
 //	metrics            full telemetry registry as JSON
 //	recent [N]         newest flight-recorder traces (one line each)
 //	slow [N]           newest slow-log traces (>= -slow-threshold)
 //	tracejson ID       one retained trace as its full JSON span tree
+//	health             current SLO status with per-rule detail
+//	history [N]        newest sampled metric frames with derived rates
 //	quit               exit
 //
 // Every request is recorded as a span tree in an always-on flight
@@ -46,11 +48,23 @@
 // are additionally retained in a separate slow log that fast traffic
 // cannot evict.
 //
+// A background sampler (interval -sample-interval, ring capacity
+// -history-size) snapshots the telemetry registry into a frame ring
+// and evaluates SLO health rules against it after every sample: the
+// engine's blocked-route rate and windowed route p99, plus a
+// failing-severity ceiling on the TCP shed rate. When health
+// transitions to failing and -bundle-dir is set, a diagnostic bundle
+// (metric history, recent and slow traces, goroutine/heap profiles,
+// server config) is captured atomically — rate-limited so a flapping
+// rule cannot fill the disk.
+//
 // With -debug-addr HOST:PORT the service also runs an HTTP debug
 // endpoint exposing /metrics (the telemetry registry as JSON),
 // /metrics.prom (Prometheus text format), /debug/requests and
 // /debug/slow (flight-recorder traces as JSON, ?n= bounds the count),
-// /debug/vars (expvar) and /debug/pprof.
+// /debug/history (the sampled frame series as JSON), /healthz (SLO
+// status, 503 once failing), /readyz (drain-aware readiness: 503 the
+// moment Shutdown begins), /debug/vars (expvar) and /debug/pprof.
 package main
 
 import (
@@ -114,6 +128,12 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 		"retain requests at or above this duration in the slow log (<0 disables)")
 	traceSample := fs.Int("trace-sample", 1,
 		"head-sample recording: record every Nth request (1 = all)")
+	sampleInterval := fs.Duration("sample-interval", obs.DefaultSampleInterval,
+		"metric history sampling interval (0 disables the sampler and health evaluation)")
+	historySize := fs.Int("history-size", obs.DefaultHistorySize,
+		"metric history ring capacity in frames")
+	bundleDir := fs.String("bundle-dir", "",
+		"capture a diagnostic bundle into this directory when health transitions to failing (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,19 +186,72 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 	tracer.SetSlowThreshold(*slowThreshold)
 	tracer.RegisterMetrics(eng.Metrics())
 
-	if *debugAddr != "" {
-		ln, err := net.Listen("tcp", *debugAddr)
-		if err != nil {
-			return fmt.Errorf("debug listener: %w", err)
-		}
-		defer ln.Close()
-		go func() { _ = http.Serve(ln, debugMux(eng, tracer)) }()
-		fmt.Fprintf(w, "debug server on %s (/metrics, /metrics.prom, /debug/requests, /debug/slow, /debug/vars, /debug/pprof)\n", ln.Addr())
+	// SLO health: the engine's default rules plus a failing-severity
+	// ceiling on the TCP shed rate — sustained shedding is the one
+	// signal that means clients are actively being turned away.
+	health := obs.NewHealth()
+	if err := engine.RegisterDefaultHealthRules(health); err != nil {
+		return err
+	}
+	if err := health.AddRule("serve_shed_rate_failing", obs.RuleSpec{
+		Metric:    "serve_shed_total",
+		Kind:      obs.RuleRate,
+		Threshold: shedRateThreshold,
+		Sustain:   engine.DefaultHealthSustain,
+		Severity:  obs.HealthFailing,
+	}); err != nil {
+		return err
+	}
+	health.RegisterMetrics(eng.Metrics())
+
+	var sampler *obs.Sampler
+	if *sampleInterval > 0 {
+		sampler = obs.NewSampler(eng.Metrics(), &obs.SamplerOptions{
+			Interval: *sampleInterval,
+			Capacity: *historySize,
+		})
+		sampler.RegisterMetrics(eng.Metrics())
+		sampler.AttachHealth(health)
+		sampler.Start()
+		defer sampler.Stop()
+	}
+	if *bundleDir != "" {
+		bundler := obs.NewBundler(&obs.BundlerOptions{Dir: *bundleDir})
+		bundler.RegisterMetrics(eng.Metrics())
+		config := fmt.Sprintf(
+			"listen=%s\nqueue-depth=%d\nrequest-timeout=%s\nsample-interval=%s\nhistory-size=%d\n",
+			*listen, *queueDepth, *requestTimeout, *sampleInterval, *historySize)
+		health.OnTransition(func(from, to obs.HealthStatus, detail []obs.RuleState) {
+			if to != obs.HealthFailing {
+				return
+			}
+			path, err := bundler.Capture("health_failing", []obs.Artifact{
+				obs.HistoryArtifact(sampler.History(), 0),
+				obs.RegistryArtifact(eng.Metrics()),
+				obs.HealthArtifact(health),
+				obs.TracerRecentArtifact(tracer, obs.DefaultRingSize),
+				obs.TracerSlowArtifact(tracer, obs.DefaultSlowRingSize),
+				obs.GoroutineArtifact(),
+				obs.HeapArtifact(),
+				obs.StaticArtifact("config.txt", []byte(config)),
+			})
+			switch {
+			case err != nil:
+				fmt.Fprintf(w, "health failing: bundle capture failed: %v\n", err)
+			case path != "":
+				fmt.Fprintf(w, "health failing: diagnostic bundle captured at %s\n", path)
+			}
+		})
 	}
 
+	// The TCP server is built before the debug mux so /readyz can close
+	// over its drain state; on the REPL path srv stays nil and Draining
+	// (nil-safe) keeps /readyz answering ready.
 	tel := serve.NewTelemetry(eng.Metrics())
+	var srv *serve.Server
+	var cfg *serve.ServerConfig
 	if *listen != "" {
-		cfg := &serve.ServerConfig{
+		cfg = &serve.ServerConfig{
 			QueueDepth:     *queueDepth,
 			RequestTimeout: *requestTimeout,
 			IdleTimeout:    *idleTimeout,
@@ -186,8 +259,25 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 			Workers:        *workers,
 			Telemetry:      tel,
 			Tracer:         tracer,
+			Sampler:        sampler,
+			Health:         health,
 		}
-		return serveTCP(eng, w, *listen, cfg, *drainTimeout)
+		srv = serve.NewServer(eng, cfg)
+	}
+
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer ln.Close()
+		mux := debugMux(eng, tracer, health, sampler, func() bool { return !srv.Draining() })
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Fprintf(w, "debug server on %s (/metrics, /metrics.prom, /healthz, /readyz, /debug/requests, /debug/slow, /debug/history, /debug/vars, /debug/pprof)\n", ln.Addr())
+	}
+
+	if srv != nil {
+		return serveTCP(srv, eng, w, *listen, cfg, *drainTimeout)
 	}
 
 	input := stdin
@@ -199,9 +289,21 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 		defer f.Close()
 		input = f
 	}
-	sess := serve.NewSession(eng, w, &serve.SessionOptions{Workers: *workers, Telemetry: tel, Tracer: tracer})
+	sess := serve.NewSession(eng, w, &serve.SessionOptions{
+		Workers:   *workers,
+		Telemetry: tel,
+		Tracer:    tracer,
+		Sampler:   sampler,
+		Health:    health,
+	})
 	return serve.RunScript(sess, input)
 }
+
+// shedRateThreshold is the sheds-per-second ceiling of the default
+// failing-severity SLO rule: sustained at DefaultHealthSustain
+// consecutive frames it means the admission queue is turning clients
+// away faster than any transient burst explains.
+const shedRateThreshold = 100.0
 
 // serveTCP runs the network front-end until a listener error or a
 // drain-triggering signal (SIGINT/SIGTERM), then drains gracefully:
@@ -209,7 +311,7 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 // the drain budget runs out. Nothing is released implicitly — leases
 // survive the drain — and the final telemetry totals are flushed to w
 // before returning.
-func serveTCP(eng *engine.Engine, w io.Writer, addr string, cfg *serve.ServerConfig, drainTimeout time.Duration) error {
+func serveTCP(srv *serve.Server, eng *engine.Engine, w io.Writer, addr string, cfg *serve.ServerConfig, drainTimeout time.Duration) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
@@ -221,7 +323,6 @@ func serveTCP(eng *engine.Engine, w io.Writer, addr string, cfg *serve.ServerCon
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigCh)
 
-	srv := serve.NewServer(eng, cfg)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
@@ -254,17 +355,30 @@ func serveTCP(eng *engine.Engine, w io.Writer, addr string, cfg *serve.ServerCon
 // debugMux assembles the HTTP debug surface: the engine's telemetry
 // registry as JSON at /metrics and Prometheus text format at
 // /metrics.prom, the flight recorder and slow log as JSON trace arrays
-// at /debug/requests and /debug/slow, the same registry through expvar
-// at /debug/vars, and the standard pprof handlers. The registry is
-// also published under the expvar name "lightpath" (first engine in
-// the process wins — expvar's namespace is global).
-func debugMux(eng *engine.Engine, tracer *obs.Tracer) *http.ServeMux {
+// at /debug/requests and /debug/slow, the sampled metric history at
+// /debug/history, the SLO status at /healthz (503 once failing),
+// drain-aware readiness at /readyz (503 once ready() turns false), the
+// same registry through expvar at /debug/vars, and the standard pprof
+// handlers. The registry is also published under the expvar name
+// "lightpath" (first engine in the process wins — expvar's namespace
+// is global).
+func debugMux(eng *engine.Engine, tracer *obs.Tracer, health *obs.Health, sampler *obs.Sampler, ready func() bool) *http.ServeMux {
 	obs.PublishExpvar("lightpath", eng.Metrics())
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", eng.Metrics())
 	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = eng.Metrics().WritePrometheus(w)
+	})
+	mux.Handle("/healthz", health)
+	mux.Handle("/readyz", serve.ReadyzHandler(ready))
+	mux.HandleFunc("/debug/history", func(w http.ResponseWriter, r *http.Request) {
+		if sampler == nil {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			fmt.Fprintln(w, "[]")
+			return
+		}
+		sampler.History().ServeHTTP(w, r)
 	})
 	mux.HandleFunc("/debug/requests", tracer.ServeRecent)
 	mux.HandleFunc("/debug/slow", tracer.ServeSlow)

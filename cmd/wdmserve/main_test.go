@@ -222,10 +222,43 @@ func TestServeTraceToggle(t *testing.T) {
 func TestServeStatsIncludesHitRateEpochAndLatency(t *testing.T) {
 	out := runScript(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3"},
 		"routefrom 0\nroutefrom 0\nalloc 0 9\nstats\nquit\n")
-	for _, want := range []string{"epoch 1", "hit rate", "lookups 2", "hits 1", "route latency: p50", "p95", "p99", "rebuilds 2"} {
+	for _, want := range []string{"epoch 1", "hit rate", "lookups 2", "hits 1", "route latency: p50", "p95", "p99", "rebuilds 2", "uptime ", "health ok"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("stats missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestServeHealthAndHistoryVerbs(t *testing.T) {
+	// A fast sampler so the script's frames carry real engine metrics.
+	out := runScript(t, []string{"-topo", "nsfnet", "-k", "6", "-seed", "3", "-sample-interval", "5ms"},
+		"route 0 9\nhealth\nhistory\nquit\n")
+	if !strings.Contains(out, "health ok") {
+		t.Fatalf("health verb output missing status:\n%s", out)
+	}
+	for _, rule := range []string{"engine_blocked_rate_high", "engine_route_p99_slow", "serve_shed_rate_failing"} {
+		if !strings.Contains(out, rule) {
+			t.Fatalf("health verb missing default rule %q:\n%s", rule, out)
+		}
+	}
+	// The history verb needs two frames; a fresh REPL may have sampled
+	// fewer. Either real frame lines or the explicit empty answer is
+	// protocol-correct — but never an error.
+	if !strings.Contains(out, "frame ") && !strings.Contains(out, "no history sampled yet") {
+		t.Fatalf("history verb output unexpected:\n%s", out)
+	}
+	if strings.Contains(out, "error:") {
+		t.Fatalf("health/history must not error on a default server:\n%s", out)
+	}
+
+	// Sampler disabled: history is a protocol error, health still works.
+	out = runScript(t, []string{"-topo", "paper", "-sample-interval", "0s"},
+		"history\nhealth\nquit\n")
+	if !strings.Contains(out, "error: history: sampler not configured") {
+		t.Fatalf("history with sampler off must explain itself:\n%s", out)
+	}
+	if !strings.Contains(out, "health ok") {
+		t.Fatalf("health must work without a sampler:\n%s", out)
 	}
 }
 
@@ -279,11 +312,20 @@ func TestServeDebugAddrFlagAndMux(t *testing.T) {
 	} else {
 		t.Fatal("tracer did not record")
 	}
-	srv := httptest.NewServer(debugMux(eng, tracer))
+	health := obs.NewHealth()
+	if err := engine.RegisterDefaultHealthRules(health); err != nil {
+		t.Fatal(err)
+	}
+	sampler := obs.NewSampler(eng.Metrics(), &obs.SamplerOptions{Capacity: 8})
+	sampler.SampleNow()
+	srv := httptest.NewServer(debugMux(eng, tracer, health, sampler, func() bool { return true }))
 	defer srv.Close()
 	for path, want := range map[string]string{
 		"/metrics":        "engine_routes_total",
 		"/metrics.prom":   "engine_route_latency_ns_bucket{le=",
+		"/healthz":        `"status": "ok"`,
+		"/readyz":         "ready",
+		"/debug/history":  `"engine_routes_total"`,
 		"/debug/requests": "core_search",
 		"/debug/slow":     "[",
 		"/debug/vars":     "lightpath",
@@ -301,6 +343,29 @@ func TestServeDebugAddrFlagAndMux(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("GET %s: body missing %q:\n%.400s", path, want, body)
 		}
+	}
+
+	// Drain-aware readiness: the same mux built over a draining server
+	// answers 503 on /readyz while /healthz stays governed by SLOs.
+	draining := httptest.NewServer(debugMux(eng, tracer, health, nil, func() bool { return false }))
+	defer draining.Close()
+	resp, err := http.Get(draining.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Errorf("draining /readyz = %d %q", resp.StatusCode, body)
+	}
+	resp, err = http.Get(draining.URL + "/debug/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "[]" {
+		t.Errorf("sampler-less /debug/history = %d %q, want empty JSON array", resp.StatusCode, body)
 	}
 }
 

@@ -34,7 +34,10 @@ import (
 //     counters, per-hop Eq. (1) breakdown, cache peek);
 //   - recorder on: engine.RouteSpanned under an active flight-recorder
 //     trace — every request builds a span tree and is retained in the
-//     recorder ring, the always-on wdmserve configuration.
+//     recorder ring, the always-on wdmserve configuration;
+//   - sampler on: engine.Route again, but with a background obs.Sampler
+//     snapshotting the registry into its history ring at a fast cadence
+//     — the continuous self-observation configuration.
 //
 // The result also records span-layer allocation counts on the cached
 // RouteFrom path (testing.AllocsPerRun): with the recorder off the
@@ -51,17 +54,27 @@ type ObsBenchResult struct {
 	TracerOffNsPerOp  int64 `json:"tracer_off_ns_per_op"`
 	TracerOnNsPerOp   int64 `json:"tracer_on_ns_per_op"`
 	RecorderOnNsPerOp int64 `json:"recorder_on_ns_per_op"`
+	SamplerOnNsPerOp  int64 `json:"sampler_on_ns_per_op"`
 
 	// Overheads are relative to baseline; the tracer-off figure is the
 	// always-on cost of metrics and must stay under a few percent.
 	TracerOffOverheadPct  float64 `json:"tracer_off_overhead_pct"`
 	TracerOnOverheadPct   float64 `json:"tracer_on_overhead_pct"`
 	RecorderOnOverheadPct float64 `json:"recorder_on_overhead_pct"`
+	// SamplerOverheadPct compares engine.Route with a fast background
+	// sampler against the same path sampler-off (tracer_off_ns_per_op):
+	// the cost a running history ring imposes on the request stream.
+	SamplerOverheadPct float64 `json:"sampler_overhead_pct"`
 
 	// Allocations per op on the cached RouteFromSpanned path, recorder
 	// off (must be zero) and recorder on (the span tree's cost).
 	SpanAllocsOffPerOp float64 `json:"span_allocs_off_per_op"`
 	SpanAllocsOnPerOp  float64 `json:"span_allocs_on_per_op"`
+	// SamplerAllocsPerOp is the cached RouteFrom path with a background
+	// sampler attached (must stay zero — sampling reads the registry
+	// from its own goroutine and must not push allocations into the
+	// routing hot path).
+	SamplerAllocsPerOp float64 `json:"sampler_allocs_per_op"`
 
 	// Route latency quantiles as the engine's own histogram reports
 	// them after the timed runs — the same numbers `stats` prints.
@@ -181,6 +194,29 @@ func ObsReport(cfg Config) (*ObsBenchResult, error) {
 		return nil, err
 	}
 
+	// Sampler on: engine.Route with a background sampler snapshotting
+	// the registry every 10ms — much faster than the wdmserve default
+	// (1s) so the timed window sees many ticks. The routing thread only
+	// ever touches the same atomics it already writes; the sampler reads
+	// them from its own goroutine, so this should cost ~nothing.
+	sampler := obs.NewSampler(eng.Metrics(), &obs.SamplerOptions{
+		Interval: 10 * time.Millisecond,
+		Capacity: obs.DefaultHistorySize,
+	})
+	sampler.Start()
+	samplerOn, err := bestRep(cfg.reps(), func() error {
+		for _, p := range pairs {
+			if _, err := eng.Route(p[0], p[1]); err != nil && !errors.Is(err, core.ErrNoRoute) {
+				return err
+			}
+		}
+		return nil
+	})
+	sampler.Stop()
+	if err != nil {
+		return nil, err
+	}
+
 	// Span-layer allocation counts on the cached RouteFrom path. Warm
 	// the SourceTree cache first so both measurements hit it.
 	src := pairs[0][0]
@@ -203,6 +239,19 @@ func ObsReport(cfg Config) (*ObsBenchResult, error) {
 		}
 		recTracer.Finish(req)
 	})
+	// Cached RouteFrom with a sampler attached. AllocsPerRun counts
+	// process-wide mallocs, so the sampler here runs at a 1s interval:
+	// sampling stays enabled (the contract under test) but no tick can
+	// land inside the sub-millisecond measurement window and charge its
+	// own snapshot allocations to the routing path.
+	allocSampler := obs.NewSampler(eng.Metrics(), &obs.SamplerOptions{Interval: time.Second})
+	allocSampler.Start()
+	samplerAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := eng.RouteFrom(src); err != nil {
+			allocErr = err
+		}
+	})
+	allocSampler.Stop()
 	if allocErr != nil {
 		return nil, allocErr
 	}
@@ -222,8 +271,10 @@ func ObsReport(cfg Config) (*ObsBenchResult, error) {
 		TracerOffNsPerOp:   tracerOff.Nanoseconds() / int64(requests),
 		TracerOnNsPerOp:    tracerOn.Nanoseconds() / int64(requests),
 		RecorderOnNsPerOp:  recorderOn.Nanoseconds() / int64(requests),
+		SamplerOnNsPerOp:   samplerOn.Nanoseconds() / int64(requests),
 		SpanAllocsOffPerOp: allocsOff,
 		SpanAllocsOnPerOp:  allocsOn,
+		SamplerAllocsPerOp: samplerAllocs,
 		RouteLatencyP50Ns:  hist.P50,
 		RouteLatencyP95Ns:  hist.P95,
 		RouteLatencyP99Ns:  hist.P99,
@@ -233,6 +284,9 @@ func ObsReport(cfg Config) (*ObsBenchResult, error) {
 		res.TracerOffOverheadPct = 100 * float64(res.TracerOffNsPerOp-res.BaselineNsPerOp) / float64(res.BaselineNsPerOp)
 		res.TracerOnOverheadPct = 100 * float64(res.TracerOnNsPerOp-res.BaselineNsPerOp) / float64(res.BaselineNsPerOp)
 		res.RecorderOnOverheadPct = 100 * float64(res.RecorderOnNsPerOp-res.BaselineNsPerOp) / float64(res.BaselineNsPerOp)
+	}
+	if res.TracerOffNsPerOp > 0 {
+		res.SamplerOverheadPct = 100 * float64(res.SamplerOnNsPerOp-res.TracerOffNsPerOp) / float64(res.TracerOffNsPerOp)
 	}
 	return res, nil
 }
@@ -285,11 +339,14 @@ func RunObs(w io.Writer, cfg Config) error {
 	t.AddRow("tracer off ns/op", r.TracerOffNsPerOp)
 	t.AddRow("tracer on ns/op", r.TracerOnNsPerOp)
 	t.AddRow("recorder on ns/op", r.RecorderOnNsPerOp)
+	t.AddRow("sampler on ns/op", r.SamplerOnNsPerOp)
 	t.AddRow("tracer off overhead", fmt.Sprintf("%+.2f%%", r.TracerOffOverheadPct))
 	t.AddRow("tracer on overhead", fmt.Sprintf("%+.2f%%", r.TracerOnOverheadPct))
 	t.AddRow("recorder on overhead", fmt.Sprintf("%+.2f%%", r.RecorderOnOverheadPct))
+	t.AddRow("sampler on overhead", fmt.Sprintf("%+.2f%%", r.SamplerOverheadPct))
 	t.AddRow("span allocs/op (recorder off)", r.SpanAllocsOffPerOp)
 	t.AddRow("span allocs/op (recorder on)", r.SpanAllocsOnPerOp)
+	t.AddRow("allocs/op (sampler on)", r.SamplerAllocsPerOp)
 	t.AddRow("route latency p50", time.Duration(r.RouteLatencyP50Ns))
 	t.AddRow("route latency p95", time.Duration(r.RouteLatencyP95Ns))
 	t.AddRow("route latency p99", time.Duration(r.RouteLatencyP99Ns))

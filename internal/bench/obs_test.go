@@ -20,7 +20,8 @@ func TestObsReportMeasures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.BaselineNsPerOp <= 0 || r.TracerOffNsPerOp <= 0 || r.TracerOnNsPerOp <= 0 || r.RecorderOnNsPerOp <= 0 {
+	if r.BaselineNsPerOp <= 0 || r.TracerOffNsPerOp <= 0 || r.TracerOnNsPerOp <= 0 ||
+		r.RecorderOnNsPerOp <= 0 || r.SamplerOnNsPerOp <= 0 {
 		t.Fatalf("unmeasured variant: %+v", r)
 	}
 	// The zero-alloc contract of the disabled span path holds at any
@@ -32,6 +33,11 @@ func TestObsReportMeasures(t *testing.T) {
 	}
 	if r.SpanAllocsOnPerOp <= 0 {
 		t.Fatalf("recorder-on spanned RouteFrom reports %v allocs/op, want > 0", r.SpanAllocsOnPerOp)
+	}
+	// The sampler must never push allocations into the cached routing
+	// hot path: it reads the registry from its own goroutine.
+	if r.SamplerAllocsPerOp != 0 {
+		t.Fatalf("cached RouteFrom with sampler attached allocates %v/op, want 0", r.SamplerAllocsPerOp)
 	}
 	if r.RouteLatencyP50Ns <= 0 {
 		t.Fatalf("route latency histogram empty: %+v", r)
@@ -48,11 +54,12 @@ func TestObsReportJSONRoundTrips(t *testing.T) {
 	r := &ObsBenchResult{
 		Topology: "nsfnet", Nodes: 14, Links: 42, K: 8, Requests: 2000,
 		BaselineNsPerOp: 5000, TracerOffNsPerOp: 5050, TracerOnNsPerOp: 5600,
-		RecorderOnNsPerOp:    5300,
+		RecorderOnNsPerOp: 5300, SamplerOnNsPerOp: 5080,
 		TracerOffOverheadPct: 1.0, TracerOnOverheadPct: 12.0,
-		RecorderOnOverheadPct: 6.0,
-		SpanAllocsOffPerOp:    0, SpanAllocsOnPerOp: 7,
-		RouteLatencyP50Ns: 5000, RouteLatencyP95Ns: 9000, RouteLatencyP99Ns: 12000,
+		RecorderOnOverheadPct: 6.0, SamplerOverheadPct: 0.6,
+		SpanAllocsOffPerOp: 0, SpanAllocsOnPerOp: 7,
+		SamplerAllocsPerOp: 0,
+		RouteLatencyP50Ns:  5000, RouteLatencyP95Ns: 9000, RouteLatencyP99Ns: 12000,
 		GeneratedAt: "2026-08-06T00:00:00Z",
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_obs.json")
@@ -79,6 +86,7 @@ func TestObsReportJSONRoundTrips(t *testing.T) {
 		"tracer_off_overhead_pct", "tracer_on_overhead_pct", "route_latency_p50_ns",
 		"recorder_on_ns_per_op", "recorder_on_overhead_pct",
 		"span_allocs_off_per_op", "span_allocs_on_per_op",
+		"sampler_on_ns_per_op", "sampler_overhead_pct", "sampler_allocs_per_op",
 	} {
 		if _, ok := loose[key]; !ok {
 			t.Fatalf("JSON record missing %q: %s", key, data)

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"lightpath/internal/obs"
+	"lightpath/internal/topo"
+	"lightpath/internal/workload"
+)
+
+func TestRegisterDefaultHealthRules(t *testing.T) {
+	h := obs.NewHealth()
+	if err := RegisterDefaultHealthRules(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterDefaultHealthRules(h); err == nil {
+		t.Error("re-registering must fail on the duplicate rule names")
+	}
+	detail := h.Detail()
+	if len(detail) != 2 {
+		t.Fatalf("rules = %+v", detail)
+	}
+	names := map[string]bool{}
+	for _, r := range detail {
+		names[r.Name] = true
+	}
+	if !names["engine_blocked_rate_high"] || !names["engine_route_p99_slow"] {
+		t.Errorf("rule names = %v", names)
+	}
+}
+
+func TestDefaultHealthRulesEvaluateAgainstLiveEngine(t *testing.T) {
+	nw, err := workload.Build(topo.NSFNET(), workload.Spec{
+		K:         4,
+		AvailProb: 0.6,
+		Conv:      workload.ConvUniform,
+		ConvCost:  0.3,
+	}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := obs.NewHealth()
+	if err := RegisterDefaultHealthRules(h); err != nil {
+		t.Fatal(err)
+	}
+	s := obs.NewSampler(eng.Metrics(), &obs.SamplerOptions{Capacity: 8})
+	s.AttachHealth(h)
+
+	s.SampleNow()
+	time.Sleep(2 * time.Millisecond) // measurable frame gap for the rate rule
+	for i := 0; i < 20; i++ {
+		if _, err := eng.Route(0, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SampleNow()
+	if got := h.Status(); got != obs.HealthOK {
+		t.Errorf("healthy engine status = %v (detail %+v)", got, h.Detail())
+	}
+	for _, r := range h.Detail() {
+		if r.Name == "engine_route_p99_slow" && !r.Known {
+			t.Errorf("route p99 rule must be knowable after a routed window: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the anomaly-response layer: when health transitions to
+// failing, capture a self-contained diagnostic directory — metric
+// history, flight-recorder traces, goroutine/heap profiles, server
+// config — so the degradation can be studied after the fact without a
+// human having been attached to /metrics at the time. Capture is
+// rate-limited: a flapping rule produces one bundle per MinInterval,
+// not one per flap, so a bad night cannot fill the disk.
+
+// Artifact is one named file of a diagnostic bundle.
+type Artifact struct {
+	// Name is the file name inside the bundle directory (no path
+	// separators).
+	Name string
+	// Write renders the artifact's contents.
+	Write func(w io.Writer) error
+}
+
+// BundlerOptions configures a Bundler.
+type BundlerOptions struct {
+	// Dir is the directory bundles are created under (created with
+	// MkdirAll on first capture).
+	Dir string
+	// MinInterval is the rate limit: captures arriving sooner than this
+	// after the previous successful capture are suppressed. 0 means
+	// DefaultBundleMinInterval; negative disables the limit.
+	MinInterval time.Duration
+	// MaxBundles caps how many bundles one process writes (0 means
+	// DefaultMaxBundles; negative means unlimited) — the backstop
+	// behind the rate limit.
+	MaxBundles int
+}
+
+// Bundler defaults.
+const (
+	DefaultBundleMinInterval = time.Minute
+	DefaultMaxBundles        = 16
+)
+
+// Bundler writes rate-limited diagnostic bundles. Each capture is
+// atomic at the directory level: artifacts are written into a hidden
+// temp directory and renamed into place only when every artifact (and
+// the manifest) succeeded, so an observer of Dir never sees a partial
+// bundle.
+type Bundler struct {
+	dir         string
+	minInterval time.Duration
+	maxBundles  int
+
+	mu         sync.Mutex
+	lastAt     time.Time
+	seq        uint64
+	written    atomic.Uint64
+	suppressed atomic.Uint64
+}
+
+// NewBundler builds a bundler (nil opts or empty Dir: bundles under
+// "diagnostics" in the working directory).
+func NewBundler(opts *BundlerOptions) *Bundler {
+	o := BundlerOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	if o.Dir == "" {
+		o.Dir = "diagnostics"
+	}
+	if o.MinInterval == 0 {
+		o.MinInterval = DefaultBundleMinInterval
+	}
+	if o.MaxBundles == 0 {
+		o.MaxBundles = DefaultMaxBundles
+	}
+	return &Bundler{dir: o.Dir, minInterval: o.MinInterval, maxBundles: o.MaxBundles}
+}
+
+// Capture writes one bundle named after the reason (lower_snake
+// recommended) and returns its directory path. A capture suppressed by
+// the rate limit or the bundle cap returns ("", nil) and counts in
+// Suppressed() — suppression is the mechanism working, not an error.
+func (b *Bundler) Capture(reason string, artifacts []Artifact) (string, error) {
+	if b == nil {
+		return "", nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	if b.maxBundles >= 0 && b.seq >= uint64(b.maxBundles) {
+		b.suppressed.Add(1)
+		return "", nil
+	}
+	if b.minInterval > 0 && !b.lastAt.IsZero() && now.Sub(b.lastAt) < b.minInterval {
+		b.suppressed.Add(1)
+		return "", nil
+	}
+	if err := os.MkdirAll(b.dir, 0o755); err != nil {
+		return "", fmt.Errorf("bundle dir: %w", err)
+	}
+	tmp, err := os.MkdirTemp(b.dir, ".bundle-tmp-")
+	if err != nil {
+		return "", fmt.Errorf("bundle temp dir: %w", err)
+	}
+	defer os.RemoveAll(tmp) // no-op after a successful rename
+
+	manifest := struct {
+		Reason    string    `json:"reason"`
+		At        time.Time `json:"at"`
+		Seq       uint64    `json:"seq"`
+		Artifacts []string  `json:"artifacts"`
+	}{Reason: reason, At: now, Seq: b.seq + 1}
+	for _, a := range artifacts {
+		if a.Name == "" || a.Name != filepath.Base(a.Name) {
+			return "", fmt.Errorf("bundle artifact name %q: must be a bare file name", a.Name)
+		}
+		if err := writeArtifact(filepath.Join(tmp, a.Name), a.Write); err != nil {
+			return "", fmt.Errorf("bundle artifact %s: %w", a.Name, err)
+		}
+		manifest.Artifacts = append(manifest.Artifacts, a.Name)
+	}
+	mf, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "manifest.json"), append(mf, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("bundle manifest: %w", err)
+	}
+
+	b.seq++
+	final := filepath.Join(b.dir, fmt.Sprintf("bundle-%03d-%s", b.seq, reason))
+	if err := os.Rename(tmp, final); err != nil {
+		b.seq--
+		return "", fmt.Errorf("bundle rename: %w", err)
+	}
+	b.lastAt = now
+	b.written.Add(1)
+	return final, nil
+}
+
+func writeArtifact(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Written reports how many bundles have been captured. Nil-safe.
+func (b *Bundler) Written() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.written.Load()
+}
+
+// Suppressed reports how many captures the rate limit or bundle cap
+// swallowed. Nil-safe.
+func (b *Bundler) Suppressed() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.suppressed.Load()
+}
+
+// Dir reports the directory bundles are created under.
+func (b *Bundler) Dir() string { return b.dir }
+
+// RegisterMetrics exposes the bundler's counters on a registry.
+func (b *Bundler) RegisterMetrics(reg *Registry) {
+	reg.GaugeFunc("obs_bundles_written_total", func() float64 { return float64(b.Written()) })
+	reg.GaugeFunc("obs_bundles_suppressed_total", func() float64 { return float64(b.Suppressed()) })
+}
+
+// HistoryArtifact renders a history ring's newest n frames (n <= 0:
+// everything retained) as the standard JSON series.
+func HistoryArtifact(h *History, n int) Artifact {
+	return Artifact{Name: "history.json", Write: func(w io.Writer) error {
+		if h == nil {
+			_, err := io.WriteString(w, "[]\n")
+			return err
+		}
+		return h.WriteJSON(w, n)
+	}}
+}
+
+// RegistryArtifact renders a registry's instantaneous snapshot.
+func RegistryArtifact(reg *Registry) Artifact {
+	return Artifact{Name: "metrics.json", Write: reg.WriteJSON}
+}
+
+// TracerRecentArtifact renders the flight recorder's newest n traces.
+func TracerRecentArtifact(t *Tracer, n int) Artifact {
+	return Artifact{Name: "traces_recent.json", Write: func(w io.Writer) error {
+		return WriteTraces(w, t.Recent(n))
+	}}
+}
+
+// TracerSlowArtifact renders the slow log's newest n traces.
+func TracerSlowArtifact(t *Tracer, n int) Artifact {
+	return Artifact{Name: "traces_slow.json", Write: func(w io.Writer) error {
+		return WriteTraces(w, t.Slow(n))
+	}}
+}
+
+// HealthArtifact renders the health status and per-rule detail.
+func HealthArtifact(h *Health) Artifact {
+	return Artifact{Name: "health.json", Write: func(w io.Writer) error {
+		var buf bytes.Buffer
+		if err := h.WriteJSON(&buf); err != nil {
+			return err
+		}
+		_, err := w.Write(buf.Bytes())
+		return err
+	}}
+}
+
+// GoroutineArtifact renders the goroutine profile (debug=2 stacks).
+func GoroutineArtifact() Artifact {
+	return Artifact{Name: "goroutines.txt", Write: func(w io.Writer) error {
+		return pprof.Lookup("goroutine").WriteTo(w, 2)
+	}}
+}
+
+// HeapArtifact renders the heap profile.
+func HeapArtifact() Artifact {
+	return Artifact{Name: "heap.pprof", Write: func(w io.Writer) error {
+		return pprof.Lookup("heap").WriteTo(w, 0)
+	}}
+}
+
+// StaticArtifact captures fixed bytes (server config, command line).
+func StaticArtifact(name string, data []byte) Artifact {
+	return Artifact{Name: name, Write: func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	}}
+}

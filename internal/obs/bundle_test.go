@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBundlerCaptureWritesAtomicDirectory(t *testing.T) {
+	dir := t.TempDir()
+	b := NewBundler(&BundlerOptions{Dir: filepath.Join(dir, "diag"), MinInterval: -1})
+
+	reg := NewRegistry()
+	reg.Counter("hits").Add(5)
+	s := NewSampler(reg, &SamplerOptions{Capacity: 4})
+	s.SampleNow()
+	h := NewHealth()
+	if err := h.AddRule("hits_high", RuleSpec{Metric: "hits", Kind: RuleValue, Threshold: 1}); err != nil {
+		t.Fatal(err)
+	}
+	h.Eval(s.History())
+	tr := NewTracer(nil)
+	tr.Finish(tr.Start("probe"))
+
+	path, err := b.Capture("test_reason", []Artifact{
+		HistoryArtifact(s.History(), 0),
+		RegistryArtifact(reg),
+		HealthArtifact(h),
+		TracerRecentArtifact(tr, 8),
+		TracerSlowArtifact(tr, 8),
+		GoroutineArtifact(),
+		HeapArtifact(),
+		StaticArtifact("config.txt", []byte("queue-depth=2\n")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "bundle-001-test_reason" {
+		t.Errorf("bundle path = %s", path)
+	}
+	for _, name := range []string{
+		"manifest.json", "history.json", "metrics.json", "health.json",
+		"traces_recent.json", "traces_slow.json", "goroutines.txt", "heap.pprof", "config.txt",
+	} {
+		fi, err := os.Stat(filepath.Join(path, name))
+		if err != nil {
+			t.Errorf("bundle missing %s: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("bundle artifact %s is empty", name)
+		}
+	}
+	mf, err := os.ReadFile(filepath.Join(path, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manifest struct {
+		Reason    string   `json:"reason"`
+		Seq       uint64   `json:"seq"`
+		Artifacts []string `json:"artifacts"`
+	}
+	if err := json.Unmarshal(mf, &manifest); err != nil {
+		t.Fatal(err)
+	}
+	if manifest.Reason != "test_reason" || manifest.Seq != 1 || len(manifest.Artifacts) != 8 {
+		t.Errorf("manifest = %+v", manifest)
+	}
+	if b.Written() != 1 || b.Suppressed() != 0 {
+		t.Errorf("written/suppressed = %d/%d", b.Written(), b.Suppressed())
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(b.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".bundle-tmp-") {
+			t.Errorf("temp dir %s left behind", e.Name())
+		}
+	}
+}
+
+func TestBundlerRateLimitSuppresses(t *testing.T) {
+	b := NewBundler(&BundlerOptions{Dir: t.TempDir(), MinInterval: time.Hour})
+	one := []Artifact{StaticArtifact("x.txt", []byte("x"))}
+	p1, err := b.Capture("flap", one)
+	if err != nil || p1 == "" {
+		t.Fatalf("first capture = %q, %v", p1, err)
+	}
+	for i := 0; i < 5; i++ {
+		p, err := b.Capture("flap", one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != "" {
+			t.Fatalf("capture %d within MinInterval must be suppressed, got %q", i, p)
+		}
+	}
+	if b.Written() != 1 || b.Suppressed() != 5 {
+		t.Errorf("written/suppressed = %d/%d, want 1/5", b.Written(), b.Suppressed())
+	}
+}
+
+func TestBundlerMaxBundlesCap(t *testing.T) {
+	b := NewBundler(&BundlerOptions{Dir: t.TempDir(), MinInterval: -1, MaxBundles: 2})
+	one := []Artifact{StaticArtifact("x.txt", []byte("x"))}
+	for i := 0; i < 2; i++ {
+		if p, err := b.Capture("burst", one); err != nil || p == "" {
+			t.Fatalf("capture %d = %q, %v", i, p, err)
+		}
+	}
+	if p, _ := b.Capture("burst", one); p != "" {
+		t.Errorf("capture beyond MaxBundles must be suppressed, got %q", p)
+	}
+	if b.Written() != 2 || b.Suppressed() != 1 {
+		t.Errorf("written/suppressed = %d/%d", b.Written(), b.Suppressed())
+	}
+}
+
+func TestBundlerFailedArtifactLeavesNoPartialBundle(t *testing.T) {
+	dir := t.TempDir()
+	b := NewBundler(&BundlerOptions{Dir: dir, MinInterval: -1})
+	_, err := b.Capture("boom", []Artifact{
+		StaticArtifact("ok.txt", []byte("fine")),
+		{Name: "bad.txt", Write: func(io.Writer) error { return errors.New("render failed") }},
+	})
+	if err == nil {
+		t.Fatal("failed artifact must fail the capture")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "bundle-") {
+			t.Errorf("partial bundle %s must not be visible", e.Name())
+		}
+	}
+	if b.Written() != 0 {
+		t.Errorf("written = %d", b.Written())
+	}
+	// The failed attempt must not consume the rate limit.
+	if p, err := b.Capture("retry", []Artifact{StaticArtifact("x.txt", []byte("x"))}); err != nil || p == "" {
+		t.Errorf("capture after failure = %q, %v", p, err)
+	}
+}
+
+func TestBundlerRejectsPathyArtifactNames(t *testing.T) {
+	b := NewBundler(&BundlerOptions{Dir: t.TempDir(), MinInterval: -1})
+	_, err := b.Capture("escape", []Artifact{StaticArtifact("../evil.txt", []byte("x"))})
+	if err == nil {
+		t.Error("artifact name with a path separator must be rejected")
+	}
+}
+
+func TestBundlerNilSafe(t *testing.T) {
+	var b *Bundler
+	if p, err := b.Capture("x", nil); p != "" || err != nil {
+		t.Errorf("nil bundler Capture = %q, %v", p, err)
+	}
+	if b.Written() != 0 || b.Suppressed() != 0 {
+		t.Error("nil bundler counters must be zero")
+	}
+}

@@ -170,6 +170,72 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Sub returns the distribution observed between prev and s: bucket-wise
+// counts of the window, with Count/Sum subtracted, window Min/Max
+// estimated from the delta buckets' edges (bucket resolution is all a
+// window can truthfully claim — the atomic min/max trackers span the
+// histogram's whole lifetime), and Mean/P50/P95/P99 recomputed from the
+// window alone. Two snapshots of one live histogram always qualify; a
+// mismatched bucket layout or any bucket that went backwards means prev
+// is from a different incarnation (process restart — counter reset), and
+// Sub falls back to returning s unchanged: "the window since restart" is
+// the tightest truthful answer. An empty window returns a zero snapshot.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if len(s.Buckets) != len(prev.Buckets) {
+		return s
+	}
+	for i := range s.Buckets {
+		if s.Buckets[i].UpperBound != prev.Buckets[i].UpperBound ||
+			s.Buckets[i].Count < prev.Buckets[i].Count {
+			return s
+		}
+	}
+	d := HistogramSnapshot{Buckets: make([]Bucket, len(s.Buckets))}
+	for i := range s.Buckets {
+		d.Buckets[i] = Bucket{
+			UpperBound: s.Buckets[i].UpperBound,
+			Count:      s.Buckets[i].Count - prev.Buckets[i].Count,
+		}
+		d.Count += d.Buckets[i].Count
+	}
+	if d.Count == 0 {
+		return HistogramSnapshot{Buckets: d.Buckets}
+	}
+	d.Sum = s.Sum - prev.Sum
+	if d.Sum < 0 {
+		d.Sum = 0 // float accumulation skew on an otherwise valid window
+	}
+	d.Mean = d.Sum / float64(d.Count)
+	// Window min/max from the occupied delta buckets' edges: the lower
+	// edge of the first non-empty bucket and the upper edge of the last.
+	// The overflow bucket has no finite upper edge; the lifetime max is
+	// the tightest bound available.
+	for i, b := range d.Buckets {
+		if b.Count == 0 {
+			continue
+		}
+		if i > 0 {
+			d.Min = d.Buckets[i-1].UpperBound
+		}
+		break
+	}
+	for i := len(d.Buckets) - 1; i >= 0; i-- {
+		if d.Buckets[i].Count == 0 {
+			continue
+		}
+		if math.IsInf(d.Buckets[i].UpperBound, 1) {
+			d.Max = s.Max
+		} else {
+			d.Max = d.Buckets[i].UpperBound
+		}
+		break
+	}
+	d.P50 = d.Quantile(0.50)
+	d.P95 = d.Quantile(0.95)
+	d.P99 = d.Quantile(0.99)
+	return d
+}
+
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
 // inside the bucket holding the target rank, clamped to the observed
 // min/max. Returns 0 for an empty histogram. The estimate is exact to

@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// frameAt builds a frame directly (bypassing a registry) so derivation
+// tests control values and timestamps exactly.
+func frameAt(seq uint64, at time.Time, values ...NamedValue) *Frame {
+	f := &Frame{Seq: seq, At: at, Values: values}
+	return f
+}
+
+func TestFrameLookups(t *testing.T) {
+	now := time.Now()
+	f := frameAt(1, now,
+		NamedValue{Name: "a_counter", Value: uint64(5)},
+		NamedValue{Name: "b_gauge", Value: int64(-2)},
+		NamedValue{Name: "c_func", Value: 1.5},
+		NamedValue{Name: "d_hist", Value: HistogramSnapshot{Count: 3}},
+	)
+	if v, ok := f.Number("a_counter"); !ok || v != 5 {
+		t.Errorf("counter = %v, %v", v, ok)
+	}
+	if v, ok := f.Number("b_gauge"); !ok || v != -2 {
+		t.Errorf("gauge = %v, %v", v, ok)
+	}
+	if v, ok := f.Number("c_func"); !ok || v != 1.5 {
+		t.Errorf("func = %v, %v", v, ok)
+	}
+	if _, ok := f.Number("d_hist"); ok {
+		t.Error("histogram must not coerce to a number")
+	}
+	if h, ok := f.Histogram("d_hist"); !ok || h.Count != 3 {
+		t.Errorf("histogram = %+v, %v", h, ok)
+	}
+	if _, ok := f.Value("missing"); ok {
+		t.Error("missing metric must report false")
+	}
+	var nilFrame *Frame
+	if _, ok := nilFrame.Value("a_counter"); ok {
+		t.Error("nil frame must report false")
+	}
+}
+
+func TestHistoryRingRetentionAndOrder(t *testing.T) {
+	h := NewHistory(4)
+	if h.Latest() != nil {
+		t.Error("empty history must have no latest frame")
+	}
+	now := time.Now()
+	for i := 1; i <= 6; i++ {
+		h.Push(frameAt(uint64(i), now.Add(time.Duration(i)*time.Second)))
+	}
+	if h.Len() != 4 || h.Cap() != 4 {
+		t.Fatalf("Len/Cap = %d/%d, want 4/4", h.Len(), h.Cap())
+	}
+	fs := h.Last(10)
+	if len(fs) != 4 {
+		t.Fatalf("Last(10) = %d frames, want 4", len(fs))
+	}
+	for i, want := range []uint64{6, 5, 4, 3} {
+		if fs[i].Seq != want {
+			t.Errorf("Last[%d].Seq = %d, want %d (newest first)", i, fs[i].Seq, want)
+		}
+	}
+	if h.Latest().Seq != 6 {
+		t.Errorf("Latest.Seq = %d, want 6", h.Latest().Seq)
+	}
+}
+
+func TestHistoryRate(t *testing.T) {
+	h := NewHistory(8)
+	now := time.Now()
+	h.Push(frameAt(1, now, NamedValue{Name: "reqs", Value: uint64(100)}))
+	h.Push(frameAt(2, now.Add(2*time.Second), NamedValue{Name: "reqs", Value: uint64(150)}))
+
+	if rate, ok := h.Rate("reqs", 1); !ok || rate != 25 {
+		t.Errorf("rate = %v, %v, want 25 req/s", rate, ok)
+	}
+	if _, ok := h.Rate("missing", 1); ok {
+		t.Error("missing metric must not yield a rate")
+	}
+	if _, ok := h.Rate("reqs", 5); ok {
+		t.Error("too few frames must not yield a rate")
+	}
+
+	// Counter reset (process restart): later < earlier clamps to 0.
+	h.Push(frameAt(3, now.Add(3*time.Second), NamedValue{Name: "reqs", Value: uint64(10)}))
+	if rate, ok := h.Rate("reqs", 1); !ok || rate != 0 {
+		t.Errorf("reset rate = %v, %v, want 0", rate, ok)
+	}
+
+	// A wider window uses the endpoint frames: frame 2 (150 at +2s) to
+	// frame 4 (70 at +5s) still spans the reset, so it clamps to 0 too;
+	// frame 3 (10 at +3s) to frame 4 (70 at +5s) is a clean 30/s.
+	h.Push(frameAt(4, now.Add(5*time.Second), NamedValue{Name: "reqs", Value: uint64(70)}))
+	if rate, ok := h.Rate("reqs", 2); !ok || rate != 0 {
+		t.Errorf("windowed rate across reset = %v, %v, want 0", rate, ok)
+	}
+	if rate, ok := h.Rate("reqs", 1); !ok || math.Abs(rate-30) > 1e-9 {
+		t.Errorf("post-reset rate = %v, %v, want 30", rate, ok)
+	}
+}
+
+func TestHistoryWindowDelta(t *testing.T) {
+	hist := NewHistogram([]float64{10, 100, 1000})
+	h := NewHistory(8)
+	now := time.Now()
+	hist.Observe(5)
+	hist.Observe(50)
+	h.Push(frameAt(1, now, NamedValue{Name: "lat", Value: hist.Snapshot()}))
+	hist.Observe(500)
+	hist.Observe(500)
+	hist.Observe(50)
+	h.Push(frameAt(2, now.Add(time.Second), NamedValue{Name: "lat", Value: hist.Snapshot()}))
+
+	d, ok := h.WindowDelta("lat", 1)
+	if !ok {
+		t.Fatal("WindowDelta must succeed with two frames")
+	}
+	if d.Count != 3 {
+		t.Errorf("window count = %d, want 3 (observations between frames)", d.Count)
+	}
+	if _, ok := h.WindowDelta("missing", 1); ok {
+		t.Error("missing metric must not yield a delta")
+	}
+}
+
+func TestHistoryWriteJSONChronological(t *testing.T) {
+	h := NewHistory(4)
+	now := time.Now()
+	h.Push(frameAt(1, now, NamedValue{Name: "x", Value: uint64(1)}))
+	h.Push(frameAt(2, now.Add(time.Second), NamedValue{Name: "x", Value: uint64(2)}))
+
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var frames []struct {
+		Seq    uint64         `json:"seq"`
+		At     string         `json:"at"`
+		Values map[string]any `json:"values"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &frames); err != nil {
+		t.Fatalf("series must be valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(frames) != 2 || frames[0].Seq != 1 || frames[1].Seq != 2 {
+		t.Errorf("series must be chronological, got %+v", frames)
+	}
+	if frames[1].Values["x"].(float64) != 2 {
+		t.Errorf("values[x] = %v", frames[1].Values["x"])
+	}
+}
+
+func TestHistoryServeHTTPBoundsCount(t *testing.T) {
+	h := NewHistory(8)
+	now := time.Now()
+	for i := 1; i <= 5; i++ {
+		h.Push(frameAt(uint64(i), now.Add(time.Duration(i)*time.Second)))
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/history?n=2", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var frames []map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &frames); err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 {
+		t.Errorf("?n=2 must bound the series to 2 frames, got %d", len(frames))
+	}
+}
+
+func TestSamplerCapturesRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Add(7)
+	reg.Histogram("lat", []float64{10, 100}).Observe(50)
+	s := NewSampler(reg, &SamplerOptions{Capacity: 4})
+
+	f := s.SampleNow()
+	if f == nil || f.Seq != 1 {
+		t.Fatalf("SampleNow frame = %+v", f)
+	}
+	if v, ok := f.Number("hits"); !ok || v != 7 {
+		t.Errorf("sampled hits = %v, %v", v, ok)
+	}
+	if _, ok := f.Histogram("lat"); !ok {
+		t.Error("sampled histogram missing")
+	}
+	reg.Counter("hits").Add(3)
+	s.SampleNow()
+	if got := s.History().Latest().Seq; got != 2 {
+		t.Errorf("latest seq = %d, want 2", got)
+	}
+	if s.Samples() != 2 {
+		t.Errorf("Samples = %d, want 2", s.Samples())
+	}
+}
+
+func TestSamplerBackgroundLoopAndStop(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ticks")
+	s := NewSampler(reg, &SamplerOptions{Interval: 2 * time.Millisecond, Capacity: 64})
+	s.Start()
+	s.Start() // double Start is a no-op
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Samples() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	if got := s.Samples(); got < 3 {
+		t.Fatalf("sampler captured %d frames in 2s, want >= 3", got)
+	}
+	after := s.Samples()
+	time.Sleep(10 * time.Millisecond)
+	if s.Samples() != after {
+		t.Error("sampler kept ticking after Stop")
+	}
+	s.Stop() // double Stop is a no-op
+	var nilSampler *Sampler
+	nilSampler.Start() // nil-safe
+	nilSampler.Stop()
+	if nilSampler.History() != nil || nilSampler.Samples() != 0 {
+		t.Error("nil sampler accessors must be zero-valued")
+	}
+}
+
+func TestSamplerEvaluatesAttachedHealth(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("depth").Set(10)
+	s := NewSampler(reg, &SamplerOptions{Capacity: 4})
+	h := NewHealth()
+	if err := h.AddRule("queue_depth_high", RuleSpec{
+		Metric: "depth", Kind: RuleValue, Threshold: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.AttachHealth(h)
+	s.SampleNow()
+	if got := h.Status(); got != HealthDegraded {
+		t.Errorf("status after breaching sample = %v, want degraded", got)
+	}
+	reg.Gauge("depth").Set(1)
+	s.SampleNow()
+	if got := h.Status(); got != HealthOK {
+		t.Errorf("status after recovery sample = %v, want ok", got)
+	}
+}
+
+func TestSamplerConcurrentSampleNow(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Add(1)
+	s := NewSampler(reg, &SamplerOptions{Interval: time.Millisecond, Capacity: 16})
+	s.Start()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.SampleNow()
+			}
+		}()
+	}
+	wg.Wait()
+	s.Stop()
+	if s.Samples() < 200 {
+		t.Errorf("Samples = %d, want >= 200", s.Samples())
+	}
+	// Every retained frame must be complete (non-nil, values sorted).
+	for _, f := range s.History().Last(16) {
+		for i := 1; i < len(f.Values); i++ {
+			if f.Values[i-1].Name >= f.Values[i].Name {
+				t.Fatalf("frame %d values out of order", f.Seq)
+			}
+		}
+	}
+}
+
+func TestSamplerRegisterMetrics(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSampler(reg, &SamplerOptions{Interval: 250 * time.Millisecond, Capacity: 4})
+	s.RegisterMetrics(reg)
+	s.SampleNow()
+	f := s.History().Latest()
+	if v, ok := f.Number("obs_sampler_frames_total"); !ok || v < 0 {
+		t.Errorf("obs_sampler_frames_total = %v, %v", v, ok)
+	}
+	if v, ok := f.Number("obs_sampler_interval_ms"); !ok || v != 250 {
+		t.Errorf("obs_sampler_interval_ms = %v, %v", v, ok)
+	}
+}
+
+// BenchmarkSamplerSampleNow measures one frame capture over a
+// realistically-sized registry — the work each tick performs.
+func BenchmarkSamplerSampleNow(b *testing.B) {
+	reg := NewRegistry()
+	for _, n := range []string{"a_total", "b_total", "c_total", "d_total"} {
+		reg.Counter(n).Add(1)
+	}
+	reg.Gauge("depth").Set(3)
+	reg.Histogram("lat", DefaultLatencyBuckets()).Observe(5000)
+	reg.Histogram("lat2", DefaultLatencyBuckets()).Observe(5000)
+	s := NewSampler(reg, &SamplerOptions{Capacity: DefaultHistorySize})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleNow()
+	}
+}
+
+// BenchmarkHistoryRate measures one rate derivation from the ring.
+func BenchmarkHistoryRate(b *testing.B) {
+	reg := NewRegistry()
+	reg.Counter("reqs").Add(100)
+	s := NewSampler(reg, &SamplerOptions{Capacity: 16})
+	s.SampleNow()
+	reg.Counter("reqs").Add(50)
+	s.SampleNow()
+	h := s.History()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := h.Rate("reqs", 1); !ok {
+			b.Fatal("rate must be derivable")
+		}
+	}
+}

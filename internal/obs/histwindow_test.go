@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests pin the windowed-delta math of HistogramSnapshot.Sub: the
+// window between two snapshots of one live histogram must have
+// bucket-wise non-negative counts, quantiles computed from the window's
+// own distribution (not the lifetime's), and a truthful fallback when
+// the earlier snapshot is from a previous process incarnation.
+
+func TestHistogramSubWindowCounts(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(50)
+	earlier := h.Snapshot()
+	h.Observe(500)
+	h.Observe(500)
+	h.Observe(5)
+	later := h.Snapshot()
+
+	d := later.Sub(earlier)
+	if d.Count != 3 {
+		t.Fatalf("window count = %d, want 3", d.Count)
+	}
+	wantBuckets := []uint64{1, 0, 2, 0} // 5 in ≤10; two 500s in ≤1000
+	for i, want := range wantBuckets {
+		if got := d.Buckets[i].Count; got != want {
+			t.Errorf("bucket[%d] = %d, want %d", i, got, want)
+		}
+		if d.Buckets[i].UpperBound != later.Buckets[i].UpperBound {
+			t.Errorf("bucket[%d] bound changed: %v", i, d.Buckets[i].UpperBound)
+		}
+	}
+	if want := 500.0 + 500 + 5; math.Abs(d.Sum-want) > 1e-6 {
+		t.Errorf("window sum = %v, want %v", d.Sum, want)
+	}
+	if math.Abs(d.Mean-1005.0/3) > 1e-6 {
+		t.Errorf("window mean = %v", d.Mean)
+	}
+}
+
+func TestHistogramSubNonNegativeAlways(t *testing.T) {
+	// Property sweep: any two snapshots of one live histogram, earlier
+	// subtracted from later, must never produce a negative bucket.
+	h := NewHistogram(DefaultLatencyBuckets())
+	var snaps []HistogramSnapshot
+	vals := []float64{100, 2e3, 5e4, 1e6, 3e9, 1e11, 7, 5e5}
+	for _, v := range vals {
+		h.Observe(v)
+		snaps = append(snaps, h.Snapshot())
+	}
+	for i := range snaps {
+		for j := i; j < len(snaps); j++ {
+			d := snaps[j].Sub(snaps[i])
+			if d.Count != uint64(j-i) {
+				t.Fatalf("Sub(%d,%d) count = %d, want %d", j, i, d.Count, j-i)
+			}
+			for k, b := range d.Buckets {
+				if b.Count > snaps[j].Buckets[k].Count {
+					t.Fatalf("Sub(%d,%d) bucket %d overflowed: %d", j, i, k, b.Count)
+				}
+			}
+		}
+	}
+}
+
+func TestHistogramSubWindowQuantiles(t *testing.T) {
+	// Lifetime is dominated by fast observations; the window holds only
+	// slow ones. Window quantiles must reflect the window.
+	h := NewHistogram([]float64{10, 100, 1000, 10000})
+	for i := 0; i < 20000; i++ {
+		h.Observe(5) // fast lifetime baseline
+	}
+	earlier := h.Snapshot()
+	for i := 0; i < 100; i++ {
+		h.Observe(5000) // slow window
+	}
+	later := h.Snapshot()
+
+	if p99 := later.Quantile(0.99); p99 > 100 {
+		// Sanity: the slow burst is under 1% of lifetime, so the
+		// lifetime p99 stays fast — which is exactly why a windowed
+		// delta is needed to see the burst at all.
+		t.Fatalf("lifetime p99 = %v, expected fast", p99)
+	}
+	d := later.Sub(earlier)
+	if d.Count != 100 {
+		t.Fatalf("window count = %d", d.Count)
+	}
+	if d.P99 <= 1000 || d.P99 > 10000 {
+		t.Errorf("window p99 = %v, want in (1000, 10000] (the slow bucket)", d.P99)
+	}
+	if d.P50 <= 1000 || d.P50 > 10000 {
+		t.Errorf("window p50 = %v, want in (1000, 10000]", d.P50)
+	}
+	if d.Min != 1000 {
+		t.Errorf("window min = %v, want 1000 (lower edge of occupied bucket)", d.Min)
+	}
+	if d.Max != 10000 {
+		t.Errorf("window max = %v, want 10000 (upper edge of occupied bucket)", d.Max)
+	}
+}
+
+func TestHistogramSubCounterReset(t *testing.T) {
+	// The "earlier" snapshot is from a previous process incarnation with
+	// more observations than the restarted histogram has accumulated —
+	// a bucket would go backwards. Sub must fall back to the later
+	// snapshot unchanged (window = since restart), never go negative.
+	old := NewHistogram([]float64{10, 100})
+	for i := 0; i < 50; i++ {
+		old.Observe(5)
+	}
+	earlier := old.Snapshot()
+
+	restarted := NewHistogram([]float64{10, 100})
+	restarted.Observe(50)
+	restarted.Observe(50)
+	later := restarted.Snapshot()
+
+	d := later.Sub(earlier)
+	if d.Count != later.Count || d.Sum != later.Sum {
+		t.Errorf("reset fallback must return the later snapshot: %+v", d)
+	}
+	for i := range d.Buckets {
+		if d.Buckets[i].Count != later.Buckets[i].Count {
+			t.Errorf("reset fallback bucket %d = %d", i, d.Buckets[i].Count)
+		}
+	}
+
+	// Mismatched bucket layouts (config change across restart) fall
+	// back the same way.
+	other := NewHistogram([]float64{1, 2, 3}).Snapshot()
+	if d := later.Sub(other); d.Count != later.Count {
+		t.Error("layout mismatch must fall back to the later snapshot")
+	}
+}
+
+func TestHistogramSubEmptyWindow(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	h.Observe(5)
+	s := h.Snapshot()
+	d := s.Sub(s)
+	if d.Count != 0 || d.Sum != 0 || d.Mean != 0 || d.P99 != 0 || d.Min != 0 || d.Max != 0 {
+		t.Errorf("empty window must be all-zero: %+v", d)
+	}
+	if len(d.Buckets) != len(s.Buckets) {
+		t.Errorf("empty window keeps the bucket layout: %d", len(d.Buckets))
+	}
+}
+
+func TestHistogramSubOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	h.Observe(5)
+	earlier := h.Snapshot()
+	h.Observe(1e9) // overflow bucket
+	later := h.Snapshot()
+	d := later.Sub(earlier)
+	if d.Count != 1 {
+		t.Fatalf("window count = %d", d.Count)
+	}
+	if !math.IsInf(d.Buckets[len(d.Buckets)-1].UpperBound, 1) {
+		t.Fatal("overflow bucket must keep its +Inf bound")
+	}
+	if d.Max != 1e9 {
+		t.Errorf("window max with overflow = %v, want lifetime max 1e9", d.Max)
+	}
+	if d.P99 != 1e9 {
+		t.Errorf("window p99 in overflow = %v, want the max", d.P99)
+	}
+}

@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lightpath/internal/obs"
+)
+
+// obsSession builds a REPL-style session with a sampler and health
+// wired onto the engine's registry, returning the session, its output
+// buffer, and the observability handles.
+func obsSession(t *testing.T) (*Session, *bytes.Buffer, *obs.Sampler, *obs.Health) {
+	t.Helper()
+	eng := newEngine(t, "-topo", "nsfnet", "-k", "8", "-seed", "1")
+	sampler := obs.NewSampler(eng.Metrics(), &obs.SamplerOptions{Capacity: 16})
+	health := obs.NewHealth()
+	if err := health.AddRule("blocked_rate_high", obs.RuleSpec{
+		Metric: "engine_routes_blocked_total", Kind: obs.RuleRate, Threshold: 1000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sampler.AttachHealth(health)
+	var out bytes.Buffer
+	sess := NewSession(eng, &out, &SessionOptions{
+		Telemetry: NewTelemetry(eng.Metrics()),
+		Sampler:   sampler,
+		Health:    health,
+	})
+	return sess, &out, sampler, health
+}
+
+func execLine(t *testing.T, sess *Session, line string) error {
+	t.Helper()
+	quit, err := sess.Exec(line)
+	if quit {
+		t.Fatalf("%q must not request shutdown", line)
+	}
+	return err
+}
+
+func TestHealthVerb(t *testing.T) {
+	sess, out, sampler, _ := obsSession(t)
+	sampler.SampleNow()
+	sampler.SampleNow()
+	if err := execLine(t, sess, "health"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "health ok\n") {
+		t.Errorf("health output = %q", got)
+	}
+	if !strings.Contains(got, "blocked_rate_high: rate(engine_routes_blocked_total)") {
+		t.Errorf("health detail missing rule line: %q", got)
+	}
+	if !strings.Contains(got, "streak 0/1") {
+		t.Errorf("health detail missing streak: %q", got)
+	}
+	if err := execLine(t, sess, "health extra"); err == nil {
+		t.Error("health with arguments must be a protocol error")
+	}
+}
+
+func TestHealthVerbUnconfigured(t *testing.T) {
+	eng := newEngine(t, "-topo", "ring", "-n", "6")
+	var out bytes.Buffer
+	sess := NewSession(eng, &out, nil)
+	if err := execLine(t, sess, "health"); err == nil ||
+		!strings.Contains(err.Error(), "not configured") {
+		t.Errorf("health without a Health = %v", err)
+	}
+	if err := execLine(t, sess, "history"); err == nil ||
+		!strings.Contains(err.Error(), "sampler not configured") {
+		t.Errorf("history without a Sampler = %v", err)
+	}
+}
+
+func TestHistoryVerb(t *testing.T) {
+	sess, out, sampler, _ := obsSession(t)
+	if err := execLine(t, sess, "history"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no history sampled yet") {
+		t.Errorf("empty history output = %q", out.String())
+	}
+	out.Reset()
+
+	sampler.SampleNow()
+	time.Sleep(2 * time.Millisecond) // distinct frame timestamps
+	if err := execLine(t, sess, "route 0 9"); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	sampler.SampleNow()
+	sampler.SampleNow()
+	if err := execLine(t, sess, "history 2"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("history 2 printed %d lines: %q", len(lines), got)
+	}
+	for _, line := range lines {
+		for _, want := range []string{"frame ", "age ", "req/s ", "shed/s ", "blocked/s "} {
+			if !strings.Contains(line, want) {
+				t.Errorf("history line %q missing %q", line, want)
+			}
+		}
+	}
+	// The newest frame pair saw the route: its window p99 is present.
+	if !strings.Contains(got, "route p99 ") {
+		t.Errorf("history missing route window quantile: %q", got)
+	}
+	if err := execLine(t, sess, "history 0"); err == nil {
+		t.Error("history 0 must be a protocol error")
+	}
+	if err := execLine(t, sess, "history 1 2"); err == nil {
+		t.Error("history with two arguments must be a protocol error")
+	}
+}
+
+func TestStatsReportsUptimeAndHealth(t *testing.T) {
+	sess, out, sampler, health := obsSession(t)
+	sampler.SampleNow()
+	if err := execLine(t, sess, "stats"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "uptime ") || !strings.Contains(got, "health ok") {
+		t.Errorf("stats missing uptime/health: %q", got)
+	}
+	_ = health
+
+	// Without a Health the column degrades to "off", never errors.
+	eng := newEngine(t, "-topo", "ring", "-n", "6")
+	var plain bytes.Buffer
+	plainSess := NewSession(eng, &plain, nil)
+	if err := execLine(t, plainSess, "stats"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plain.String(), "health off") {
+		t.Errorf("stats without health = %q", plain.String())
+	}
+}
+
+// TestTCPOverloadDrivesHealthFailingAndBundles is the observability
+// e2e: a many-client soak against a deliberately undersized admission
+// queue drives the shed rate over its SLO, health transitions to
+// failing, exactly one diagnostic bundle lands on disk (the rate limit
+// swallows the rest), /readyz flips once drain begins, and health
+// recovers to ok after the load stops. Run under -race by race-obs.
+func TestTCPOverloadDrivesHealthFailingAndBundles(t *testing.T) {
+	clients, requests := 64, 120
+	if testing.Short() {
+		clients, requests = 24, 40
+	}
+	eng := newEngine(t, "-topo", "nsfnet", "-k", "8", "-seed", "1")
+	reg := eng.Metrics()
+	tel := NewTelemetry(reg)
+	tracer := obs.NewTracer(nil)
+
+	sampler := obs.NewSampler(reg, &obs.SamplerOptions{Interval: 10 * time.Millisecond, Capacity: 256})
+	health := obs.NewHealth()
+	if err := health.AddRule("shed_rate_failing", obs.RuleSpec{
+		Metric:    "serve_shed_total",
+		Kind:      obs.RuleRate,
+		Threshold: 50, // sheds/sec; overload produces thousands
+		Sustain:   2,
+		Severity:  obs.HealthFailing,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bundleRoot := filepath.Join(t.TempDir(), "diag")
+	bundler := obs.NewBundler(&obs.BundlerOptions{Dir: bundleRoot, MinInterval: time.Hour})
+	failingSeen := make(chan struct{}, 16)
+	health.OnTransition(func(from, to obs.HealthStatus, detail []obs.RuleState) {
+		if to != obs.HealthFailing {
+			return
+		}
+		if _, err := bundler.Capture("health_failing", []obs.Artifact{
+			obs.HistoryArtifact(sampler.History(), 0),
+			obs.RegistryArtifact(reg),
+			obs.HealthArtifact(health),
+			obs.TracerRecentArtifact(tracer, 32),
+			obs.GoroutineArtifact(),
+		}); err != nil {
+			t.Errorf("bundle capture: %v", err)
+		}
+		select {
+		case failingSeen <- struct{}{}:
+		default:
+		}
+	})
+	sampler.AttachHealth(health)
+	sampler.Start()
+	t.Cleanup(sampler.Stop)
+
+	srv, addr := startServer(t, eng, &ServerConfig{
+		QueueDepth:     2,
+		RequestTimeout: 0, // immediate shed: maximal shed rate
+		WriteTimeout:   10 * time.Second,
+		Telemetry:      tel,
+		Tracer:         tracer,
+		Sampler:        sampler,
+		Health:         health,
+		testExecDelay:  time.Millisecond,
+	})
+
+	ready := ReadyzHandler(func() bool { return !srv.Draining() })
+	rr := httptest.NewRecorder()
+	ready.ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "ready") {
+		t.Fatalf("pre-drain /readyz = %d %q", rr.Code, rr.Body.String())
+	}
+
+	total := soakAgainst(t, eng, addr, clients, requests)
+	if total.busy == 0 {
+		t.Fatal("undersized queue produced no sheds; the overload premise failed")
+	}
+
+	select {
+	case <-failingSeen:
+	default:
+		t.Fatalf("health never transitioned to failing during overload (sheds=%d, status=%v, detail=%+v)",
+			total.busy, health.Status(), health.Detail())
+	}
+
+	// Exactly one bundle: the rate limit must swallow a repeat capture.
+	if w := bundler.Written(); w != 1 {
+		t.Fatalf("bundles written = %d, want exactly 1", w)
+	}
+	if p, err := bundler.Capture("flap_repeat", nil); err != nil || p != "" {
+		t.Fatalf("repeat capture inside MinInterval = %q, %v; want suppressed", p, err)
+	}
+	if bundler.Suppressed() == 0 {
+		t.Fatal("rate limit recorded no suppressions")
+	}
+	entries, err := os.ReadDir(bundleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundles []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "bundle-") {
+			bundles = append(bundles, e.Name())
+		}
+	}
+	if len(bundles) != 1 {
+		t.Fatalf("bundle dirs on disk = %v, want exactly 1", bundles)
+	}
+	for _, name := range []string{"manifest.json", "history.json", "metrics.json", "health.json", "traces_recent.json", "goroutines.txt"} {
+		if fi, err := os.Stat(filepath.Join(bundleRoot, bundles[0], name)); err != nil || fi.Size() == 0 {
+			t.Errorf("bundle artifact %s missing or empty (err=%v)", name, err)
+		}
+	}
+
+	// Drain: /readyz must flip while the health evaluator keeps running.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	rr = httptest.NewRecorder()
+	ready.ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != 503 || !strings.Contains(rr.Body.String(), "draining") {
+		t.Fatalf("post-drain /readyz = %d %q", rr.Code, rr.Body.String())
+	}
+
+	// Load stopped: the shed counter is flat, so the rate decays to 0
+	// within one frame gap and health must return to ok.
+	deadline := time.Now().Add(5 * time.Second)
+	for health.Status() != obs.HealthOK && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := health.Status(); got != obs.HealthOK {
+		t.Fatalf("health after load stopped = %v, want ok (detail %+v)", got, health.Detail())
+	}
+}

@@ -1,0 +1,25 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+)
+
+// ReadyzHandler serves the /readyz readiness contract: HTTP 200 "ready"
+// while ready() reports true, 503 "draining" once it stops — the signal
+// load balancers use to stop routing new connections the moment a drain
+// begins, while /healthz keeps answering from the SLO evaluator.
+// Readiness is about lifecycle (accepting work), health is about SLOs
+// (doing the work well); a draining server can be perfectly healthy and
+// still not ready.
+func ReadyzHandler(ready func() bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready == nil || ready() {
+			io.WriteString(w, "ready\n")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+	})
+}

@@ -45,6 +45,13 @@ type SessionOptions struct {
 	// share one Tracer. A nil Tracer disables recording at zero cost and
 	// makes the trace-query verbs answer "recorder not configured".
 	Tracer *obs.Tracer
+	// Sampler, when non-nil, is the metric-history sampler the `history`
+	// verb answers from. Nil makes the verb answer "sampler not
+	// configured".
+	Sampler *obs.Sampler
+	// Health, when non-nil, is the SLO evaluator the `health` verb (and
+	// the stats health column) answer from. Nil renders health as "off".
+	Health *obs.Health
 }
 
 // Session executes protocol commands for one client against a shared
@@ -55,6 +62,8 @@ type Session struct {
 	workers int
 	tel     *Telemetry
 	tracer  *obs.Tracer
+	sampler *obs.Sampler
+	health  *obs.Health
 	tracing bool // trace on: append a trace summary to route/alloc answers
 }
 
@@ -66,9 +75,16 @@ func NewSession(eng *engine.Engine, w io.Writer, opts *SessionOptions) *Session 
 		s.workers = opts.Workers
 		s.tel = opts.Telemetry
 		s.tracer = opts.Tracer
+		s.sampler = opts.Sampler
+		s.health = opts.Health
 	}
 	return s
 }
+
+// processStart anchors the stats verb's uptime column. Process-wide by
+// design: every session reports the same uptime regardless of when its
+// connection arrived.
+var processStart = time.Now()
 
 // CleanLine strips a trailing '#' comment and surrounding whitespace;
 // an empty result means the line carries no command.
@@ -303,6 +319,38 @@ func (s *Session) exec(cmd string, rest []string, sp *obs.Span) (bool, error) {
 			snap["engine_traced_routes_total"], snap["engine_alloc_retries_total"], st.Rebuilds)
 		fmt.Fprintf(s.w, "route latency: p50 %s  p95 %s  p99 %s  (n=%d, max %s)\n",
 			nsDuration(lat.P50), nsDuration(lat.P95), nsDuration(lat.P99), lat.Count, nsDuration(lat.Max))
+		healthState := "off"
+		if s.health != nil {
+			healthState = s.health.Status().String()
+		}
+		fmt.Fprintf(s.w, "uptime %s  health %s\n",
+			time.Since(processStart).Round(time.Millisecond), healthState)
+	case "health":
+		if err := argc(0); err != nil {
+			return false, err
+		}
+		if s.health == nil {
+			return false, fmt.Errorf("health: not configured")
+		}
+		fmt.Fprintf(s.w, "health %s\n", s.health.Status())
+		for _, r := range s.health.Detail() {
+			s.printRuleState(r)
+		}
+	case "history":
+		if len(ints) > 1 {
+			return false, fmt.Errorf("history: want at most one argument, got %d", len(ints))
+		}
+		if s.sampler == nil {
+			return false, fmt.Errorf("history: sampler not configured")
+		}
+		n := DefaultTraceList
+		if len(ints) == 1 {
+			if ints[0] <= 0 {
+				return false, fmt.Errorf("history: count must be positive, got %d", ints[0])
+			}
+			n = ints[0]
+		}
+		s.printHistory(n)
 	case "recent", "slow":
 		if len(ints) > 1 {
 			return false, fmt.Errorf("%s: want at most one argument, got %d", cmd, len(ints))
@@ -424,6 +472,66 @@ func (s *Session) printTraceLine(r *obs.ReqTrace) {
 		fmt.Fprintf(s.w, "  exec %s", e.Duration())
 	}
 	fmt.Fprintln(s.w)
+}
+
+// printRuleState renders one health rule's last evaluation.
+func (s *Session) printRuleState(r obs.RuleState) {
+	value := "unknown"
+	if r.Known {
+		value = fmt.Sprintf("%g", r.Value)
+	}
+	fmt.Fprintf(s.w, "  %s: %s(%s) %s threshold %g  streak %d/%d  severity %s",
+		r.Name, r.Kind, r.Metric, value, r.Threshold, r.Streak, r.Sustain, r.Severity)
+	if r.Firing {
+		fmt.Fprint(s.w, "  FIRING")
+	}
+	fmt.Fprintln(s.w)
+}
+
+// printHistory renders the newest n sampled frames, newest first, with
+// the operational rates derived from each frame pair: requests/shed per
+// second from the serve counters, blocked routes per second from the
+// engine counter, and the route p99 over that frame's window.
+func (s *Session) printHistory(n int) {
+	hist := s.sampler.History()
+	frames := hist.Last(n + 1) // one extra: each line needs its predecessor
+	if len(frames) < 2 {
+		fmt.Fprintln(s.w, "no history sampled yet (need two frames)")
+		return
+	}
+	now := time.Now()
+	for i := 0; i+1 < len(frames); i++ {
+		newer, older := frames[i], frames[i+1]
+		fmt.Fprintf(s.w, "  frame %d  age %s  req/s %s  shed/s %s  blocked/s %s",
+			newer.Seq, now.Sub(newer.At).Round(time.Millisecond),
+			frameRate(newer, older, "serve_requests_total"),
+			frameRate(newer, older, "serve_shed_total"),
+			frameRate(newer, older, "engine_routes_blocked_total"))
+		if nh, ok := newer.Histogram("engine_route_latency_ns"); ok {
+			if oh, ok := older.Histogram("engine_route_latency_ns"); ok {
+				d := nh.Sub(oh)
+				fmt.Fprintf(s.w, "  route p99 %s (n=%d)", nsDuration(d.P99), d.Count)
+			}
+		}
+		fmt.Fprintln(s.w)
+	}
+}
+
+// frameRate derives one counter's per-second rate between two frames,
+// rendered for a history line ("-" when unknowable, counter resets
+// clamp to 0 exactly as History.Rate does).
+func frameRate(newer, older *obs.Frame, metric string) string {
+	v1, ok1 := newer.Number(metric)
+	v0, ok0 := older.Number(metric)
+	dt := newer.At.Sub(older.At).Seconds()
+	if !ok1 || !ok0 || dt <= 0 {
+		return "-"
+	}
+	d := v1 - v0
+	if d < 0 {
+		d = 0
+	}
+	return fmt.Sprintf("%.1f", d/dt)
 }
 
 // nsDuration renders a nanosecond quantity from a histogram as a

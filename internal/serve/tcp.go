@@ -46,6 +46,10 @@ type ServerConfig struct {
 	// retained with outcome=shed. Connection lifetimes are recorded as
 	// serve_conn traces. Nil disables recording at zero cost.
 	Tracer *obs.Tracer
+	// Sampler and Health back the history/health verbs on every
+	// connection's session; nil leaves those verbs unconfigured.
+	Sampler *obs.Sampler
+	Health  *obs.Health
 
 	// testExecDelay artificially lengthens request execution while the
 	// admission slot is held — package tests use it to make shedding and
@@ -174,6 +178,17 @@ func (s *Server) draining() bool {
 	}
 }
 
+// Draining reports whether Shutdown has begun — the signal /readyz
+// inverts: a draining server still finishes in-flight requests but
+// must stop receiving new traffic from load balancers. Nil-safe (a nil
+// server is trivially not draining).
+func (s *Server) Draining() bool {
+	if s == nil {
+		return false
+	}
+	return s.draining()
+}
+
 // handle drives one connection: read a line, admit it through the
 // bounded queue (or shed with "busy"), execute it on the connection's
 // session, flush the reply.
@@ -208,6 +223,8 @@ func (s *Server) handle(conn net.Conn) {
 		Workers:   s.cfg.Workers,
 		Telemetry: s.cfg.Telemetry,
 		Tracer:    s.cfg.Tracer,
+		Sampler:   s.cfg.Sampler,
+		Health:    s.cfg.Health,
 	})
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)

@@ -157,10 +157,25 @@ func soakClient(t testing.TB, addr string, id, requests, nodes, links int, chaos
 func runSoak(t *testing.T, clients, requestsEach int, cfg *ServerConfig) (*engine.Engine, clientTally) {
 	t.Helper()
 	eng := newEngine(t, "-topo", "nsfnet", "-k", "8", "-seed", "1")
+	return eng, runSoakOn(t, eng, clients, requestsEach, cfg)
+}
+
+// runSoakOn is runSoak against a caller-built engine, so tests that
+// pre-wire observability (sampler, health, bundler) onto the engine's
+// registry can reuse the same client harness.
+func runSoakOn(t *testing.T, eng *engine.Engine, clients, requestsEach int, cfg *ServerConfig) clientTally {
+	t.Helper()
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = NewTelemetry(eng.Metrics())
 	}
 	_, addr := startServer(t, eng, cfg)
+	return soakAgainst(t, eng, addr, clients, requestsEach)
+}
+
+// soakAgainst drives the concurrent clients against an already-running
+// server and merges their tallies.
+func soakAgainst(t *testing.T, eng *engine.Engine, addr string, clients, requestsEach int) clientTally {
+	t.Helper()
 	nodes, links := eng.Base().NumNodes(), eng.Base().NumLinks()
 
 	tallies := make([]clientTally, clients)
@@ -190,7 +205,7 @@ func runSoak(t *testing.T, clients, requestsEach int, cfg *ServerConfig) (*engin
 			total.firstProto = tl.firstProto
 		}
 	}
-	return eng, total
+	return total
 }
 
 // checkWireInvariants asserts, across the TCP path, the telemetry

@@ -54,6 +54,8 @@ func NewTelemetry(reg *obs.Registry) *Telemetry {
 			"recent":    reg.Histogram("serve_verb_recent_latency_ns", b),
 			"slow":      reg.Histogram("serve_verb_slow_latency_ns", b),
 			"tracejson": reg.Histogram("serve_verb_tracejson_latency_ns", b),
+			"health":    reg.Histogram("serve_verb_health_latency_ns", b),
+			"history":   reg.Histogram("serve_verb_history_latency_ns", b),
 		},
 	}
 }

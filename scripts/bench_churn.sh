@@ -1,0 +1,36 @@
+#!/bin/sh
+# bench_churn.sh — regenerate BENCH_churn.json, the committed record of
+# incremental (delta) vs full snapshot rebuilds under allocation/release
+# churn, and gate the incremental path's reason to exist:
+#
+#   speedup >= MIN_SPEEDUP (default 2) on EVERY tier: a delta apply
+#     must beat a full rebuild on all benchmarked topology sizes, not
+#     just the largest — the committed figures run 8x-16x.
+#
+# Tunables (env): REPS, MIN_SPEEDUP, OUT.
+set -eu
+
+REPS=${REPS:-5}
+MIN_SPEEDUP=${MIN_SPEEDUP:-2}
+OUT=${OUT:-BENCH_churn.json}
+
+cd "$(dirname "$0")/.."
+${GO:-go} run ./cmd/wdmbench -experiment "" -reps "$REPS" -churn-json "$OUT"
+
+# The record has one "speedup" per tier; every one must clear the gate.
+speedups=$(sed -n 's/.*"speedup": \([-0-9.e+]*\),*/\1/p' "$OUT")
+if [ -z "$speedups" ]; then
+    echo "bench_churn: $OUT has no speedup fields" >&2
+    exit 1
+fi
+tier=0
+for s in $speedups; do
+    tier=$((tier + 1))
+    if ! awk -v s="$s" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(s >= min) }'; then
+        echo "bench_churn: tier $tier delta/full speedup ${s}x below ${MIN_SPEEDUP}x" >&2
+        exit 1
+    fi
+done
+
+echo "--- $OUT ---"
+cat "$OUT"

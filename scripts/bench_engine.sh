@@ -1,0 +1,45 @@
+#!/bin/sh
+# bench_engine.sh — regenerate BENCH_engine.json, the committed record
+# of the engine's cached-vs-uncached routing comparison, and gate the
+# claims the SourceTree cache exists to hold:
+#
+#   speedup >= MIN_SPEEDUP (default 50): a cache-hit route must beat
+#     recomputing the source tree by a wide margin (the committed figure
+#     is in the thousands; 50x is the never-regress floor);
+#   cache_hit_rate >= MIN_HIT_RATE (default 0.9): the benchmark's
+#     request stream is cache-friendly by construction, so a low hit
+#     rate means eviction or epoch invalidation is misbehaving.
+#
+# Tunables (env): REPS, MIN_SPEEDUP, MIN_HIT_RATE, OUT.
+set -eu
+
+REPS=${REPS:-5}
+MIN_SPEEDUP=${MIN_SPEEDUP:-50}
+MIN_HIT_RATE=${MIN_HIT_RATE:-0.9}
+OUT=${OUT:-BENCH_engine.json}
+
+cd "$(dirname "$0")/.."
+${GO:-go} run ./cmd/wdmbench -experiment "" -reps "$REPS" -engine-json "$OUT"
+
+# field <key>: pull one numeric field out of the flat JSON record.
+field() {
+    sed -n "s/.*\"$1\": \([-0-9.e+]*\),*/\1/p" "$OUT"
+}
+
+speedup=$(field speedup)
+hit_rate=$(field cache_hit_rate)
+if [ -z "$speedup" ] || [ -z "$hit_rate" ]; then
+    echo "bench_engine: $OUT is missing gated fields" >&2
+    exit 1
+fi
+if ! awk -v s="$speedup" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(s >= min) }'; then
+    echo "bench_engine: cached/uncached speedup ${speedup}x below ${MIN_SPEEDUP}x" >&2
+    exit 1
+fi
+if ! awk -v h="$hit_rate" -v min="$MIN_HIT_RATE" 'BEGIN { exit !(h >= min) }'; then
+    echo "bench_engine: cache hit rate ${hit_rate} below ${MIN_HIT_RATE}" >&2
+    exit 1
+fi
+
+echo "--- $OUT ---"
+cat "$OUT"
